@@ -1,0 +1,59 @@
+"""Fig. 11 / Table 6 (Appendix F): greedy mask ordering across ten videos.
+
+Paper: for every video there is a mask (a small fraction of grid cells) that
+reduces the maximum persistence by a large factor while retaining most
+identities; Algorithm 2 finds it greedily.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mask_policy import greedy_mask_ordering
+from repro.scene.scenarios import build_scenario
+
+from benchmarks.conftest import print_table
+
+EXTENDED_PRESETS = ("grand-canal", "venice-rialto", "taipei", "shibuya", "beach", "warsaw", "uav")
+
+
+def _ordering_summary(name, video):
+    grid, steps = greedy_mask_ordering(video, cell_size=80.0, sample_period=2.0, max_cells=80)
+    if not steps:
+        return None
+    initial_max = max(step.max_persistence for step in steps[:1])
+    final = steps[-1]
+    return {
+        "video": name,
+        "grid_cells": grid.num_cells,
+        "cells_masked": final.cells_masked,
+        "pct_cells_masked": round(final.fraction_masked * 100, 1),
+        "max_persistence_after_s": round(final.max_persistence, 1),
+        "identities_retained": f"{final.retention_fraction * 100:.1f}%",
+        "first_step_max_s": round(initial_max, 1),
+    }
+
+
+@pytest.mark.parametrize("name", ["campus", "highway", "urban"])
+def test_table6_primary_videos(benchmark, primary_scenarios, name):
+    scenario = primary_scenarios[name]
+    row = benchmark.pedantic(lambda: _ordering_summary(name, scenario.video),
+                             rounds=1, iterations=1)
+    print_table(f"Table 6 / Fig. 11 ({name})", [row])
+    assert row is not None
+    assert row["cells_masked"] > 0
+
+
+def test_table6_extended_videos(benchmark):
+    def run():
+        rows = []
+        for name in EXTENDED_PRESETS:
+            scenario = build_scenario(name, duration_hours=0.5)
+            summary = _ordering_summary(name, scenario.video)
+            if summary is not None:
+                rows.append(summary)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 6 / Fig. 11 (BlazeIt / MIRIS presets)", rows)
+    assert len(rows) == len(EXTENDED_PRESETS)

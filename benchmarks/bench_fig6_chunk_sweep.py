@@ -1,0 +1,58 @@
+"""Fig. 6: RMSE of the Case 1 query under a chunk-size x output-range sweep.
+
+Paper: for a fixed output range, larger chunks improve raw accuracy (more
+tracking context) but add noise (each row covers more of the window); error
+bars grow with both the chunk size and the per-chunk output cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.baselines import ground_truth_hourly_counts
+from repro.evaluation.metrics import series_rmse
+from repro.evaluation.queries import case1_counting_query
+from repro.utils.timebase import SECONDS_PER_HOUR, TimeInterval
+
+from benchmarks.conftest import print_table
+
+CHUNK_SIZES = (30.0, 60.0, 120.0)
+MAX_ROWS_SWEEP = (5, 10, 20)
+WINDOW_HOURS = 2.0
+
+
+def test_fig6_chunk_and_range_sweep(benchmark, primary_scenarios, evaluation_system):
+    scenario = primary_scenarios["campus"]
+    window = WINDOW_HOURS * SECONDS_PER_HOUR
+    reference = ground_truth_hourly_counts(scenario.video, category="person",
+                                           window=TimeInterval(0.0, window))
+
+    def run():
+        rows = []
+        for chunk_duration in CHUNK_SIZES:
+            for max_rows in MAX_ROWS_SWEEP:
+                query = case1_counting_query(
+                    "campus", category="person", window_seconds=window,
+                    chunk_duration=chunk_duration, max_rows=max_rows, mask="owner",
+                    bucket_seconds=SECONDS_PER_HOUR, epsilon=1.0)
+                base = evaluation_system.execute(query, charge_budget=False)
+                rmses = [series_rmse(evaluation_system.resample_noise(base), reference)
+                         for _ in range(50)]
+                rows.append({
+                    "chunk_s": chunk_duration,
+                    "max_rows": max_rows,
+                    "noise_scale": round(base.releases[0].noise_scale, 1),
+                    "rmse_mean": round(float(np.mean(rmses)), 1),
+                    "rmse_std": round(float(np.std(rmses)), 1),
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Fig. 6 (campus): RMSE vs chunk size and per-chunk output cap", rows)
+    # Shape target: for a fixed chunk size, raising the per-chunk output cap
+    # raises the noise and therefore the RMSE.
+    by_chunk: dict[float, list[float]] = {}
+    for row in rows:
+        by_chunk.setdefault(row["chunk_s"], []).append(row["rmse_mean"])
+    for chunk_duration, rmses in by_chunk.items():
+        assert rmses[0] <= rmses[-1] + 1e-6, f"RMSE should grow with max_rows at c={chunk_duration}"

@@ -1,0 +1,40 @@
+"""Fig. 7: noise required per released hourly figure vs query window size.
+
+Paper: as the window grows, the number of chunks an individual can influence
+stays constant while the total number of chunks grows, so the noise added to
+the (per-hour) result shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.queries import case1_counting_query
+from repro.utils.timebase import SECONDS_PER_HOUR
+
+from benchmarks.conftest import BENCH_HOURS, print_table
+
+WINDOW_HOURS = (1.0, 2.0, 3.0, 4.0)
+
+
+def test_fig7_window_size_sweep(benchmark, evaluation_system):
+    def run():
+        rows = []
+        for hours in WINDOW_HOURS:
+            if hours > BENCH_HOURS:
+                continue
+            window = hours * SECONDS_PER_HOUR
+            query = case1_counting_query(
+                "campus", category="person", window_seconds=window, chunk_duration=60.0,
+                max_rows=5, mask="owner", bucket_seconds=None, epsilon=1.0)
+            result = evaluation_system.execute(query, charge_budget=False)
+            release = result.releases[0]
+            rows.append({
+                "window_hours": hours,
+                "total_count_sensitivity": release.sensitivity,
+                "noise_per_hourly_figure": round(release.noise_scale / hours, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Fig. 7 (campus): noise on the per-hour figure vs window size", rows)
+    noise = [row["noise_per_hourly_figure"] for row in rows]
+    assert noise == sorted(noise, reverse=True), "noise per hourly figure should shrink with window"

@@ -1,0 +1,47 @@
+"""Fig. 8 (Appendix C): privacy degradation beyond the (rho, K) bound.
+
+Paper: the probability an adversary can detect an event grows smoothly with
+how far the event's persistence exceeds the protected rho, for each false-
+positive tolerance alpha.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.degradation import degradation_curve
+
+from benchmarks.conftest import print_table
+
+ALPHAS = (0.001, 0.01, 0.1, 0.2)
+RATIOS = tuple(np.linspace(0.0, 12.0, 25))
+
+
+def test_fig8_degradation_curves(benchmark):
+    def run():
+        curves = {}
+        for alpha in ALPHAS:
+            curves[alpha] = degradation_curve(epsilon=0.25, bounded_rho=30.0,
+                                              chunk_duration=5.0, alpha=alpha, ratios=RATIOS)
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for alpha, points in curves.items():
+        for point in points[::6]:
+            rows.append({
+                "alpha": alpha,
+                "persistence_ratio": round(point.persistence_ratio, 1),
+                "effective_epsilon": round(point.effective_epsilon, 2),
+                "max_detection_probability": round(point.detection_probability, 3),
+            })
+    print_table("Fig. 8: max detection probability vs actual/expected persistence", rows)
+    for alpha, points in curves.items():
+        probabilities = [point.detection_probability for point in points]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] <= 1.0
+        # Within the bound the detection probability stays near the nominal
+        # epsilon's bound (which exceeds alpha only by the e^eps factor).
+        from repro.core.degradation import detection_probability_bound
+
+        assert probabilities[0] <= detection_probability_bound(0.25, alpha) + 1e-9

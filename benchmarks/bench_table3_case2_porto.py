@@ -1,0 +1,83 @@
+"""Table 3 Case 2 (Q4-Q6): multi-camera Porto queries (UNION / JOIN / ARGMAX).
+
+Paper: with a year-long window the noise is negligible relative to the
+aggregate, so accuracies are 94-100%.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import argmax_hit_rate
+from repro.evaluation.queries import (
+    case2_porto_argmax_query,
+    case2_porto_intersection_query,
+    case2_porto_working_hours_query,
+)
+from repro.evaluation.runner import run_repeated
+
+from benchmarks.conftest import print_table
+
+
+def test_q4_average_working_hours(benchmark, porto_dataset, evaluation_system):
+    cameras = porto_dataset.camera_names[:2]
+    query = case2_porto_working_hours_query(cameras, porto_dataset.taxi_ids,
+                                            num_days=porto_dataset.config.num_days,
+                                            chunk_duration=900.0, max_rows=15)
+    truth = porto_dataset.average_working_hours(cameras)
+
+    def run():
+        return run_repeated(evaluation_system, query, samples=200, reference=truth)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 3 Q4 (avg working hours, union of 2 cameras)", [{
+        "ground_truth_hours": round(truth, 2),
+        "privid_no_noise": round(outcome.raw_series[0], 2),
+        "noise_scale": round(outcome.noise_scales[0], 4),
+        "accuracy": outcome.accuracy.as_percent(),
+        "paper_accuracy": "94.14%",
+    }])
+    # The paper's 94% corresponds to 442 taxis over 365 days (a much larger
+    # group count, hence far less relative noise on the average).
+    assert outcome.accuracy.mean > 0.3
+    assert abs(outcome.raw_series[0] - truth) <= max(1.0, 0.4 * truth)
+
+
+def test_q5_taxis_traversing_both(benchmark, porto_dataset, evaluation_system):
+    cameras = porto_dataset.camera_names[:2]
+    query = case2_porto_intersection_query(cameras[0], cameras[1], porto_dataset.taxi_ids,
+                                           num_days=porto_dataset.config.num_days,
+                                           chunk_duration=900.0)
+    truth_total = porto_dataset.average_taxis_traversing_both(cameras[0], cameras[1]) \
+        * porto_dataset.config.num_days
+
+    def run():
+        return run_repeated(evaluation_system, query, samples=200, reference=truth_total)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table 3 Q5 (taxis traversing both cameras, JOIN)", [{
+        "ground_truth_total": round(truth_total, 1),
+        "privid_no_noise": round(outcome.raw_series[0], 1),
+        "noise_scale": round(outcome.noise_scales[0], 2),
+        "accuracy": outcome.accuracy.as_percent(),
+        "paper_accuracy": "99.80%",
+    }])
+    assert outcome.raw_series[0] >= 0
+
+
+def test_q6_busiest_camera_argmax(benchmark, porto_dataset, evaluation_system):
+    query = case2_porto_argmax_query(porto_dataset.camera_names,
+                                     num_days=porto_dataset.config.num_days,
+                                     chunk_duration=3600.0)
+    truth = porto_dataset.busiest_camera()
+
+    def run():
+        results = [evaluation_system.execute(query, charge_budget=False) for _ in range(20)]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    hit_rate = argmax_hit_rate(results, truth)
+    print_table("Table 3 Q6 (busiest camera, ARGMAX over all cameras)", [{
+        "ground_truth": truth,
+        "noisy_argmax_hit_rate": f"{hit_rate * 100:.0f}%",
+        "paper_accuracy": "100.00%",
+    }])
+    assert 0.0 <= hit_rate <= 1.0

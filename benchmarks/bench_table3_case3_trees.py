@@ -1,0 +1,44 @@
+"""Table 3 Case 3 (Q7-Q9): fraction of trees with leaves (non-private objects).
+
+Paper: single-frame chunks over a 12-hour window make the average's
+sensitivity tiny, so accuracy is 98-99.9%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.baselines import tree_leaf_fraction_truth
+from repro.evaluation.queries import case3_tree_query
+from repro.evaluation.runner import run_repeated
+from repro.utils.timebase import SECONDS_PER_HOUR
+
+from benchmarks.conftest import print_table
+
+PAPER = {"campus": ("15/15", "99.90%"), "highway": ("3/7", "98.24%"), "urban": ("4/6", "99.39%")}
+
+
+@pytest.mark.parametrize("name", ["campus", "highway", "urban"])
+def test_case3_tree_fraction(benchmark, primary_scenarios, evaluation_system, name):
+    scenario = primary_scenarios[name]
+    # A 1-hour window keeps the chunk count (one chunk per frame) tractable;
+    # the paper uses 12 hours, which only shrinks the noise further.
+    query = case3_tree_query(name, window_seconds=1.0 * SECONDS_PER_HOUR,
+                             frame_period=scenario.video.frame_period, mask="owner")
+    truth = tree_leaf_fraction_truth(scenario.video)
+
+    def run():
+        return run_repeated(evaluation_system, query, samples=100, reference=truth)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Table 3 Case 3 ({name})", [{
+        "video": name,
+        "ground_truth_pct": round(truth, 1),
+        "privid_no_noise_pct": round(outcome.raw_series[0], 1),
+        "noise_scale": round(outcome.noise_scales[0], 3),
+        "accuracy": outcome.accuracy.as_percent(),
+        "paper": f"{PAPER[name][0]} leaves, {PAPER[name][1]}",
+    }])
+    # The paper's 98-99.9% corresponds to a 12-hour window; the 1-hour window
+    # used here has 12x fewer chunks and therefore 12x more relative noise.
+    assert outcome.accuracy.mean > 0.7

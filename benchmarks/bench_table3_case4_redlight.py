@@ -1,0 +1,43 @@
+"""Table 3 Case 4 (Q10-Q12): red-light duration with everything else masked.
+
+Paper: masking all pixels except the traffic light yields rho = 0, so no
+noise is needed and accuracy is 100%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.baselines import red_light_duration_truth
+from repro.evaluation.queries import case4_red_light_query
+from repro.evaluation.runner import run_repeated
+from repro.utils.timebase import SECONDS_PER_HOUR
+
+from benchmarks.conftest import BENCH_HOURS, print_table
+
+PAPER_TRUTH = {"campus": 75, "highway": 50, "urban": 100}
+
+
+@pytest.mark.parametrize("name", ["campus", "highway", "urban"])
+def test_case4_red_light_duration(benchmark, primary_scenarios, evaluation_system, name):
+    scenario = primary_scenarios[name]
+    query = case4_red_light_query(name, window_seconds=BENCH_HOURS * SECONDS_PER_HOUR,
+                                  chunk_duration=600.0)
+    truth = red_light_duration_truth(scenario)
+
+    def run():
+        return run_repeated(evaluation_system, query, samples=50, reference=truth)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Table 3 Case 4 ({name})", [{
+        "video": name,
+        "ground_truth_s": truth,
+        "privid_result_s": round(outcome.raw_series[0], 2),
+        "noise_scale": outcome.noise_scales[0],
+        "accuracy": outcome.accuracy.as_percent(),
+        "paper_truth_s": PAPER_TRUTH[name],
+        "paper_accuracy": "100.00%",
+    }])
+    # rho = 0 means zero sensitivity and therefore zero noise.
+    assert outcome.noise_scales[0] == 0.0
+    assert outcome.accuracy.mean > 0.95

@@ -1,0 +1,53 @@
+"""Reproduction of "Privid: Practical, Privacy-Preserving Video Analytics Queries".
+
+The public API re-exports the pieces a downstream user needs to stand up a
+deployment: the system itself (:class:`PrividSystem`), privacy policies,
+the query builder/parser, and the synthetic scene/CV substrates used in
+place of real video.
+"""
+
+from repro.core import (
+    CameraRegistration,
+    FrameBudgetLedger,
+    LaplaceMechanism,
+    MaskPolicyMap,
+    PrivacyPolicy,
+    PrividSystem,
+    QueryResult,
+    ReleaseResult,
+)
+from repro.errors import (
+    BudgetExceededError,
+    PolicyError,
+    PrividError,
+    QuerySyntaxError,
+    QueryValidationError,
+    UnboundSensitivityError,
+)
+from repro.query import PrividQuery, QueryBuilder, parse_query, validate_query
+from repro.utils.timebase import TimeInterval
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PrividSystem",
+    "CameraRegistration",
+    "PrivacyPolicy",
+    "MaskPolicyMap",
+    "FrameBudgetLedger",
+    "LaplaceMechanism",
+    "QueryResult",
+    "ReleaseResult",
+    "PrividQuery",
+    "QueryBuilder",
+    "parse_query",
+    "validate_query",
+    "TimeInterval",
+    "PrividError",
+    "PolicyError",
+    "BudgetExceededError",
+    "QuerySyntaxError",
+    "QueryValidationError",
+    "UnboundSensitivityError",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Automatic (rho, K) policy estimation from imperfect CV (Section 5.2, Table 1).
+
+The video owner runs detection + tracking over historical footage (optionally
+with a candidate mask applied) and takes a conservative estimate of the
+maximum persistence as rho.  Even with substantial detection misses the
+estimate is conservative because the tracker bridges gaps and the estimate is
+padded by the tracker's gap-bridging window on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.policy import MaskPolicyMap, PrivacyPolicy
+from repro.cv.detector import DetectorConfig, SyntheticDetector
+from repro.cv.duration import (
+    DurationEstimate,
+    compare_to_ground_truth,
+    conservative_grace_period,
+)
+from repro.cv.tracker import IoUTracker, Track, TrackerConfig
+from repro.scene.objects import PRIVATE_CATEGORIES
+from repro.utils.timebase import TimeInterval
+from repro.video.masking import EMPTY_MASK, Mask
+from repro.video.video import FrameTruth, SyntheticVideo
+
+
+@dataclass(frozen=True)
+class PolicyEstimate:
+    """Outcome of policy estimation: the estimate details and the policy chosen."""
+
+    estimate: DurationEstimate
+    policy: PrivacyPolicy
+    mask_name: str
+
+
+def _masked_frame(frame: FrameTruth, mask: Mask) -> FrameTruth:
+    """Apply a mask to one ground-truth frame before detection."""
+    if mask.is_empty:
+        return frame
+    visible = tuple(obj for obj in frame.visible if not mask.hides(obj.box))
+    return FrameTruth(timestamp=frame.timestamp, frame_index=frame.frame_index, visible=visible)
+
+
+def track_video(video: SyntheticVideo, *, detector_config: DetectorConfig,
+                tracker_config: TrackerConfig, window: TimeInterval | None = None,
+                mask: Mask = EMPTY_MASK, sample_period: float | None = None,
+                detector_seed: int = 0,
+                categories: Iterable[str] | None = None) -> tuple[list[Track], float]:
+    """Detect and track a window of video; return private-category tracks and miss rate."""
+    allowed = frozenset(categories) if categories is not None else PRIVATE_CATEGORIES
+    detector = SyntheticDetector(detector_config, seed=detector_seed)
+    tracker = IoUTracker(tracker_config)
+    window = video.interval if window is None else window.clamp(video.interval)
+    total = 0
+    missed = 0
+    for frame in video.frames(window, sample_period=sample_period):
+        masked = _masked_frame(frame, mask)
+        detections = detector.detect_frame(masked, frame_width=video.width,
+                                           frame_height=video.height)
+        for visible_object in masked.visible:
+            if visible_object.category in allowed:
+                total += 1
+                if not any(det.attributes.get("false_positive") is None
+                           and det.category == visible_object.category
+                           and det.box.iou(visible_object.box) > 0.3 for det in detections):
+                    missed += 1
+        tracker.step([det for det in detections if det.category in allowed])
+    tracks = tracker.finalize()
+    miss_fraction = (missed / total) if total else 0.0
+    return tracks, miss_fraction
+
+
+def estimate_policy(video: SyntheticVideo, *, detector_config: DetectorConfig,
+                    tracker_config: TrackerConfig, window: TimeInterval | None = None,
+                    mask: Mask = EMPTY_MASK, mask_name: str = MaskPolicyMap.NO_MASK,
+                    sample_period: float | None = None, detector_seed: int = 0,
+                    k_segments: int = 2, safety_margin: float = 0.0,
+                    categories: Iterable[str] | None = None) -> PolicyEstimate:
+    """Estimate a conservative (rho, K) policy for a camera (optionally masked).
+
+    ``k_segments`` comes from owner domain knowledge (how many times the same
+    individual may reappear within a query window); trackers cannot observe it
+    reliably because they do not re-identify across long gaps.
+    ``safety_margin`` adds extra slack (seconds) on top of the tracker-derived
+    grace period.
+    """
+    tracks, miss_fraction = track_video(
+        video, detector_config=detector_config, tracker_config=tracker_config,
+        window=window, mask=mask, sample_period=sample_period,
+        detector_seed=detector_seed, categories=categories)
+    effective_period = sample_period if sample_period is not None else video.frame_period
+    effective_fps = 1.0 / effective_period
+    grace = conservative_grace_period(tracker_config.max_age, effective_fps) + safety_margin
+    allowed = frozenset(categories) if categories is not None else PRIVATE_CATEGORIES
+    masked_objects = []
+    window = video.interval if window is None else window.clamp(video.interval)
+    for scene_object in video.objects_overlapping(window):
+        if scene_object.category not in allowed:
+            continue
+        if mask.is_empty:
+            masked_objects.append(scene_object)
+            continue
+        visible_anywhere = any(
+            appearance.box_at((appearance.interval.start + appearance.interval.end) / 2.0)
+            is not None and not mask.hides(
+                appearance.box_at((appearance.interval.start + appearance.interval.end) / 2.0))
+            for appearance in scene_object.appearances)
+        if visible_anywhere:
+            masked_objects.append(scene_object)
+    estimate = compare_to_ground_truth(tracks, masked_objects, miss_fraction=miss_fraction,
+                                       grace_period=grace, categories=allowed)
+    rho = max(estimate.estimated_max, 0.0)
+    policy = PrivacyPolicy(rho=rho, k_segments=k_segments)
+    return PolicyEstimate(estimate=estimate, policy=policy, mask_name=mask_name)
+
+
+def build_mask_policy_map(video: SyntheticVideo, *, detector_config: DetectorConfig,
+                          tracker_config: TrackerConfig, masks: dict[str, Mask],
+                          window: TimeInterval | None = None,
+                          sample_period: float | None = None, detector_seed: int = 0,
+                          k_segments: int = 2,
+                          categories: Iterable[str] | None = None) -> MaskPolicyMap:
+    """Build the owner's mask -> policy map for a camera (Section 7.1).
+
+    The unmasked policy is always estimated; each entry of ``masks`` adds a
+    masked alternative with its own (typically much smaller) rho.
+    """
+    unmasked = estimate_policy(video, detector_config=detector_config,
+                               tracker_config=tracker_config, window=window,
+                               sample_period=sample_period, detector_seed=detector_seed,
+                               k_segments=k_segments, categories=categories)
+    policy_map = MaskPolicyMap.unmasked(unmasked.policy)
+    for name, mask in masks.items():
+        masked = estimate_policy(video, detector_config=detector_config,
+                                 tracker_config=tracker_config, window=window, mask=mask,
+                                 mask_name=name, sample_period=sample_period,
+                                 detector_seed=detector_seed, k_segments=k_segments,
+                                 categories=categories)
+        policy_map.add(name, mask, masked.policy)
+    return policy_map

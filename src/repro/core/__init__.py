@@ -1,0 +1,27 @@
+"""Privacy core: policies, the Laplace mechanism, budgets, and the executor."""
+
+from repro.core.policy import MaskPolicyMap, PrivacyPolicy
+from repro.core.noise import LaplaceMechanism
+from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.degradation import (
+    detection_probability_bound,
+    effective_epsilon,
+    degradation_curve,
+)
+from repro.core.result import QueryResult, ReleaseResult
+from repro.core.executor import CameraRegistration, PrividSystem
+
+__all__ = [
+    "PrivacyPolicy",
+    "MaskPolicyMap",
+    "LaplaceMechanism",
+    "FrameBudgetLedger",
+    "BudgetRequest",
+    "detection_probability_bound",
+    "effective_epsilon",
+    "degradation_curve",
+    "QueryResult",
+    "ReleaseResult",
+    "PrividSystem",
+    "CameraRegistration",
+]

@@ -1,0 +1,121 @@
+"""Per-frame privacy budgets (Section 6.4, Algorithm 1 lines 1-5).
+
+Rather than one global budget per camera, Privid allocates an epsilon budget
+to every *frame*.  A query over interval [a, b] requesting epsilon_Q is
+admitted only if every frame in [a - rho, b + rho] still has at least
+epsilon_Q remaining; on admission, epsilon_Q is deducted from frames in
+[a, b] (not the rho margin).  The margin guarantees that a single protected
+segment — which lasts at most rho — can never straddle two queries drawing
+from disjoint budgets (Appendix E.2, Case 2).
+
+Storing a value per frame would not scale to year-long videos, so the ledger
+tracks *charged intervals* instead and answers "minimum remaining budget over
+an interval" by sweeping the charge boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceededError, PolicyError
+from repro.utils.timebase import TimeInterval
+
+
+@dataclass(frozen=True)
+class BudgetRequest:
+    """One release's budget demand: the frames it covers and its epsilon."""
+
+    interval: TimeInterval
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PolicyError("requested epsilon must be positive")
+
+
+@dataclass
+class FrameBudgetLedger:
+    """Tracks per-frame budget consumption for one camera."""
+
+    total_epsilon: float
+    charges: list[tuple[TimeInterval, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise PolicyError("the per-frame budget must be positive")
+
+    def _consumed_at(self, timestamp: float, extra: list[tuple[TimeInterval, float]] | None = None,
+                     *, expand_extra_by: float = 0.0) -> float:
+        """Total epsilon charged (plus pending requests) covering ``timestamp``."""
+        consumed = sum(epsilon for interval, epsilon in self.charges
+                       if interval.start <= timestamp < interval.end)
+        if extra:
+            for interval, epsilon in extra:
+                expanded = interval.expand(expand_extra_by)
+                if expanded.start <= timestamp < expanded.end:
+                    consumed += epsilon
+        return consumed
+
+    def _breakpoints(self, window: TimeInterval,
+                     extra: list[tuple[TimeInterval, float]] | None = None,
+                     *, expand_extra_by: float = 0.0) -> list[float]:
+        """Candidate timestamps where consumption can change inside ``window``."""
+        points = {window.start}
+        for interval, _ in self.charges:
+            for edge in (interval.start, interval.end):
+                if window.start <= edge < window.end:
+                    points.add(edge)
+        if extra:
+            for interval, _ in extra:
+                expanded = interval.expand(expand_extra_by)
+                for edge in (expanded.start, expanded.end):
+                    if window.start <= edge < window.end:
+                        points.add(edge)
+        return sorted(points)
+
+    def consumed_over(self, interval: TimeInterval) -> float:
+        """Maximum epsilon consumed by any frame in ``interval``."""
+        if interval.duration <= 0:
+            return self._consumed_at(interval.start)
+        return max(self._consumed_at(point) for point in self._breakpoints(interval))
+
+    def remaining_over(self, interval: TimeInterval) -> float:
+        """Minimum remaining budget across frames in ``interval``."""
+        return self.total_epsilon - self.consumed_over(interval)
+
+    def remaining_at(self, timestamp: float) -> float:
+        """Remaining budget of the frame at ``timestamp``."""
+        return self.total_epsilon - self._consumed_at(timestamp)
+
+    def admit(self, requests: list[BudgetRequest], *, margin: float, charge: bool = True) -> None:
+        """Admit (and by default charge) a query's releases, or raise untouched.
+
+        The admission check extends every request's interval by ``margin``
+        (the policy's rho) on both sides; the subsequent charge covers only
+        the unexpanded interval, exactly as in Algorithm 1.  ``charge=False``
+        performs the admission check only — used to make multi-camera queries
+        all-or-nothing (every camera is checked before any is charged).
+        """
+        if not requests:
+            return
+        pending = [(request.interval, request.epsilon) for request in requests]
+        span = pending[0][0].expand(margin)
+        for interval, _ in pending[1:]:
+            span = span.union_span(interval.expand(margin))
+        for point in self._breakpoints(span, pending, expand_extra_by=margin):
+            consumed = self._consumed_at(point, pending, expand_extra_by=margin)
+            if consumed > self.total_epsilon + 1e-12:
+                raise BudgetExceededError(
+                    f"insufficient privacy budget at t={point:.1f}s: "
+                    f"required {consumed:.4f} exceeds total {self.total_epsilon:.4f}",
+                    interval=span,
+                    requested=consumed,
+                    available=self.total_epsilon,
+                )
+        if charge:
+            for request in requests:
+                self.charges.append((request.interval, request.epsilon))
+
+    def reset(self) -> None:
+        """Forget all charges (used by tests and what-if analyses)."""
+        self.charges.clear()

@@ -1,0 +1,365 @@
+"""The Privid query executor (Algorithm 1).
+
+:class:`PrividSystem` is the entry point a video owner deploys: cameras are
+registered with their footage, privacy policy map and per-frame budget;
+analysts register executables and submit queries; the system runs the
+split-process-aggregate pipeline, checks and charges per-frame budgets, adds
+calibrated Laplace noise, and returns only the noisy releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.noise import LaplaceMechanism
+from repro.core.policy import MaskPolicyMap, PrivacyPolicy
+from repro.core.result import QueryResult, ReleaseResult
+from repro.cv.detector import DetectorConfig
+from repro.cv.tracker import TrackerConfig
+from repro.errors import PolicyError, QueryValidationError, UnknownCameraError
+from repro.query.ast import PrividQuery, SelectStatement, collect_table_names
+from repro.relational.aggregates import GroupSpec, Release, ReleaseKind, compute_releases
+from repro.relational.expressions import Column, TimeBucket
+from repro.relational.plan import PlanContext
+from repro.relational.sensitivity import TableProperties
+from repro.relational.table import CHUNK_COLUMN, Table
+from repro.sandbox.environment import ExecutionContext, SandboxRunner
+from repro.sandbox.registry import ExecutableRegistry, default_registry
+from repro.utils.rng import RandomSource
+from repro.utils.timebase import TimeInterval
+from repro.video.chunking import Chunk, ChunkSpec, split_interval
+from repro.video.regions import RegionScheme
+from repro.video.video import SyntheticVideo
+
+
+@dataclass
+class CameraRegistration:
+    """Everything the video owner configures for one camera."""
+
+    name: str
+    video: SyntheticVideo
+    policy_map: MaskPolicyMap
+    ledger: FrameBudgetLedger
+    region_schemes: dict[str, RegionScheme] = field(default_factory=dict)
+    detector_config: DetectorConfig = field(default_factory=DetectorConfig)
+    tracker_config: TrackerConfig = field(default_factory=TrackerConfig)
+    default_sample_period: float | None = None
+    detector_seed: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def epsilon_budget(self) -> float:
+        """Per-frame budget the owner allocated to this camera."""
+        return self.ledger.total_epsilon
+
+
+@dataclass
+class _ChunkSet:
+    """Internal: the result of one SPLIT statement."""
+
+    camera: CameraRegistration
+    chunks: list[Chunk]
+    policy: PrivacyPolicy
+    window: TimeInterval
+    chunk_duration: float
+
+
+@dataclass
+class _TableSource:
+    """Internal: which camera/window/policy an intermediate table came from."""
+
+    camera: CameraRegistration
+    window: TimeInterval
+    policy: PrivacyPolicy
+
+
+class PrividSystem:
+    """A deployment of Privid over a set of registered cameras."""
+
+    def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None) -> None:
+        self.random = RandomSource(seed, path="privid")
+        self.mechanism = LaplaceMechanism(self.random)
+        self.registry = registry if registry is not None else default_registry()
+        self.cameras: dict[str, CameraRegistration] = {}
+
+    # ------------------------------------------------------------------ setup
+
+    def register_camera(self, name: str, video: SyntheticVideo, *,
+                        policy: PrivacyPolicy | None = None,
+                        policy_map: MaskPolicyMap | None = None,
+                        epsilon_budget: float = 1.0,
+                        region_schemes: dict[str, RegionScheme] | None = None,
+                        detector_config: DetectorConfig | None = None,
+                        tracker_config: TrackerConfig | None = None,
+                        default_sample_period: float | None = None,
+                        detector_seed: int = 0,
+                        metadata: dict[str, Any] | None = None) -> CameraRegistration:
+        """Register a camera with its policy and per-frame budget.
+
+        Either a single unmasked ``policy`` or a full ``policy_map`` (mask
+        name -> (mask, policy)) must be supplied; the map is how the owner
+        exposes the masking optimisation of Section 7.1.
+        """
+        if name in self.cameras:
+            raise PolicyError(f"camera {name!r} is already registered")
+        if policy_map is None:
+            if policy is None:
+                raise PolicyError("register_camera needs a policy or a policy_map")
+            policy_map = MaskPolicyMap.unmasked(policy)
+        registration = CameraRegistration(
+            name=name,
+            video=video,
+            policy_map=policy_map,
+            ledger=FrameBudgetLedger(total_epsilon=epsilon_budget),
+            region_schemes=dict(region_schemes or {}),
+            detector_config=detector_config or DetectorConfig(),
+            tracker_config=tracker_config or TrackerConfig(),
+            default_sample_period=default_sample_period,
+            detector_seed=detector_seed,
+            metadata=dict(metadata or {}),
+        )
+        self.cameras[name] = registration
+        return registration
+
+    def register_executable(self, name: str, executable: Any, *, replace: bool = False) -> None:
+        """Register an analyst executable under the name queries refer to."""
+        self.registry.register(name, executable, replace=replace)
+
+    def camera(self, name: str) -> CameraRegistration:
+        """Look up a registered camera."""
+        if name not in self.cameras:
+            raise UnknownCameraError(
+                f"unknown camera {name!r}; registered: {sorted(self.cameras)}")
+        return self.cameras[name]
+
+    def remaining_budget(self, camera: str, interval: TimeInterval) -> float:
+        """Minimum remaining per-frame budget of a camera over an interval."""
+        return self.camera(camera).ledger.remaining_over(interval)
+
+    # -------------------------------------------------------------- execution
+
+    def _run_splits(self, query: PrividQuery) -> dict[str, _ChunkSet]:
+        chunk_sets: dict[str, _ChunkSet] = {}
+        for split in query.splits:
+            camera = self.camera(split.camera)
+            mask, policy = camera.policy_map.lookup(split.mask)
+            region_scheme = None
+            if split.region_scheme is not None:
+                if split.region_scheme not in camera.region_schemes:
+                    raise QueryValidationError(
+                        f"camera {camera.name!r} offers no region scheme "
+                        f"{split.region_scheme!r}")
+                region_scheme = camera.region_schemes[split.region_scheme]
+            window = split.window.clamp(camera.video.interval)
+            sample_period = split.sample_period
+            if sample_period is None:
+                sample_period = camera.default_sample_period
+            spec = ChunkSpec(window=window, chunk_duration=split.chunk_duration,
+                             stride=split.stride, sample_period=sample_period)
+            chunks = split_interval(camera.video, spec, mask=mask, region_scheme=region_scheme)
+            chunk_sets[split.output] = _ChunkSet(
+                camera=camera, chunks=chunks, policy=policy, window=window,
+                chunk_duration=split.chunk_duration)
+        return chunk_sets
+
+    def _run_processes(self, query: PrividQuery, chunk_sets: dict[str, _ChunkSet]
+                       ) -> tuple[PlanContext, dict[str, _TableSource]]:
+        tables: dict[str, Table] = {}
+        properties: dict[str, TableProperties] = {}
+        sources: dict[str, _TableSource] = {}
+        for process in query.processes:
+            if process.chunks not in chunk_sets:
+                raise QueryValidationError(
+                    f"PROCESS references unknown chunk set {process.chunks!r}")
+            chunk_set = chunk_sets[process.chunks]
+            camera = chunk_set.camera
+            executable = self.registry.resolve(process.executable)
+            runner = SandboxRunner(executable=executable, schema=process.schema,
+                                   max_rows=process.max_rows,
+                                   timeout_seconds=process.timeout)
+            context = ExecutionContext(
+                camera=camera.name,
+                fps=camera.video.fps,
+                detector_config=camera.detector_config,
+                tracker_config=camera.tracker_config,
+                metadata={**camera.video.metadata, **camera.metadata},
+                detector_seed=camera.detector_seed,
+            )
+            table = Table.from_schema(process.schema, name=process.output)
+            table.extend(runner.run_chunks(chunk_set.chunks, context))
+            tables[process.output] = table
+            properties[process.output] = TableProperties(
+                name=process.output,
+                max_rows=process.max_rows,
+                chunk_duration=chunk_set.chunk_duration,
+                num_chunks=len(chunk_set.chunks),
+                rho=chunk_set.policy.rho,
+                k_segments=chunk_set.policy.k_segments,
+            )
+            sources[process.output] = _TableSource(
+                camera=camera, window=chunk_set.window, policy=chunk_set.policy)
+        return PlanContext(tables=tables, properties=properties), sources
+
+    @staticmethod
+    def _chunk_bucket(group: GroupSpec | None) -> TimeBucket | None:
+        """Return the TimeBucket if the grouping is a single chunk-time binning."""
+        if group is None or group.expected_keys is not None:
+            return None
+        if len(group.expressions) != 1:
+            return None
+        _, expression = group.expressions[0]
+        if isinstance(expression, TimeBucket) and isinstance(expression.inner, Column) \
+                and expression.inner.name == CHUNK_COLUMN:
+            return expression
+        return None
+
+    def _resolve_group(self, select: SelectStatement, windows: list[TimeInterval]
+                       ) -> GroupSpec | None:
+        """Enumerate chunk-time bins so every bin is released, even empty ones."""
+        bucket = self._chunk_bucket(select.group_by)
+        if bucket is None:
+            return select.group_by
+        span = windows[0]
+        for window in windows[1:]:
+            span = span.union_span(window)
+        keys: list[float] = []
+        position = (span.start // bucket.width) * bucket.width
+        while position < span.end:
+            keys.append(position)
+            position += bucket.width
+        assert select.group_by is not None
+        return GroupSpec(expressions=select.group_by.expressions, expected_keys=tuple(keys))
+
+    @staticmethod
+    def _release_interval(release: Release, group: GroupSpec | None,
+                          bucket: TimeBucket | None, window: TimeInterval) -> TimeInterval:
+        """Frames a release draws budget from (its bin for chunk-grouped releases)."""
+        if bucket is not None and release.group_key is not None:
+            try:
+                start = float(release.group_key)
+            except (TypeError, ValueError):
+                return window
+            return TimeInterval(start, start + bucket.width).clamp(window)
+        return window
+
+    def execute(self, query: PrividQuery, *, default_epsilon: float = 1.0,
+                add_noise: bool = True, charge_budget: bool = True) -> QueryResult:
+        """Run a query end to end and return its (noisy) releases.
+
+        ``add_noise=False`` returns the raw chunked-pipeline outputs (the
+        "Privid (No Noise)" curves of Fig. 5); ``charge_budget=False`` skips
+        budget accounting (used by what-if sweeps in the benchmarks).  Both
+        default to the privacy-preserving behaviour.
+        """
+        chunk_sets = self._run_splits(query)
+        plan_context, sources = self._run_processes(query, chunk_sets)
+
+        prepared: list[tuple[SelectStatement, list[Release], GroupSpec | None,
+                             TimeBucket | None, list[_TableSource], float]] = []
+        requests_by_camera: dict[str, list[BudgetRequest]] = {}
+        margins: dict[str, float] = {}
+
+        for select in query.selects:
+            referenced = collect_table_names(select.source)
+            unknown = referenced - set(plan_context.tables)
+            if unknown:
+                raise QueryValidationError(f"SELECT references unknown tables {sorted(unknown)}")
+            table_sources = [sources[name] for name in sorted(referenced)]
+            windows = [source.window for source in table_sources]
+            group = self._resolve_group(select, windows)
+            bucket = self._chunk_bucket(select.group_by)
+            info = select.source.sensitivity(plan_context)
+            table = select.source.evaluate(plan_context)
+            releases = compute_releases(table, info, select.aggregation, group)
+            epsilon = select.epsilon if select.epsilon is not None else default_epsilon
+            prepared.append((select, releases, group, bucket, table_sources, epsilon))
+            for release in releases:
+                for source in table_sources:
+                    interval = self._release_interval(release, group, bucket, source.window)
+                    if interval.duration <= 0:
+                        continue
+                    requests_by_camera.setdefault(source.camera.name, []).append(
+                        BudgetRequest(interval=interval, epsilon=epsilon))
+                    margin = max(margins.get(source.camera.name, 0.0), source.policy.rho)
+                    margins[source.camera.name] = margin
+
+        if charge_budget:
+            for camera_name, requests in requests_by_camera.items():
+                self.camera(camera_name).ledger.admit(
+                    requests, margin=margins.get(camera_name, 0.0), charge=False)
+            for camera_name, requests in requests_by_camera.items():
+                self.camera(camera_name).ledger.admit(
+                    requests, margin=margins.get(camera_name, 0.0), charge=True)
+
+        result = QueryResult(query_name=query.name)
+        for select, releases, group, bucket, table_sources, epsilon in prepared:
+            for release in releases:
+                interval = self._release_interval(
+                    release, group, bucket,
+                    table_sources[0].window if table_sources else TimeInterval(0.0, 0.0))
+                noise_scale = self.mechanism.scale(release.sensitivity, epsilon)
+                if release.kind is ReleaseKind.ARGMAX:
+                    assert release.candidates is not None
+                    raw_winner = max(release.candidates, key=release.candidates.get) \
+                        if release.candidates else None
+                    if add_noise:
+                        noisy_value: Any = self.mechanism.noisy_argmax(
+                            release.candidates, release.sensitivity, epsilon)
+                    else:
+                        noisy_value = raw_winner
+                    raw_value: Any = raw_winner
+                else:
+                    raw_value = release.raw_value
+                    if add_noise:
+                        noisy_value = self.mechanism.add_noise(
+                            float(raw_value), release.sensitivity, epsilon)
+                    else:
+                        noisy_value = raw_value
+                result.releases.append(ReleaseResult(
+                    label=release.label,
+                    kind=release.kind.value,
+                    noisy_value=noisy_value,
+                    raw_value_unsafe=raw_value,
+                    sensitivity=release.sensitivity,
+                    epsilon=epsilon,
+                    noise_scale=noise_scale,
+                    group_key=release.group_key,
+                    interval=interval,
+                ))
+                result.epsilon_consumed += epsilon
+        result.metadata["num_tables"] = len(plan_context.tables)
+        result.metadata["num_chunks"] = {name: properties.num_chunks
+                                         for name, properties in plan_context.properties.items()}
+        return result
+
+    def resample_noise(self, result: QueryResult) -> QueryResult:
+        """Return a copy of a result with fresh noise samples.
+
+        The evaluation re-executes every query's noise 100-1000 times
+        (Section 8.1); re-running the whole pipeline for each sample would be
+        wasteful, and only the noise is random, so this redraws it from the
+        stored raw values, sensitivities and epsilons.
+        """
+        fresh = QueryResult(query_name=result.query_name,
+                            epsilon_consumed=result.epsilon_consumed,
+                            metadata=dict(result.metadata))
+        for release in result.releases:
+            if release.kind == ReleaseKind.ARGMAX.value:
+                noisy_value: Any = release.noisy_value
+            else:
+                noisy_value = self.mechanism.add_noise(
+                    float(release.raw_value_unsafe), release.sensitivity, release.epsilon)
+            fresh.releases.append(ReleaseResult(
+                label=release.label,
+                kind=release.kind,
+                noisy_value=noisy_value,
+                raw_value_unsafe=release.raw_value_unsafe,
+                sensitivity=release.sensitivity,
+                epsilon=release.epsilon,
+                noise_scale=release.noise_scale,
+                group_key=release.group_key,
+                interval=release.interval,
+            ))
+        return fresh

@@ -1,0 +1,181 @@
+"""Synthetic object detector.
+
+The detector consumes ground-truth frames from the scene simulator and
+produces per-frame detections with the failure modes of a real CNN detector:
+
+* **missed detections** — each visible object is dropped in a frame with a
+  configurable probability (per category or global), reproducing the miss
+  rates reported in Table 1 (29% for campus, 5% for highway, 76% for urban);
+* **localisation noise** — detected boxes are jittered;
+* **false positives** — spurious detections appear at a configurable rate;
+* **attribute read errors** — attributes such as colour or licence plate are
+  occasionally misread or unavailable.
+
+All randomness is *derived deterministically* from ``(seed, object_id,
+frame_index)`` so the same frame always produces the same detections,
+regardless of how many times (or in which order) chunks are processed.  This
+keeps the non-private baseline and the Privid execution of a query comparable
+apart from chunking effects, exactly as in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.video.geometry import BoundingBox
+from repro.video.video import FrameTruth, VisibleObject
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output in one frame.
+
+    Detections carry no stable identity across frames — linking them into
+    tracks is the tracker's job — but they do carry the attribute readings
+    (colour, plate, ...) a downstream executable may use.
+    """
+
+    timestamp: float
+    frame_index: int
+    category: str
+    box: BoundingBox
+    confidence: float
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Failure-mode parameters of the synthetic detector."""
+
+    miss_rate: float = 0.1
+    category_miss_rates: Mapping[str, float] = field(default_factory=dict)
+    false_positives_per_frame: float = 0.0
+    position_jitter: float = 2.0
+    attribute_error_rate: float = 0.02
+    min_confidence: float = 0.5
+    detectable_categories: frozenset[str] = frozenset(
+        {"person", "car", "taxi", "bike", "tree", "traffic_light"})
+
+    def miss_rate_for(self, category: str) -> float:
+        """Effective miss probability for a category."""
+        return float(self.category_miss_rates.get(category, self.miss_rate))
+
+
+def _unit_hash(*parts: Any) -> float:
+    """Deterministic hash of the parts mapped to [0, 1)."""
+    digest = hashlib.sha256("|".join(str(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+def _signed_hash(*parts: Any) -> float:
+    """Deterministic hash of the parts mapped to [-1, 1)."""
+    return 2.0 * _unit_hash(*parts) - 1.0
+
+
+class SyntheticDetector:
+    """Stateless, deterministic stand-in for a CNN object detector."""
+
+    def __init__(self, config: DetectorConfig | None = None, *, seed: int = 0) -> None:
+        self.config = config or DetectorConfig()
+        self.seed = int(seed)
+
+    def _detects(self, visible_object: VisibleObject, frame_index: int) -> bool:
+        """Decide (deterministically) whether the object is detected in this frame."""
+        miss_rate = self.config.miss_rate_for(visible_object.category)
+        draw = _unit_hash(self.seed, "miss", visible_object.object_id, frame_index)
+        return draw >= miss_rate
+
+    def _jittered_box(self, visible_object: VisibleObject, frame_index: int) -> BoundingBox:
+        """Apply deterministic localisation noise to the ground-truth box."""
+        jitter = self.config.position_jitter
+        if jitter <= 0:
+            return visible_object.box
+        dx = jitter * _signed_hash(self.seed, "jx", visible_object.object_id, frame_index)
+        dy = jitter * _signed_hash(self.seed, "jy", visible_object.object_id, frame_index)
+        return visible_object.box.translate(dx, dy)
+
+    def _observed_attributes(self, visible_object: VisibleObject, frame_index: int,
+                             timestamp: float) -> dict[str, Any]:
+        """Read the object's attributes, occasionally failing per attribute."""
+        observed: dict[str, Any] = {}
+        for key, value in visible_object.scene_object.attributes_at(timestamp).items():
+            draw = _unit_hash(self.seed, "attr", visible_object.object_id, frame_index, key)
+            if draw >= self.config.attribute_error_rate:
+                observed[key] = value
+        return observed
+
+    def _confidence(self, visible_object: VisibleObject, frame_index: int) -> float:
+        """Deterministic pseudo-confidence in [min_confidence, 1]."""
+        spread = 1.0 - self.config.min_confidence
+        return self.config.min_confidence + spread * _unit_hash(
+            self.seed, "conf", visible_object.object_id, frame_index)
+
+    def _false_positives(self, frame: FrameTruth, frame_width: float,
+                         frame_height: float) -> list[Detection]:
+        """Generate spurious detections for a frame (deterministic count and placement)."""
+        rate = self.config.false_positives_per_frame
+        if rate <= 0:
+            return []
+        count = int(rate) + (1 if _unit_hash(self.seed, "fp-count", frame.frame_index) < rate % 1 else 0)
+        detections: list[Detection] = []
+        for i in range(count):
+            x = frame_width * _unit_hash(self.seed, "fp-x", frame.frame_index, i)
+            y = frame_height * _unit_hash(self.seed, "fp-y", frame.frame_index, i)
+            detections.append(Detection(
+                timestamp=frame.timestamp,
+                frame_index=frame.frame_index,
+                category="person",
+                box=BoundingBox(x, y, 20.0, 40.0),
+                confidence=self.config.min_confidence,
+                attributes={"false_positive": True},
+            ))
+        return detections
+
+    def detect_frame(self, frame: FrameTruth, *, frame_width: float = 1280.0,
+                     frame_height: float = 720.0) -> list[Detection]:
+        """Detect objects in a single ground-truth frame."""
+        detections: list[Detection] = []
+        for visible_object in frame.visible:
+            if visible_object.category not in self.config.detectable_categories:
+                continue
+            if not self._detects(visible_object, frame.frame_index):
+                continue
+            detections.append(Detection(
+                timestamp=frame.timestamp,
+                frame_index=frame.frame_index,
+                category=visible_object.category,
+                box=self._jittered_box(visible_object, frame.frame_index),
+                confidence=self._confidence(visible_object, frame.frame_index),
+                attributes=self._observed_attributes(visible_object, frame.frame_index,
+                                                     frame.timestamp),
+            ))
+        detections.extend(self._false_positives(frame, frame_width, frame_height))
+        return detections
+
+    def detect_frames(self, frames: Sequence[FrameTruth] | Any, *, frame_width: float = 1280.0,
+                      frame_height: float = 720.0) -> list[tuple[FrameTruth, list[Detection]]]:
+        """Detect objects in a sequence of frames, preserving order."""
+        return [(frame, self.detect_frame(frame, frame_width=frame_width,
+                                          frame_height=frame_height))
+                for frame in frames]
+
+    def expected_miss_fraction(self, frames: Sequence[FrameTruth]) -> float:
+        """Empirical fraction of ground-truth object-frames the detector missed.
+
+        Used by the Table 1 benchmark to report the "% objects CV missed"
+        column alongside the duration estimates.
+        """
+        total = 0
+        missed = 0
+        for frame in frames:
+            for visible_object in frame.visible:
+                if visible_object.category not in self.config.detectable_categories:
+                    continue
+                total += 1
+                if not self._detects(visible_object, frame.frame_index):
+                    missed += 1
+        if total == 0:
+            return 0.0
+        return missed / total

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the Privid reproduction.
+
+Every error raised by the library derives from :class:`PrividError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class PrividError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PolicyError(PrividError):
+    """An invalid privacy policy (e.g. non-positive rho, K, or epsilon)."""
+
+
+class BudgetExceededError(PrividError):
+    """A query requested more privacy budget than remains on some frame.
+
+    Mirrors the DENY branch of Algorithm 1 (lines 1-3): the query interval,
+    extended by rho on either side, contains at least one frame whose
+    remaining budget is smaller than the requested epsilon.
+    """
+
+    def __init__(self, message: str, *, interval=None, requested: float | None = None,
+                 available: float | None = None) -> None:
+        super().__init__(message)
+        self.interval = interval
+        self.requested = requested
+        self.available = available
+
+
+class QuerySyntaxError(PrividError):
+    """The query text could not be parsed against the Privid grammar."""
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class QueryValidationError(PrividError):
+    """The query parsed but violates a Privid constraint.
+
+    Examples: an aggregation over a column without a declared range, a
+    GROUP BY over an analyst column without explicit keys, or a chunk
+    duration that is not an integer number of frames.
+    """
+
+
+class UnboundSensitivityError(PrividError):
+    """The sensitivity of an aggregation could not be bounded.
+
+    Raised when a required constraint (row-count bound or column range) was
+    left unbound by every operator beneath the aggregation.
+    """
+
+
+class SchemaError(PrividError):
+    """A schema is malformed or a row does not match its schema."""
+
+
+class SandboxViolationError(PrividError):
+    """An analyst executable attempted to break chunk isolation."""
+
+
+class UnknownExecutableError(PrividError):
+    """A PROCESS statement referenced an executable that is not registered."""
+
+
+class UnknownCameraError(PrividError):
+    """A SPLIT statement referenced a camera that is not registered."""
+
+
+class RegionError(PrividError):
+    """Invalid spatial-region specification or use (e.g. soft boundaries with
+    a chunk size larger than one frame)."""
+
+
+class MaskError(PrividError):
+    """Invalid mask specification or reference to an unknown mask."""

@@ -1,0 +1,88 @@
+"""Accuracy metrics used throughout the evaluation (Section 8.1, "Baselines").
+
+The paper reports, for each query, the mean accuracy over many noisy
+executions plus/minus one standard deviation, where accuracy compares the
+Privid output against the same query implementation run without Privid
+(no chunking, no noise).  Sweeps (Fig. 6) report RMSE of grouped series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.result import QueryResult
+from repro.utils.stats import accuracy, root_mean_square_error
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Mean accuracy (in [0, 1]) with its standard deviation across noise samples."""
+
+    mean: float
+    std: float
+    samples: int
+
+    def as_percent(self) -> str:
+        """Format the summary the way Table 3 prints it."""
+        return f"{self.mean * 100:.2f}% ± {self.std * 100:.2f}%"
+
+
+def result_accuracy(result: QueryResult, reference: float | Sequence[float]) -> float:
+    """Accuracy of one noisy result against a reference value or series.
+
+    For grouped queries the reference is a series aligned with the releases
+    (by position); accuracy is averaged over releases with a nonzero
+    reference, mirroring the paper's per-query scalar accuracy.
+    """
+    values = [release.noisy_value for release in result.releases
+              if release.kind == "numeric"]
+    if isinstance(reference, (int, float)):
+        if len(values) != 1:
+            total_reference = float(reference)
+            total_value = float(sum(values))
+            return accuracy(total_value, total_reference)
+        return accuracy(float(values[0]), float(reference))
+    reference_list = [float(value) for value in reference]
+    if len(reference_list) != len(values):
+        raise ValueError(
+            f"reference series has {len(reference_list)} entries but the result has "
+            f"{len(values)} numeric releases")
+    accuracies = [accuracy(value, ref) for value, ref in zip(values, reference_list) if ref != 0]
+    if not accuracies:
+        return 1.0
+    return float(np.mean(accuracies))
+
+
+def repeated_accuracy(results: Sequence[QueryResult],
+                      reference: float | Sequence[float]) -> AccuracySummary:
+    """Mean +- std accuracy over repeated noisy executions of the same query."""
+    scores = [result_accuracy(result, reference) for result in results]
+    if not scores:
+        return AccuracySummary(mean=0.0, std=0.0, samples=0)
+    return AccuracySummary(mean=float(np.mean(scores)), std=float(np.std(scores)),
+                           samples=len(scores))
+
+
+def series_rmse(result: QueryResult, reference: Sequence[float]) -> float:
+    """RMSE of a grouped result's noisy series against a reference series (Fig. 6)."""
+    values = [float(release.noisy_value) for release in result.releases
+              if release.kind == "numeric"]
+    if len(values) != len(reference):
+        raise ValueError("series lengths differ")
+    return root_mean_square_error(values, list(reference))
+
+
+def argmax_hit_rate(results: Sequence[QueryResult], expected_winner: object) -> float:
+    """Fraction of repeated runs whose ARGMAX release picked the expected winner."""
+    if not results:
+        return 0.0
+    hits = 0
+    for result in results:
+        winners = [release.noisy_value for release in result.releases
+                   if release.kind == "argmax"]
+        if winners and winners[0] == expected_winner:
+            hits += 1
+    return hits / len(results)

@@ -1,0 +1,127 @@
+"""Tokenizer for the textual Privid query language (Appendix D).
+
+The language is small: keywords, identifiers (which may contain dots, so
+``model.py`` is a single token), numbers, double-quoted strings, and a
+handful of symbols.  ``/* ... */`` block comments and ``#`` line comments are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import QuerySyntaxError
+
+
+class TokenType(str, Enum):
+    """Lexical categories of the query language."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True if the token has the given type (and value, case-insensitively)."""
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        return self.value.upper() == value.upper()
+
+
+_SYMBOLS = ("<=", ">=", "!=", "(", ")", "[", "]", ",", ";", ":", "=", "*", "+", "-", "/",
+            "<", ">")
+_IDENT_EXTRA = {"_", ".", "-"}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into a token stream ending with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if char == "#" :
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end == -1:
+                raise QuerySyntaxError("unterminated comment", line=line, column=column)
+            advance(end + 2 - index)
+            continue
+        if char == '"':
+            start_line, start_column = line, column
+            advance(1)
+            start = index
+            while index < length and text[index] != '"':
+                advance(1)
+            if index >= length:
+                raise QuerySyntaxError("unterminated string literal",
+                                       line=start_line, column=start_column)
+            value = text[start:index]
+            advance(1)
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            start_line, start_column = line, column
+            start = index
+            seen_dot = False
+            while index < length and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+                if text[index] == ".":
+                    # A dot not followed by a digit ends the number (e.g. "10.ROWS").
+                    if index + 1 >= length or not text[index + 1].isdigit():
+                        break
+                    seen_dot = True
+                advance(1)
+            tokens.append(Token(TokenType.NUMBER, text[start:index], start_line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in _IDENT_EXTRA):
+                advance(1)
+            tokens.append(Token(TokenType.IDENT, text[start:index], start_line, start_column))
+            continue
+        matched_symbol = None
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                matched_symbol = symbol
+                break
+        if matched_symbol is not None:
+            tokens.append(Token(TokenType.SYMBOL, matched_symbol, line, column))
+            advance(len(matched_symbol))
+            continue
+        raise QuerySyntaxError(f"unexpected character {char!r}", line=line, column=column)
+    tokens.append(Token(TokenType.END, "", line, column))
+    return tokens

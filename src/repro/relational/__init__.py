@@ -1,0 +1,82 @@
+"""Relational substrate: untrusted intermediate tables and restricted SQL.
+
+PROCESS statements produce *intermediate tables* whose contents Privid never
+trusts; SELECT statements run a restricted relational-algebra query over them
+(selection, projection, group-by, join, limit) ending in an aggregation.
+Alongside evaluation, every operator propagates the sensitivity bookkeeping
+of Fig. 10: the maximum number of rows a (rho, K)-bounded event could
+influence, per-column range constraints, and row-count constraints.
+"""
+
+from repro.relational.table import ColumnSpec, DataType, Schema, Table
+from repro.relational.sensitivity import SensitivityInfo, TableProperties
+from repro.relational.expressions import (
+    BinaryOp,
+    ChunkBin,
+    Column,
+    Comparison,
+    Expression,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    Predicate,
+    RangeExpression,
+    TimeBucket,
+)
+from repro.relational.plan import (
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    PlanContext,
+    Projection,
+    Relation,
+    Selection,
+    TableScan,
+    Union,
+)
+from repro.relational.aggregates import GroupSpec, ReleaseKind
+from repro.relational.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    Aggregation,
+    Release,
+    compute_releases,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "DataType",
+    "Schema",
+    "Table",
+    "SensitivityInfo",
+    "TableProperties",
+    "Expression",
+    "Column",
+    "Literal",
+    "BinaryOp",
+    "RangeExpression",
+    "ChunkBin",
+    "TimeBucket",
+    "Comparison",
+    "Predicate",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "Relation",
+    "TableScan",
+    "Selection",
+    "Projection",
+    "Limit",
+    "GroupBy",
+    "Join",
+    "JoinKind",
+    "Union",
+    "PlanContext",
+    "Aggregation",
+    "GroupSpec",
+    "Release",
+    "ReleaseKind",
+    "AGGREGATE_FUNCTIONS",
+    "compute_releases",
+]

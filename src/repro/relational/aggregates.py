@@ -1,0 +1,241 @@
+"""Final aggregations and data releases.
+
+The outermost operation of every SELECT statement is an aggregation,
+optionally grouped.  Each aggregated value (one per group key) is a separate
+*data release*: it receives its own Laplace noise sample and consumes its own
+share of the privacy budget (Section 6.2).
+
+Aggregation sensitivities follow the table in Fig. 10:
+
+=========  =====================================  =========================
+Function   Required constraints                   Sensitivity
+=========  =====================================  =========================
+COUNT      delta                                  delta
+SUM        delta, range(a)                        delta * width(a)
+AVG        delta, range(a), size                  delta * width(a) / size
+VAR        delta, range(a), size                  (delta * width(a))^2 / size
+ARGMAX     delta, explicit keys                   max_k delta(sigma_{a=k})
+=========  =====================================  =========================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Sequence
+
+from repro.errors import QueryValidationError, UnboundSensitivityError
+from repro.relational.expressions import Expression
+from repro.relational.sensitivity import SensitivityInfo
+from repro.relational.table import Table
+
+SUPPORTED_AGGREGATES = ("COUNT", "SUM", "AVG", "VAR", "ARGMAX")
+
+#: Mapping from aggregate keyword to the constraints it needs, used by the
+#: validator to produce friendly error messages before execution.
+AGGREGATE_FUNCTIONS: dict[str, tuple[str, ...]] = {
+    "COUNT": ("delta",),
+    "SUM": ("delta", "range"),
+    "AVG": ("delta", "range", "size"),
+    "VAR": ("delta", "range", "size"),
+    "ARGMAX": ("delta", "keys"),
+}
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregation of the outer SELECT: function plus target column."""
+
+    function: str
+    column: str | None = None
+    output_name: str = ""
+
+    def __post_init__(self) -> None:
+        function = self.function.upper()
+        if function not in SUPPORTED_AGGREGATES:
+            raise QueryValidationError(f"unsupported aggregation {self.function!r}")
+        object.__setattr__(self, "function", function)
+        if function != "COUNT" and function != "ARGMAX" and self.column is None:
+            raise QueryValidationError(f"{function} requires a column")
+        if not self.output_name:
+            target = self.column or "*"
+            object.__setattr__(self, "output_name", f"{function.lower()}({target})")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Grouping of the outer SELECT.
+
+    ``expressions`` are the computed key columns (e.g. ``hour(chunk)`` or a
+    bare analyst column); ``expected_keys`` enumerates every group to release
+    — mandatory for analyst columns (``WITH KEYS``), optional for trusted
+    chunk-derived keys where the executor enumerates the bins itself.
+    """
+
+    expressions: tuple[tuple[str, Expression], ...]
+    expected_keys: tuple[Any, ...] | None = None
+
+    def key_of(self, row: Mapping[str, Any]) -> Any:
+        """Group key of a row (a scalar for one key column, a tuple otherwise)."""
+        values = tuple(expression.evaluate(row) for _, expression in self.expressions)
+        return values[0] if len(values) == 1 else values
+
+    def referenced_columns(self) -> frozenset[str]:
+        """All columns used by the grouping expressions."""
+        referenced: frozenset[str] = frozenset()
+        for _, expression in self.expressions:
+            referenced = referenced | expression.referenced_columns()
+        return referenced
+
+
+class ReleaseKind(str, Enum):
+    """Whether a release is a noisy number or a noisy argmax over candidates."""
+
+    NUMERIC = "numeric"
+    ARGMAX = "argmax"
+
+
+@dataclass
+class Release:
+    """One datum released to the analyst, prior to noise addition."""
+
+    label: str
+    kind: ReleaseKind
+    sensitivity: float
+    raw_value: float | None = None
+    candidates: dict[Any, float] | None = None
+    group_key: Any | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def _aggregate_values(function: str, values: Sequence[float]) -> float:
+    """Raw (non-private) value of a numeric aggregation over a group."""
+    if function == "COUNT":
+        return float(sum(1 for value in values if value is not None))
+    numbers = []
+    for value in values:
+        if value is None:
+            continue
+        try:
+            numbers.append(float(value))
+        except (TypeError, ValueError):
+            continue
+    if not numbers:
+        return 0.0
+    if function == "SUM":
+        return float(sum(numbers))
+    if function == "AVG":
+        return float(sum(numbers) / len(numbers))
+    if function == "VAR":
+        mean = sum(numbers) / len(numbers)
+        return float(sum((value - mean) ** 2 for value in numbers) / len(numbers))
+    raise QueryValidationError(f"unsupported aggregation {function!r}")
+
+
+def _numeric_sensitivity(aggregation: Aggregation, info: SensitivityInfo) -> float:
+    """Sensitivity of one numeric release, per the Fig. 10 aggregation table."""
+    function = aggregation.function
+    if function == "COUNT":
+        return info.delta
+    column = aggregation.column
+    width = info.range_width(column) if column is not None else None
+    if width is None:
+        raise UnboundSensitivityError(
+            f"{function} over column {column!r} requires a range constraint; "
+            "wrap the column in range(col, low, high)")
+    if function == "SUM":
+        return info.delta * width
+    if info.size is None or info.size <= 0:
+        raise UnboundSensitivityError(
+            f"{function} requires a bound on the number of rows (LIMIT, WITH KEYS, "
+            "or the base table's chunk-count bound)")
+    if function == "AVG":
+        return info.delta * width / info.size
+    if function == "VAR":
+        return (info.delta * width) ** 2 / info.size
+    raise QueryValidationError(f"unsupported aggregation {function!r}")
+
+
+def _group_rows(table: Table, group: GroupSpec) -> dict[Any, list[dict[str, Any]]]:
+    """Partition the table's rows by group key."""
+    grouped: dict[Any, list[dict[str, Any]]] = {}
+    for row in table.rows:
+        grouped.setdefault(group.key_of(row), []).append(row)
+    return grouped
+
+
+def _values_for(aggregation: Aggregation, rows: Sequence[Mapping[str, Any]]) -> list[Any]:
+    """Column values an aggregation consumes for a set of rows."""
+    if aggregation.column is None:
+        return [1.0] * len(rows)
+    return [row.get(aggregation.column) for row in rows]
+
+
+def _check_group_trust(group: GroupSpec, info: SensitivityInfo) -> None:
+    """Enforce the GROUP BY key rules of Appendix D for the outer SELECT."""
+    if group.expected_keys is not None:
+        return
+    untrusted = group.referenced_columns() - info.trusted_columns
+    if untrusted:
+        raise QueryValidationError(
+            f"GROUP BY over analyst columns {sorted(untrusted)} requires WITH KEYS")
+
+
+def compute_releases(table: Table, info: SensitivityInfo, aggregation: Aggregation,
+                     group: GroupSpec | None = None) -> list[Release]:
+    """Compute the raw value and sensitivity of every data release of a SELECT.
+
+    Without grouping this is a single release.  With grouping, one release is
+    produced per expected key (explicit ``WITH KEYS`` or executor-enumerated
+    chunk bins), or per observed key when the keys are trusted chunk-derived
+    values.  ARGMAX produces a single release whose candidates are the
+    per-key raw values.
+    """
+    if aggregation.function == "ARGMAX":
+        if group is None:
+            raise QueryValidationError("ARGMAX requires a GROUP BY")
+        _check_group_trust(group, info)
+        grouped = _group_rows(table, group)
+        keys = list(group.expected_keys) if group.expected_keys is not None else list(grouped)
+        candidates: dict[Any, float] = {}
+        inner_function = "COUNT" if aggregation.column is None else "SUM"
+        inner = Aggregation(function=inner_function, column=aggregation.column)
+        for key in keys:
+            candidates[key] = _aggregate_values(inner_function,
+                                                _values_for(inner, grouped.get(key, [])))
+        sensitivity = _numeric_sensitivity(inner, info)
+        return [Release(
+            label=aggregation.output_name,
+            kind=ReleaseKind.ARGMAX,
+            sensitivity=sensitivity,
+            candidates=candidates,
+        )]
+
+    if group is None:
+        raw = _aggregate_values(aggregation.function, _values_for(aggregation, table.rows))
+        return [Release(
+            label=aggregation.output_name,
+            kind=ReleaseKind.NUMERIC,
+            sensitivity=_numeric_sensitivity(aggregation, info),
+            raw_value=raw,
+        )]
+
+    _check_group_trust(group, info)
+    grouped = _group_rows(table, group)
+    keys = list(group.expected_keys) if group.expected_keys is not None else sorted(
+        grouped, key=lambda key: (str(type(key)), str(key)))
+    sensitivity = _numeric_sensitivity(aggregation, info)
+    releases: list[Release] = []
+    for key in keys:
+        raw = _aggregate_values(aggregation.function, _values_for(aggregation, grouped.get(key, [])))
+        if isinstance(raw, float) and math.isnan(raw):
+            raw = 0.0
+        releases.append(Release(
+            label=f"{aggregation.output_name}[{key}]",
+            kind=ReleaseKind.NUMERIC,
+            sensitivity=sensitivity,
+            raw_value=raw,
+            group_key=key,
+        ))
+    return releases

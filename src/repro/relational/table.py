@@ -1,0 +1,174 @@
+"""Schemas and intermediate tables.
+
+The analyst declares the schema of each PROCESS output table (column name,
+data type, default value).  Privid does not trust the executable to honour
+the schema: rows are coerced on ingestion (extraneous columns dropped,
+missing columns filled with defaults, values cast to the declared type) and
+any rows beyond ``max_rows`` per chunk are truncated by the sandbox.
+
+Privid itself appends two *trusted* columns to every intermediate table:
+``chunk`` (the timestamp of the chunk's first frame) and ``region`` (the name
+of the spatial region, or an empty string when spatial splitting is not
+used).  These are trusted because Privid generates them, which is why group-
+by over them does not require explicit keys (Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+#: Columns Privid adds to every intermediate table and therefore trusts.
+CHUNK_COLUMN = "chunk"
+REGION_COLUMN = "region"
+IMPLICIT_COLUMNS = (CHUNK_COLUMN, REGION_COLUMN)
+
+
+class DataType(str, Enum):
+    """Column data types supported by the query language (Appendix D)."""
+
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+
+    def coerce(self, value: Any, default: Any) -> Any:
+        """Cast ``value`` to this type, falling back to ``default`` on failure."""
+        if value is None:
+            return default
+        if self is DataType.NUMBER:
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return default
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of an analyst-declared schema."""
+
+    name: str
+    dtype: DataType = DataType.STRING
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.name in IMPLICIT_COLUMNS:
+            raise SchemaError(f"column name {self.name!r} is reserved by Privid")
+        default = self.default
+        if default is None:
+            default = 0.0 if self.dtype is DataType.NUMBER else ""
+        object.__setattr__(self, "default", self.dtype.coerce(default, default))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of column specifications."""
+
+    columns: tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError("duplicate column names in schema")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        """Look up a column spec by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"unknown column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """True if the schema declares a column with this name."""
+        return any(column.name == name for column in self.columns)
+
+    def default_row(self) -> dict[str, Any]:
+        """A row filled entirely with default values (used on crash/timeout)."""
+        return {column.name: column.default for column in self.columns}
+
+    def coerce_row(self, raw: Any) -> dict[str, Any]:
+        """Coerce an arbitrary executable output item into a schema-conforming row.
+
+        Non-mapping outputs produce a default row; extraneous keys are dropped
+        and missing keys filled with defaults, so a malicious or buggy
+        executable cannot smuggle extra columns into the table.
+        """
+        if not isinstance(raw, dict):
+            return self.default_row()
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            row[column.name] = column.dtype.coerce(raw.get(column.name, column.default),
+                                                   column.default)
+        return row
+
+    def with_implicit_columns(self) -> tuple[str, ...]:
+        """All column names including the Privid-added chunk and region columns."""
+        return self.names + IMPLICIT_COLUMNS
+
+
+@dataclass
+class Table:
+    """An in-memory table: a list of rows (dicts) plus the columns they share.
+
+    Intermediate tables are untrusted: nothing about their contents is used
+    for privacy accounting.  They are ordinary containers used only to
+    compute the raw (pre-noise) aggregate.
+    """
+
+    columns: tuple[str, ...]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    name: str = ""
+
+    @classmethod
+    def from_schema(cls, schema: Schema, *, name: str = "") -> "Table":
+        """Create an empty table for a PROCESS schema (plus implicit columns)."""
+        return cls(columns=schema.with_implicit_columns(), name=name)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows currently in the table."""
+        return len(self.rows)
+
+    def has_column(self, name: str) -> bool:
+        """True if the table has the named column."""
+        return name in self.columns
+
+    def append(self, row: dict[str, Any]) -> None:
+        """Append a row (restricted to the table's columns, missing keys -> None)."""
+        self.rows.append({column: row.get(column) for column in self.columns})
+
+    def extend(self, rows: Iterable[dict[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def select_columns(self, names: Sequence[str], *, table_name: str = "") -> "Table":
+        """A new table containing only the named columns."""
+        missing = [name for name in names if name not in self.columns]
+        if missing:
+            raise SchemaError(f"table {self.name!r} has no columns {missing}")
+        rows = [{name: row.get(name) for name in names} for row in self.rows]
+        return Table(columns=tuple(names), rows=rows, name=table_name or self.name)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

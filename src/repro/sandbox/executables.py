@@ -1,0 +1,293 @@
+"""Library of analyst PROCESS executables used by the evaluation queries.
+
+In the real system these would be arbitrary binaries shipping their own CNN
+models; here they are small Python classes implementing the same *logic*
+(detect, track within the chunk, emit rows) on top of the synthetic detector
+and tracker.  Privid does not trust any of them: the sandbox coerces and
+truncates whatever they return.
+
+Each executable documents which evaluation queries it serves.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cv.tracker import IoUTracker, Track
+from repro.sandbox.environment import ExecutionContext
+from repro.video.chunking import Chunk
+
+
+class ProcessExecutable(ABC):
+    """Interface every PROCESS executable implements.
+
+    ``process`` receives one chunk and the chunk-independent context and
+    returns a list of row dictionaries.  Implementations must not keep state
+    across calls (the sandbox deep-copies the executable per chunk to make
+    cross-chunk state ineffective even if attempted).
+    """
+
+    name: str = "executable"
+
+    @abstractmethod
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        """Produce output rows for one chunk."""
+
+
+def _track_chunk(chunk: Chunk, context: ExecutionContext, *, categories: set[str] | None = None
+                 ) -> list[Track]:
+    """Detect and track objects within a single chunk (the common preamble)."""
+    detector = context.detector()
+    tracker = IoUTracker(context.tracker_config)
+    for frame in chunk.frames():
+        detections = detector.detect_frame(frame, frame_width=chunk.video.width,
+                                           frame_height=chunk.video.height)
+        if categories is not None:
+            detections = [det for det in detections if det.category in categories]
+        tracker.step(detections)
+    return tracker.finalize()
+
+
+@dataclass
+class EnteringObjectCounter(ProcessExecutable):
+    """One row per object that *enters* the scene during the chunk.
+
+    Used by Q1-Q3 (counting unique people/cars per hour).  Objects already
+    visible at the start of the chunk are skipped so that each appearance
+    contributes a single row across the whole query window (Section 6.2,
+    "Interface limitations").  ``entry_margin_frames`` tolerates detector
+    misses in the first frames of a chunk.
+    """
+
+    category: str = "person"
+    entry_margin_frames: int = 2
+    include_first_chunk: bool = True
+    name: str = "entering_object_counter"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        tracks = _track_chunk(chunk, context, categories={self.category})
+        margin = self.entry_margin_frames / context.fps
+        rows: list[dict[str, Any]] = []
+        for track in tracks:
+            entered_during_chunk = track.first_timestamp > chunk.interval.start + margin
+            if entered_during_chunk or (self.include_first_chunk and chunk.index == 0):
+                dy = track.last_box.center.y - track.observations[0].box.center.y
+                dx = track.last_box.center.x - track.observations[0].box.center.x
+                rows.append({
+                    "kind": self.category,
+                    "entered_at": track.first_timestamp,
+                    "dx": dx,
+                    "dy": dy,
+                })
+        return rows
+
+
+@dataclass
+class UniqueVehicleReporter(ProcessExecutable):
+    """One row per vehicle tracked in the chunk, with plate, colour and speed.
+
+    Mirrors the ``model.py`` of Listing 1: the plate column enables the
+    ``GROUP BY plate`` deduplication, and speed is estimated from the track's
+    displacement using the owner-provided metres-per-pixel metadata.
+    """
+
+    category: str = "car"
+    name: str = "unique_vehicle_reporter"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        tracks = _track_chunk(chunk, context, categories={self.category, "taxi"})
+        meters_per_pixel = float(context.metadata.get("meters_per_pixel", 0.1))
+        rows: list[dict[str, Any]] = []
+        for track in tracks:
+            duration = max(track.duration, 1.0 / context.fps)
+            displacement = track.observations[0].box.center.distance_to(track.last_box.center)
+            estimated_speed = displacement * meters_per_pixel / duration * 3.6
+            attribute_speed = track.majority_attribute("speed_kmh")
+            rows.append({
+                "plate": track.majority_attribute("plate", default=""),
+                "color": track.majority_attribute("color", default=""),
+                "speed": attribute_speed if attribute_speed is not None else estimated_speed,
+            })
+        return rows
+
+
+@dataclass
+class TreeLeafClassifier(ProcessExecutable):
+    """One row per detected tree stating whether it currently has leaves.
+
+    Used by Q7-Q9 (fraction of trees with leaves); designed for single-frame
+    chunks, where each detected tree contributes one row.
+    """
+
+    name: str = "tree_leaf_classifier"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        detector = context.detector()
+        rows: list[dict[str, Any]] = []
+        for frame in chunk.frames():
+            for detection in detector.detect_frame(frame, frame_width=chunk.video.width,
+                                                   frame_height=chunk.video.height):
+                if detection.category != "tree":
+                    continue
+                has_leaves = detection.attributes.get("has_leaves")
+                if has_leaves is None:
+                    continue
+                rows.append({"has_leaves": 100.0 if has_leaves else 0.0})
+            break  # single-frame semantics even if the chunk holds more frames
+        return rows
+
+
+@dataclass
+class RedLightObserver(ProcessExecutable):
+    """One row per *completed* red phase observed within the chunk.
+
+    Used by Q10-Q12 (average red-light duration).  The executable watches the
+    traffic light's observed state frame by frame and emits the length of
+    every red interval that both starts and ends inside the chunk, so a phase
+    spanning a chunk boundary is simply not reported (rather than reported
+    twice).
+    """
+
+    name: str = "red_light_observer"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        detector = context.detector()
+        transitions: list[tuple[float, str]] = []
+        for frame in chunk.frames():
+            for detection in detector.detect_frame(frame, frame_width=chunk.video.width,
+                                                   frame_height=chunk.video.height):
+                if detection.category != "traffic_light":
+                    continue
+                state = detection.attributes.get("light_state")
+                if state is not None:
+                    transitions.append((frame.timestamp, str(state)))
+                break
+        rows: list[dict[str, Any]] = []
+        red_started: float | None = None
+        saw_green_before = False
+        for timestamp, state in transitions:
+            if state == "RED":
+                if red_started is None and saw_green_before:
+                    red_started = timestamp
+            else:
+                saw_green_before = True
+                if red_started is not None:
+                    rows.append({"red_duration": timestamp - red_started})
+                    red_started = None
+        return rows
+
+
+@dataclass
+class DirectionalCrossingCounter(ProcessExecutable):
+    """One row per person entering during the chunk and moving in a direction.
+
+    Used by Q13 (count people whose trajectory heads towards campus, i.e.
+    enters from the south and exits to the north).  Requires chunks long
+    enough to contain most of a crossing so the direction is observable —
+    the "stateful query" case of the evaluation.
+    """
+
+    category: str = "person"
+    direction: str = "north"
+    min_displacement: float = 120.0
+    entry_margin_frames: int = 2
+    name: str = "directional_crossing_counter"
+
+    def _moves_in_direction(self, track: Track) -> bool:
+        dx = track.last_box.center.x - track.observations[0].box.center.x
+        dy = track.last_box.center.y - track.observations[0].box.center.y
+        if self.direction == "north":
+            return dy <= -self.min_displacement
+        if self.direction == "south":
+            return dy >= self.min_displacement
+        if self.direction == "east":
+            return dx >= self.min_displacement
+        return dx <= -self.min_displacement
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        tracks = _track_chunk(chunk, context, categories={self.category})
+        margin = self.entry_margin_frames / context.fps
+        rows: list[dict[str, Any]] = []
+        for track in tracks:
+            entered = track.first_timestamp > chunk.interval.start + margin or chunk.index == 0
+            if entered and self._moves_in_direction(track):
+                rows.append({"matched": 1.0, "entered_at": track.first_timestamp})
+        return rows
+
+
+@dataclass
+class TaxiSightingReporter(ProcessExecutable):
+    """One row per taxi visible during the chunk (Porto queries Q4-Q6).
+
+    The Porto footage is a coarse sightings log rather than dense frames, so
+    the executable uses the chunk's object-visibility fast path; each row
+    carries the plate (taxi id) and the camera name so multi-camera SELECTs
+    can union and join tables.
+    """
+
+    name: str = "taxi_sighting_reporter"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        rows: list[dict[str, Any]] = []
+        for scene_object, overlap in chunk.visible_objects():
+            if scene_object.category != "taxi":
+                continue
+            rows.append({
+                "plate": scene_object.attributes.get("plate", ""),
+                "camera": context.camera,
+                "visible_seconds": overlap.duration,
+            })
+        return rows
+
+
+@dataclass
+class CrashingExecutable(ProcessExecutable):
+    """Always raises — used to test that the sandbox substitutes default rows."""
+
+    name: str = "crashing_executable"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        raise RuntimeError("intentional crash")
+
+
+@dataclass
+class SlowExecutable(ProcessExecutable):
+    """Exceeds its declared runtime — used to test TIMEOUT enforcement.
+
+    ``simulated_runtime`` lets tests exercise the timeout path without
+    actually sleeping; ``real_sleep`` performs a genuine wall-clock sleep.
+    """
+
+    simulated_runtime: float = 10.0
+    real_sleep: float = 0.0
+    name: str = "slow_executable"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        if self.real_sleep > 0:
+            time.sleep(self.real_sleep)
+        return [{"value": 1.0}]
+
+
+@dataclass
+class RowFloodExecutable(ProcessExecutable):
+    """Outputs far more rows than allowed — used to test max_rows truncation."""
+
+    rows_to_emit: int = 1000
+    name: str = "row_flood_executable"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        return [{"value": float(index)} for index in range(self.rows_to_emit)]
+
+
+@dataclass
+class ConstantExecutable(ProcessExecutable):
+    """Outputs a fixed set of rows regardless of the chunk — used in tests."""
+
+    rows: list[dict[str, Any]] = field(default_factory=lambda: [{"value": 1.0}])
+    name: str = "constant_executable"
+
+    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+        return [dict(row) for row in self.rows]

@@ -1,0 +1,37 @@
+"""Synthetic scene substrate standing in for the paper's real videos."""
+
+from repro.scene.objects import Appearance, SceneObject
+from repro.scene.trajectory import (
+    LinearTrajectory,
+    StationaryTrajectory,
+    Trajectory,
+    WaypointTrajectory,
+)
+from repro.scene.simulator import SceneConfig, SceneSimulator
+from repro.scene.scenarios import (
+    SCENARIO_NAMES,
+    build_scenario,
+    campus_scenario,
+    highway_scenario,
+    urban_scenario,
+)
+from repro.scene.porto import PortoConfig, PortoDataset, generate_porto_dataset
+
+__all__ = [
+    "Appearance",
+    "SceneObject",
+    "Trajectory",
+    "LinearTrajectory",
+    "StationaryTrajectory",
+    "WaypointTrajectory",
+    "SceneConfig",
+    "SceneSimulator",
+    "SCENARIO_NAMES",
+    "build_scenario",
+    "campus_scenario",
+    "highway_scenario",
+    "urban_scenario",
+    "PortoConfig",
+    "PortoDataset",
+    "generate_porto_dataset",
+]

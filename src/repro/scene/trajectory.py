@@ -1,0 +1,102 @@
+"""Trajectories describe where an object is within the frame over time.
+
+A trajectory maps a timestamp (relative to the start of the *appearance* it
+belongs to) to a bounding box.  Trajectories are purely geometric: visibility
+windows are handled by :class:`repro.scene.objects.Appearance`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.video.geometry import BoundingBox, interpolate_boxes
+
+
+class Trajectory(ABC):
+    """Abstract mapping from elapsed time to a bounding box."""
+
+    @abstractmethod
+    def box_at(self, elapsed: float) -> BoundingBox:
+        """Return the object's bounding box ``elapsed`` seconds into the appearance."""
+
+    @abstractmethod
+    def duration_hint(self) -> float | None:
+        """Nominal duration the trajectory was designed for, if any."""
+
+
+@dataclass(frozen=True)
+class StationaryTrajectory(Trajectory):
+    """An object that does not move (e.g. a parked car, a tree, a traffic light)."""
+
+    box: BoundingBox
+
+    def box_at(self, elapsed: float) -> BoundingBox:
+        return self.box
+
+    def duration_hint(self) -> float | None:
+        return None
+
+
+@dataclass(frozen=True)
+class LinearTrajectory(Trajectory):
+    """Constant-velocity motion between a start and end box over ``duration`` seconds.
+
+    Before time zero the object sits at the start box and after ``duration``
+    it sits at the end box; appearances normally clip to [0, duration].
+    """
+
+    start: BoundingBox
+    end: BoundingBox
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("trajectory duration must be positive")
+
+    def box_at(self, elapsed: float) -> BoundingBox:
+        fraction = elapsed / self.duration
+        return interpolate_boxes(self.start, self.end, fraction)
+
+    def duration_hint(self) -> float | None:
+        return self.duration
+
+    def speed_pixels_per_second(self) -> float:
+        """Speed of the box center in pixels per second."""
+        return self.start.center.distance_to(self.end.center) / self.duration
+
+
+@dataclass(frozen=True)
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear motion through a sequence of timed waypoints.
+
+    ``waypoints`` is a sequence of ``(elapsed_seconds, box)`` pairs sorted by
+    time; positions between waypoints are linearly interpolated, and positions
+    outside the covered range clamp to the first/last waypoint.
+    """
+
+    waypoints: tuple[tuple[float, BoundingBox], ...]
+
+    def __init__(self, waypoints: Sequence[tuple[float, BoundingBox]]) -> None:
+        ordered = tuple(sorted(waypoints, key=lambda pair: pair[0]))
+        if len(ordered) < 2:
+            raise ValueError("a waypoint trajectory needs at least two waypoints")
+        object.__setattr__(self, "waypoints", ordered)
+
+    def box_at(self, elapsed: float) -> BoundingBox:
+        first_time, first_box = self.waypoints[0]
+        last_time, last_box = self.waypoints[-1]
+        if elapsed <= first_time:
+            return first_box
+        if elapsed >= last_time:
+            return last_box
+        for (t0, box0), (t1, box1) in zip(self.waypoints, self.waypoints[1:]):
+            if t0 <= elapsed <= t1:
+                if t1 == t0:
+                    return box1
+                return interpolate_boxes(box0, box1, (elapsed - t0) / (t1 - t0))
+        return last_box  # unreachable, kept for safety
+
+    def duration_hint(self) -> float | None:
+        return self.waypoints[-1][0] - self.waypoints[0][0]

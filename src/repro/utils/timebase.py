@@ -1,0 +1,146 @@
+"""Time primitives used throughout the library.
+
+All times are expressed in seconds relative to the start of a video (or, for
+multi-day datasets such as Porto, relative to the start of the observation
+period).  Durations are also in seconds.  Frame indices are integers obtained
+by multiplying a time by the video frame rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def seconds_to_frames(seconds: float, fps: float) -> int:
+    """Convert a duration in seconds to a whole number of frames.
+
+    Privid requires chunk durations and strides to correspond to an integer
+    number of frames (Appendix D); callers that need that check should use
+    :func:`is_integral_frame_count` instead of silently rounding.
+    """
+    return int(round(seconds * fps))
+
+
+def frames_to_seconds(frames: int, fps: float) -> float:
+    """Convert a frame count to a duration in seconds."""
+    return frames / fps
+
+
+def is_integral_frame_count(seconds: float, fps: float, *, tolerance: float = 1e-9) -> bool:
+    """Return True if ``seconds`` corresponds to an integer number of frames."""
+    frames = seconds * fps
+    return abs(frames - round(frames)) <= tolerance
+
+
+def hour_of(timestamp: float) -> int:
+    """Hour-of-period helper mirroring the query language ``hour(chunk)``."""
+    return int(timestamp // SECONDS_PER_HOUR)
+
+
+def day_of(timestamp: float) -> int:
+    """Day-of-period helper mirroring the query language ``day(chunk)``."""
+    return int(timestamp // SECONDS_PER_DAY)
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A half-open interval of time ``[start, end)`` in seconds.
+
+    The interval is allowed to be empty (``start == end``) but never
+    inverted.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def contains(self, timestamp: float) -> bool:
+        """Return True if ``timestamp`` lies inside the half-open interval."""
+        return self.start <= timestamp < self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Return True if the two intervals share at least one instant."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "TimeInterval") -> "TimeInterval | None":
+        """Return the overlapping interval, or None if the intervals are disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return TimeInterval(start, end)
+
+    def union_span(self, other: "TimeInterval") -> "TimeInterval":
+        """Return the smallest interval covering both inputs."""
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def expand(self, margin: float) -> "TimeInterval":
+        """Return the interval widened by ``margin`` seconds on each side.
+
+        The start is clamped at zero because a video has no frames before its
+        first frame; Algorithm 1 applies this to build the ``[a - rho, b + rho]``
+        admission window.
+        """
+        return TimeInterval(max(0.0, self.start - margin), self.end + margin)
+
+    def shift(self, offset: float) -> "TimeInterval":
+        """Return the interval translated by ``offset`` seconds."""
+        return TimeInterval(self.start + offset, self.end + offset)
+
+    def clamp(self, bounds: "TimeInterval") -> "TimeInterval":
+        """Return the portion of this interval that lies inside ``bounds``.
+
+        If the two do not overlap, an empty interval anchored at ``bounds.start``
+        is returned.
+        """
+        start = min(max(self.start, bounds.start), bounds.end)
+        end = max(min(self.end, bounds.end), bounds.start)
+        if end < start:
+            end = start
+        return TimeInterval(start, end)
+
+    def split(self, chunk_duration: float, stride: float = 0.0) -> Iterator["TimeInterval"]:
+        """Yield consecutive sub-intervals of ``chunk_duration`` seconds.
+
+        ``stride`` is the gap between the end of one chunk and the start of
+        the next (0 means contiguous chunks, as in the paper's examples).  The
+        final chunk is truncated at the interval end.
+        """
+        if chunk_duration <= 0:
+            raise ValueError("chunk_duration must be positive")
+        step = chunk_duration + stride
+        if step <= 0:
+            raise ValueError("chunk_duration + stride must be positive")
+        position = self.start
+        while position < self.end:
+            yield TimeInterval(position, min(position + chunk_duration, self.end))
+            position += step
+
+    def num_chunks(self, chunk_duration: float, stride: float = 0.0) -> int:
+        """Number of chunks produced by :meth:`split` with the same arguments."""
+        if chunk_duration <= 0:
+            raise ValueError("chunk_duration must be positive")
+        step = chunk_duration + stride
+        if step <= 0:
+            raise ValueError("chunk_duration + stride must be positive")
+        if self.duration <= 0:
+            return 0
+        return int(math.ceil(self.duration / step))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeInterval({self.start:g}, {self.end:g})"

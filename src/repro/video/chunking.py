@@ -1,0 +1,181 @@
+"""Temporal (and optionally spatial) splitting of video into chunks (Section 6.2).
+
+The SPLIT statement selects a window of a camera's video and divides it into
+contiguous chunks of fixed duration; each chunk is later handed to an
+isolated instance of the analyst's executable.  A chunk may additionally be
+restricted to a spatial region (Section 7.2) and have a mask applied
+(Section 7.1) before the executable sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.utils.timebase import TimeInterval
+from repro.video.masking import EMPTY_MASK, Mask
+from repro.video.regions import Region, RegionScheme
+from repro.video.video import FrameTruth, SyntheticVideo, VisibleObject
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """Parameters of a SPLIT statement.
+
+    ``chunk_duration`` and ``stride`` are in seconds; ``stride`` is the gap
+    between consecutive chunks (0 for contiguous chunks).  ``sample_period``
+    controls how densely the synthetic frames are sampled when the chunk is
+    processed; it does not affect privacy accounting, only simulation cost.
+    """
+
+    window: TimeInterval
+    chunk_duration: float
+    stride: float = 0.0
+    sample_period: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_duration <= 0:
+            raise ValueError("chunk duration must be positive")
+        if self.chunk_duration + self.stride <= 0:
+            raise ValueError("chunk duration plus stride must be positive")
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks the window will be divided into."""
+        return self.window.num_chunks(self.chunk_duration, self.stride)
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of video handed to an isolated executable instance.
+
+    The chunk exposes only *views* of the underlying video: ground-truth
+    frames restricted to the chunk interval, with the mask and region filter
+    already applied, so an executable physically cannot observe anything
+    outside its chunk.
+    """
+
+    video: SyntheticVideo
+    index: int
+    interval: TimeInterval
+    mask: Mask = EMPTY_MASK
+    region: Region | None = None
+    sample_period: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def chunk_id(self) -> str:
+        """Stable identifier combining camera, index and region."""
+        suffix = f":{self.region.name}" if self.region is not None else ""
+        return f"{self.video.name}#{self.index}{suffix}"
+
+    @property
+    def start_timestamp(self) -> float:
+        """Timestamp of the chunk's first frame (the implicit ``chunk`` column)."""
+        return self.interval.start
+
+    @property
+    def duration(self) -> float:
+        """Chunk duration in seconds."""
+        return self.interval.duration
+
+    def _filter_visible(self, visible: tuple[VisibleObject, ...]) -> tuple[VisibleObject, ...]:
+        """Apply the mask and region restriction to one frame's ground truth."""
+        kept: list[VisibleObject] = []
+        for visible_object in visible:
+            if self.mask.hides(visible_object.box):
+                continue
+            if self.region is not None and not self.region.contains(visible_object.box.center):
+                continue
+            kept.append(visible_object)
+        return tuple(kept)
+
+    def frames(self) -> Iterator[FrameTruth]:
+        """Yield masked/region-filtered ground truth for each frame of the chunk."""
+        candidates = self.video.objects_overlapping(self.interval)
+        window = self.interval.clamp(self.video.interval)
+        period = self.video.frame_period if self.sample_period is None \
+            else max(self.sample_period, self.video.frame_period)
+        step = max(1, int(round(period * self.video.fps)))
+        first_frame = int(window.start * self.video.fps)
+        last_frame = int(window.end * self.video.fps)
+        for frame_index in range(first_frame, last_frame, step):
+            timestamp = self.video.frame_timestamp(frame_index)
+            visible = tuple(self.video.visible_objects_at(timestamp, candidates=candidates))
+            yield FrameTruth(timestamp=timestamp, frame_index=frame_index,
+                             visible=self._filter_visible(visible))
+
+    def visible_objects(self) -> list:
+        """Ground-truth objects visible at some point during the chunk.
+
+        This is a convenience equivalent to scanning every frame of the chunk
+        at infinite frame rate: an object is included if any of its
+        appearances overlaps the chunk interval and it is not hidden by the
+        chunk's mask/region at its appearance midpoint.  Fast-path used by
+        executables over coarse-grained footage (e.g. the Porto camera logs)
+        where per-frame scanning adds nothing.
+        """
+        kept = []
+        for scene_object in self.video.objects_overlapping(self.interval):
+            for appearance in scene_object.appearances_within(self.interval):
+                overlap = appearance.interval.intersection(self.interval)
+                if overlap is None:
+                    continue
+                midpoint = (overlap.start + overlap.end) / 2.0
+                box = appearance.box_at(midpoint)
+                if box is None:
+                    continue
+                if self.mask.hides(box):
+                    continue
+                if self.region is not None and not self.region.contains(box.center):
+                    continue
+                kept.append((scene_object, overlap))
+                break
+        return kept
+
+    def with_region(self, region: Region) -> "Chunk":
+        """Return a copy of the chunk restricted to ``region``."""
+        return replace(self, region=region)
+
+
+def split_interval(video: SyntheticVideo, spec: ChunkSpec, *,
+                   mask: Mask = EMPTY_MASK,
+                   region_scheme: RegionScheme | None = None,
+                   validate_frame_alignment: bool = True) -> list[Chunk]:
+    """Split a video window into chunks according to ``spec``.
+
+    When a region scheme is supplied, each temporal chunk is expanded into one
+    chunk per region (the spatial-splitting optimisation); soft-boundary
+    schemes enforce their single-frame chunk restriction.
+    """
+    if validate_frame_alignment:
+        video.validate_chunking(spec.chunk_duration, spec.stride)
+    window = spec.window.clamp(video.interval)
+    if region_scheme is not None:
+        region_scheme.validate_chunk_size(spec.chunk_duration, video.frame_period)
+    chunks: list[Chunk] = []
+    for index, interval in enumerate(window.split(spec.chunk_duration, spec.stride)):
+        base = Chunk(video=video, index=index, interval=interval, mask=mask,
+                     sample_period=spec.sample_period)
+        if region_scheme is None:
+            chunks.append(base)
+        else:
+            for region in region_scheme.regions:
+                chunks.append(base.with_region(region))
+    return chunks
+
+
+def num_chunks_spanned(rho: float, chunk_duration: float) -> int:
+    """Worst-case number of chunks a single segment of duration rho can span.
+
+    This is Equation 6.1: ``max_chunks(rho) = 1 + ceil(rho / c)``.  A segment
+    that becomes visible in the final frame of a chunk spills into the next
+    ``ceil(rho / c)`` chunks.
+    """
+    import math
+
+    if chunk_duration <= 0:
+        raise ValueError("chunk duration must be positive")
+    if rho < 0:
+        raise ValueError("rho must be non-negative")
+    return 1 + int(math.ceil(rho / chunk_duration))

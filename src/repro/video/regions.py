@@ -1,0 +1,123 @@
+"""Spatial splitting into regions (Section 7.2).
+
+The video owner defines a region scheme at camera-registration time: a set of
+named regions with either *soft* boundaries (objects may move between regions
+over time, e.g. two crosswalks) or *hard* boundaries (objects never cross,
+e.g. opposite directions of a highway).  At query time the analyst can split
+each temporal chunk further by region; with soft boundaries the chunk size is
+restricted to a single frame so that an object can be present in at most one
+(chunk, region) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.errors import RegionError
+from repro.video.geometry import BoundingBox, Point
+
+
+class BoundaryType(str, Enum):
+    """Whether objects can cross between regions of a scheme over time."""
+
+    SOFT = "soft"
+    HARD = "hard"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named spatial region of the frame."""
+
+    name: str
+    box: BoundingBox
+
+    def contains(self, point: Point) -> bool:
+        """True if the point lies inside the region."""
+        return self.box.contains_point(point)
+
+
+@dataclass(frozen=True)
+class RegionScheme:
+    """A named partition of the frame into regions with a boundary type."""
+
+    name: str
+    regions: tuple[Region, ...]
+    boundary: BoundaryType = BoundaryType.SOFT
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise RegionError("a region scheme needs at least one region")
+        names = [region.name for region in self.regions]
+        if len(names) != len(set(names)):
+            raise RegionError("region names within a scheme must be unique")
+
+    @property
+    def region_names(self) -> tuple[str, ...]:
+        """Names of the regions, in definition order."""
+        return tuple(region.name for region in self.regions)
+
+    def region_of(self, box: BoundingBox) -> Region | None:
+        """Region containing the center of ``box``, or None if outside all regions."""
+        center = box.center
+        for region in self.regions:
+            if region.contains(center):
+                return region
+        return None
+
+    def assign(self, boxes: Sequence[BoundingBox]) -> dict[str, list[BoundingBox]]:
+        """Group boxes by region name (boxes outside every region are dropped)."""
+        assignment: dict[str, list[BoundingBox]] = {name: [] for name in self.region_names}
+        for box in boxes:
+            region = self.region_of(box)
+            if region is not None:
+                assignment[region.name].append(box)
+        return assignment
+
+    def validate_chunk_size(self, chunk_duration: float, frame_period: float) -> None:
+        """Enforce the soft-boundary restriction of Section 7.2.
+
+        Soft boundaries require a chunk size of a single frame so that an
+        individual can occupy at most one (chunk, region) cell; hard
+        boundaries impose no restriction.
+        """
+        if self.boundary is BoundaryType.HARD:
+            return
+        if chunk_duration > frame_period + 1e-9:
+            raise RegionError(
+                "region schemes with soft boundaries require a chunk size of one frame "
+                f"(chunk duration {chunk_duration}s exceeds frame period {frame_period}s)")
+
+
+def grid_region_scheme(frame_width: float, frame_height: float, rows: int, columns: int, *,
+                       name: str = "grid", boundary: BoundaryType = BoundaryType.SOFT) -> RegionScheme:
+    """Build a simple rows x columns grid region scheme.
+
+    The paper leaves grid splitting to future work (Section 7.2 "Grid Split");
+    this helper implements the basic construction so the extension can be
+    exercised by tests and the ablation benchmark.
+    """
+    if rows <= 0 or columns <= 0:
+        raise RegionError("grid dimensions must be positive")
+    cell_width = frame_width / columns
+    cell_height = frame_height / rows
+    regions: list[Region] = []
+    for row in range(rows):
+        for column in range(columns):
+            regions.append(Region(
+                name=f"r{row}c{column}",
+                box=BoundingBox(column * cell_width, row * cell_height, cell_width, cell_height),
+            ))
+    return RegionScheme(name=name, regions=tuple(regions), boundary=boundary)
+
+
+def vertical_split_scheme(frame_width: float, frame_height: float,
+                          boundaries: Iterable[float], *, name: str = "vertical",
+                          boundary: BoundaryType = BoundaryType.SOFT) -> RegionScheme:
+    """Split the frame into vertical strips at the given x coordinates."""
+    xs = sorted(set(float(x) for x in boundaries))
+    edges = [0.0] + [x for x in xs if 0.0 < x < frame_width] + [frame_width]
+    regions = [Region(name=f"strip{i}", box=BoundingBox(left, 0.0, right - left, frame_height))
+               for i, (left, right) in enumerate(zip(edges, edges[1:]))]
+    return RegionScheme(name=name, regions=tuple(regions), boundary=boundary)

@@ -1,0 +1,223 @@
+"""Synthetic video model.
+
+A :class:`SyntheticVideo` is the stand-in for a camera's recorded footage: it
+knows its frame rate, resolution, duration, and the ground-truth scene
+objects visible over time.  Instead of pixels, "rendering" a frame produces
+the list of ground-truth objects visible at that instant together with their
+bounding boxes; the synthetic detector (``repro.cv.detector``) then degrades
+that perfect information the way a real CNN would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.utils.timebase import TimeInterval, is_integral_frame_count
+from repro.video.geometry import BoundingBox
+
+if TYPE_CHECKING:  # imported only for type annotations to avoid a package cycle
+    from repro.scene.objects import SceneObject
+
+
+@dataclass(frozen=True)
+class VisibleObject:
+    """A ground-truth object visible in a single frame, with its box."""
+
+    scene_object: SceneObject
+    box: BoundingBox
+
+    @property
+    def object_id(self) -> str:
+        """Identifier of the underlying scene object."""
+        return self.scene_object.object_id
+
+    @property
+    def category(self) -> str:
+        """Class of the underlying scene object (person, car, ...)."""
+        return self.scene_object.category
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        """Attributes of the underlying scene object (colour, plate, ...)."""
+        return self.scene_object.attributes
+
+
+@dataclass(frozen=True)
+class FrameTruth:
+    """Ground truth for one frame: its timestamp and all visible objects."""
+
+    timestamp: float
+    frame_index: int
+    visible: tuple[VisibleObject, ...]
+
+    def of_category(self, category: str) -> tuple[VisibleObject, ...]:
+        """Visible objects of the given category."""
+        return tuple(obj for obj in self.visible if obj.category == category)
+
+
+@dataclass
+class SyntheticVideo:
+    """A camera's footage over a fixed observation window.
+
+    ``duration`` is the total recorded time in seconds; frame timestamps run
+    from 0 (inclusive) to ``duration`` (exclusive) in steps of ``1 / fps``.
+    """
+
+    name: str
+    fps: float
+    width: float
+    height: float
+    duration: float
+    objects: list[SceneObject] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        self._index_bucket_size: float = max(60.0, self.duration / 2048.0)
+        self._bucket_index: dict[int, list[SceneObject]] | None = None
+
+    def _build_index(self) -> dict[int, list[SceneObject]]:
+        """Build (lazily) a time-bucket index from appearances to objects.
+
+        Full-day scenarios contain tens of thousands of objects; scanning all
+        of them for every frame of every chunk would dominate runtime, so
+        windowed lookups go through this coarse bucket index instead.
+        """
+        index: dict[int, list[SceneObject]] = {}
+        size = self._index_bucket_size
+        for scene_object in self.objects:
+            buckets_seen: set[int] = set()
+            for appearance in scene_object.appearances:
+                first = int(appearance.interval.start // size)
+                last = int(max(appearance.interval.start,
+                               appearance.interval.end - 1e-9) // size)
+                for bucket in range(first, last + 1):
+                    if bucket not in buckets_seen:
+                        index.setdefault(bucket, []).append(scene_object)
+                        buckets_seen.add(bucket)
+        return index
+
+    def invalidate_index(self) -> None:
+        """Drop the time-bucket index (called after objects are added)."""
+        self._bucket_index = None
+
+    def candidate_objects(self, window: TimeInterval) -> list[SceneObject]:
+        """Objects that *may* overlap ``window`` (superset, from the bucket index)."""
+        if self._bucket_index is None:
+            self._bucket_index = self._build_index()
+        size = self._index_bucket_size
+        first = int(window.start // size)
+        last = int(max(window.start, window.end - 1e-9) // size)
+        seen: set[int] = set()
+        candidates: list[SceneObject] = []
+        for bucket in range(first, last + 1):
+            for scene_object in self._bucket_index.get(bucket, ()):
+                if id(scene_object) not in seen:
+                    seen.add(id(scene_object))
+                    candidates.append(scene_object)
+        return candidates
+
+    @property
+    def interval(self) -> TimeInterval:
+        """The full observation window of the video."""
+        return TimeInterval(0.0, self.duration)
+
+    @property
+    def num_frames(self) -> int:
+        """Total number of frames in the video."""
+        return int(self.duration * self.fps)
+
+    @property
+    def frame_period(self) -> float:
+        """Seconds between consecutive frames."""
+        return 1.0 / self.fps
+
+    def frame_index_at(self, timestamp: float) -> int:
+        """Frame index containing ``timestamp``."""
+        return int(timestamp * self.fps)
+
+    def frame_timestamp(self, frame_index: int) -> float:
+        """Timestamp of the first instant of frame ``frame_index``."""
+        return frame_index / self.fps
+
+    def validate_chunking(self, chunk_duration: float, stride: float) -> None:
+        """Raise ValueError unless chunking parameters map to whole frames.
+
+        Appendix D requires both the chunk duration and the stride to
+        correspond to an integer number of frames.
+        """
+        if chunk_duration <= 0:
+            raise ValueError("chunk duration must be positive")
+        if not is_integral_frame_count(chunk_duration, self.fps):
+            raise ValueError(
+                f"chunk duration {chunk_duration}s is not an integer number of frames "
+                f"at {self.fps} fps")
+        if not is_integral_frame_count(stride, self.fps):
+            raise ValueError(
+                f"stride {stride}s is not an integer number of frames at {self.fps} fps")
+
+    def visible_objects_at(self, timestamp: float,
+                           candidates: Iterable[SceneObject] | None = None) -> list[VisibleObject]:
+        """Ground-truth objects visible at ``timestamp`` with their boxes.
+
+        ``candidates`` restricts the search to a pre-computed set of objects
+        (used by chunk iteration); by default the time-bucket index narrows
+        the search.
+        """
+        if candidates is None:
+            candidates = self.candidate_objects(
+                TimeInterval(timestamp, timestamp + self.frame_period))
+        visible: list[VisibleObject] = []
+        for scene_object in candidates:
+            box = scene_object.box_at(timestamp)
+            if box is not None:
+                visible.append(VisibleObject(scene_object, box))
+        return visible
+
+    def frame_truth(self, frame_index: int) -> FrameTruth:
+        """Ground truth for a single frame by index."""
+        timestamp = self.frame_timestamp(frame_index)
+        return FrameTruth(timestamp=timestamp, frame_index=frame_index,
+                          visible=tuple(self.visible_objects_at(timestamp)))
+
+    def frames(self, window: TimeInterval | None = None, *,
+               sample_period: float | None = None) -> Iterator[FrameTruth]:
+        """Yield ground truth for every frame in ``window`` (default: whole video).
+
+        ``sample_period`` optionally subsamples frames (in seconds); the
+        default yields every frame.  Subsampling is used heavily by the
+        benchmarks to keep full-day scenarios tractable without changing the
+        shape of the results.
+        """
+        window = self.interval if window is None else window.clamp(self.interval)
+        period = self.frame_period if sample_period is None else max(sample_period, self.frame_period)
+        step = max(1, int(round(period * self.fps)))
+        first_frame = int(window.start * self.fps)
+        last_frame = int(window.end * self.fps)
+        for frame_index in range(first_frame, last_frame, step):
+            yield self.frame_truth(frame_index)
+
+    def objects_overlapping(self, window: TimeInterval) -> list[SceneObject]:
+        """Objects with at least one appearance overlapping ``window``."""
+        return [scene_object for scene_object in self.candidate_objects(window)
+                if scene_object.appearances_within(window)]
+
+    def objects_of_category(self, category: str) -> list[SceneObject]:
+        """All objects of the given category."""
+        return [scene_object for scene_object in self.objects
+                if scene_object.category == category]
+
+    def private_objects(self) -> list[SceneObject]:
+        """All objects of categories the paper treats as private."""
+        return [scene_object for scene_object in self.objects if scene_object.is_private]
+
+    def add_objects(self, new_objects: Iterable[SceneObject]) -> None:
+        """Append additional ground-truth objects to the video."""
+        self.objects.extend(new_objects)
+        self.invalidate_index()

@@ -1,0 +1,141 @@
+"""Tests for the owner analysis tools: persistence, masks, regions, policy estimation."""
+
+import pytest
+
+from repro.analysis.mask_policy import (
+    choose_mask_for_target,
+    greedy_mask_ordering,
+    mask_from_ordering,
+)
+from repro.analysis.persistence import (
+    masked_persistence,
+    persistence_heatmap,
+    persistence_histogram,
+)
+from repro.analysis.policy_estimation import build_mask_policy_map, estimate_policy
+from repro.analysis.region_analysis import analyze_region_ranges
+from repro.utils.timebase import TimeInterval
+from repro.video.geometry import BoundingBox
+from repro.video.masking import Mask
+
+from tests.conftest import make_crossing_object, make_simple_video, make_stationary_object
+
+
+@pytest.fixture()
+def lingering_video():
+    """Crossers (short) plus one long lingerer in a corner zone."""
+    objects = [
+        make_crossing_object("w1", start=10, duration=30),
+        make_crossing_object("w2", start=100, duration=40, x=700.0),
+        make_crossing_object("w3", start=300, duration=35, x=500.0),
+        make_stationary_object("parked", start=0, duration=550,
+                               box=BoundingBox(60.0, 520.0, 60.0, 60.0)),
+    ]
+    return make_simple_video(objects=objects)
+
+
+CORNER_MASK = Mask(name="corner", regions=(BoundingBox(0.0, 480.0, 200.0, 240.0),))
+
+
+class TestPersistence:
+    def test_heatmap_hotspot_is_lingering_zone(self, lingering_video):
+        heatmap = persistence_heatmap(lingering_video, cell_size=80.0)
+        hottest = heatmap.hottest_cells(1)[0]
+        hottest_box = heatmap.grid.cell_box(hottest)
+        assert hottest_box.intersection_area(BoundingBox(60.0, 520.0, 60.0, 60.0)) > 0
+
+    def test_heatmap_normalized_in_unit_range(self, lingering_video):
+        heatmap = persistence_heatmap(lingering_video, cell_size=80.0)
+        normalized = heatmap.normalized()
+        assert normalized.max() == pytest.approx(1.0)
+        assert normalized.min() >= 0.0
+
+    def test_histogram_sums_to_one(self):
+        _, frequency = persistence_histogram([10, 20, 30, 200, 400])
+        assert frequency.sum() == pytest.approx(1.0)
+
+    def test_histogram_empty(self):
+        _, frequency = persistence_histogram([])
+        assert frequency.sum() == 0.0
+
+    def test_masked_persistence_reduces_max_and_retains_crossers(self, lingering_video):
+        report = masked_persistence(lingering_video, CORNER_MASK)
+        assert report.original_max == pytest.approx(550.0)
+        assert report.masked_max <= 45.0
+        assert report.reduction_factor > 10.0
+        assert report.objects_after == 3
+        assert report.retention_fraction == pytest.approx(0.75)
+
+    def test_empty_mask_changes_nothing(self, lingering_video):
+        report = masked_persistence(lingering_video, Mask(name="none"))
+        assert report.reduction_factor == pytest.approx(1.0)
+        assert report.objects_after == report.objects_before
+
+
+class TestGreedyMaskOrdering:
+    def test_ordering_reduces_persistence_monotonically(self, lingering_video):
+        _, steps = greedy_mask_ordering(lingering_video, cell_size=100.0, max_cells=20)
+        maxima = [step.max_persistence for step in steps]
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(maxima, maxima[1:]))
+
+    def test_first_cells_target_the_lingerer(self, lingering_video):
+        grid, steps = greedy_mask_ordering(lingering_video, cell_size=100.0, max_cells=3)
+        first_cell_box = grid.cell_box(steps[0].cell_index)
+        assert first_cell_box.intersection_area(BoundingBox(60.0, 520.0, 60.0, 60.0)) > 0
+
+    def test_mask_from_ordering(self, lingering_video):
+        grid, steps = greedy_mask_ordering(lingering_video, cell_size=100.0, max_cells=5)
+        mask = mask_from_ordering(grid, steps, num_cells=2)
+        assert len(mask.regions) == 2
+
+    def test_choose_mask_for_target(self, lingering_video):
+        grid, steps = greedy_mask_ordering(lingering_video, cell_size=100.0, max_cells=30)
+        mask, reached = choose_mask_for_target(grid, steps, target_max_persistence=60.0)
+        assert reached is not None
+        assert reached.max_persistence <= 60.0
+        assert not mask.is_empty
+
+    def test_retention_fraction_bounded(self, lingering_video):
+        _, steps = greedy_mask_ordering(lingering_video, cell_size=100.0, max_cells=10)
+        assert all(0.0 <= step.retention_fraction <= 1.0 for step in steps)
+
+
+class TestRegionAnalysis:
+    def test_splitting_reduces_or_preserves_max(self, campus_small):
+        analysis = analyze_region_ranges(campus_small.video, campus_small.region_scheme,
+                                         chunk_duration=60.0,
+                                         window=TimeInterval(0, 1800))
+        assert analysis.max_per_region <= analysis.max_per_frame
+        assert analysis.reduction_factor >= 1.0
+
+    def test_per_region_maxima_reported(self, campus_small):
+        analysis = analyze_region_ranges(campus_small.video, campus_small.region_scheme,
+                                         chunk_duration=60.0,
+                                         window=TimeInterval(0, 900))
+        assert set(analysis.per_region_maxima) == set(campus_small.region_scheme.region_names)
+
+
+class TestPolicyEstimation:
+    def test_estimate_is_conservative(self, campus_small):
+        estimate = estimate_policy(
+            campus_small.video,
+            detector_config=campus_small.detector_config,
+            tracker_config=campus_small.tracker_config,
+            window=TimeInterval(0, 900),
+            sample_period=1.0,
+        )
+        assert estimate.estimate.is_conservative
+        assert estimate.policy.rho >= estimate.estimate.ground_truth_max
+
+    def test_masked_policy_has_smaller_rho(self, campus_small):
+        policy_map = build_mask_policy_map(
+            campus_small.video,
+            detector_config=campus_small.detector_config,
+            tracker_config=campus_small.tracker_config,
+            masks={"owner": campus_small.owner_mask},
+            window=TimeInterval(0, 900),
+            sample_period=1.0,
+        )
+        unmasked = policy_map.lookup(None)[1]
+        masked = policy_map.lookup("owner")[1]
+        assert masked.rho <= unmasked.rho

@@ -1,0 +1,212 @@
+"""Tests for the end-to-end query executor (Algorithm 1)."""
+
+import pytest
+
+from repro.core import PrividSystem
+from repro.core.policy import MaskPolicyMap, PrivacyPolicy
+from repro.errors import (
+    BudgetExceededError,
+    PolicyError,
+    QueryValidationError,
+    UnknownCameraError,
+)
+from repro.query.builder import QueryBuilder
+from repro.sandbox.executables import ConstantExecutable
+from repro.utils.timebase import TimeInterval
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+
+def _constant_system(*, rows_per_chunk: int = 2, epsilon_budget: float = 10.0,
+                     rho: float = 30.0, k: int = 1) -> PrividSystem:
+    """A system with one camera and a constant executable (fully predictable)."""
+    system = PrividSystem(seed=9)
+    video = make_simple_video(duration=600.0,
+                              objects=[make_crossing_object("w", start=10, duration=30)])
+    system.register_camera("cam", video, policy=PrivacyPolicy(rho=rho, k_segments=k),
+                           epsilon_budget=epsilon_budget)
+    system.register_executable(
+        "constant.py", ConstantExecutable(rows=[{"value": 1.0}] * rows_per_chunk))
+    return system
+
+
+def _count_query(*, chunk_duration: float = 60.0, max_rows: int = 5, epsilon: float = 1.0,
+                 window: float = 600.0, bucket: float | None = None):
+    builder = (QueryBuilder("count")
+               .split("cam", begin=0, end=window, chunk_duration=chunk_duration, into="chunks")
+               .process("chunks", executable="constant.py", max_rows=max_rows,
+                        schema=[("value", "NUMBER", 0.0)], into="t"))
+    builder.select_count(table="t", bucket_seconds=bucket, epsilon=epsilon)
+    return builder.build()
+
+
+class TestExecutorBasics:
+    def test_raw_value_matches_deterministic_pipeline(self):
+        system = _constant_system(rows_per_chunk=2)
+        result = system.execute(_count_query(), add_noise=False)
+        # 10 chunks x 2 rows each.
+        assert result.value() == 20.0
+
+    def test_noise_calibration_matches_policy(self):
+        system = _constant_system(rows_per_chunk=2, rho=30.0, k=1)
+        result = system.execute(_count_query(max_rows=5, chunk_duration=60.0))
+        release = result.releases[0]
+        # Delta = max_rows * K * (1 + ceil(30/60)) = 5 * 1 * 2 = 10.
+        assert release.sensitivity == 10.0
+        assert release.noise_scale == 10.0
+        assert release.noisy_value != release.raw_value_unsafe
+
+    def test_noisy_output_differs_across_resamples(self):
+        system = _constant_system()
+        result = system.execute(_count_query())
+        resampled = system.resample_noise(result)
+        assert resampled.releases[0].noisy_value != result.releases[0].noisy_value
+        assert resampled.releases[0].raw_value_unsafe == result.releases[0].raw_value_unsafe
+
+    def test_grouped_query_releases_every_bin(self):
+        system = _constant_system()
+        result = system.execute(_count_query(bucket=120.0), add_noise=False)
+        assert result.num_releases == 5
+        assert [release.group_key for release in result.releases] == \
+            [0.0, 120.0, 240.0, 360.0, 480.0]
+        assert all(release.raw_value_unsafe == pytest.approx(4.0)
+                   for release in result.releases)  # 2 chunks per 120s bin, 2 rows each
+
+    def test_unknown_camera_rejected(self):
+        system = _constant_system()
+        query = _count_query()
+        query.splits[0].camera = "nope"
+        with pytest.raises(UnknownCameraError):
+            system.execute(query)
+
+    def test_unknown_chunk_set_rejected(self):
+        system = _constant_system()
+        query = _count_query()
+        query.processes[0].chunks = "nope"
+        with pytest.raises(QueryValidationError):
+            system.execute(query)
+
+    def test_duplicate_camera_registration_rejected(self):
+        system = _constant_system()
+        with pytest.raises(PolicyError):
+            system.register_camera("cam", make_simple_video(),
+                                   policy=PrivacyPolicy(rho=1.0))
+
+    def test_epsilon_consumed_reported(self):
+        system = _constant_system()
+        result = system.execute(_count_query(epsilon=0.5))
+        assert result.epsilon_consumed == pytest.approx(0.5)
+
+
+class TestBudgetEnforcement:
+    def test_budget_depletes_and_denies(self):
+        system = _constant_system(epsilon_budget=1.0)
+        system.execute(_count_query(epsilon=0.6))
+        with pytest.raises(BudgetExceededError):
+            system.execute(_count_query(epsilon=0.6))
+
+    def test_remaining_budget_query(self):
+        system = _constant_system(epsilon_budget=2.0)
+        system.execute(_count_query(epsilon=0.5))
+        remaining = system.remaining_budget("cam", TimeInterval(0, 600))
+        assert remaining == pytest.approx(1.5)
+
+    def test_charge_budget_false_does_not_consume(self):
+        system = _constant_system(epsilon_budget=1.0)
+        for _ in range(5):
+            system.execute(_count_query(epsilon=0.9), charge_budget=False)
+        assert system.remaining_budget("cam", TimeInterval(0, 600)) == pytest.approx(1.0)
+
+    def test_grouped_releases_draw_from_their_own_bins(self):
+        # Releases over disjoint bins mostly compose in parallel over frames:
+        # only frames within rho of a bin boundary see both neighbouring
+        # releases, so per-release budgets just below half the total fit.
+        system = _constant_system(epsilon_budget=1.0, rho=30.0)
+        result = system.execute(_count_query(bucket=120.0, epsilon=0.45))
+        assert result.num_releases == 5
+        # Each frame was charged by exactly one bin's release, so a follow-up
+        # query fitting in the remaining 0.55 is admitted...
+        system.execute(_count_query(epsilon=0.5))
+        # ...and one that would push any frame past the total is denied.
+        with pytest.raises(BudgetExceededError):
+            system.execute(_count_query(epsilon=0.5))
+
+    def test_grouped_releases_exceeding_budget_at_boundaries_denied(self):
+        # Adjacent bins are not rho-disjoint, so asking for the full budget
+        # per release is denied at the bin boundaries (sequential composition
+        # applies there), exactly as Algorithm 1's margin check dictates.
+        system = _constant_system(epsilon_budget=1.0, rho=30.0)
+        with pytest.raises(BudgetExceededError):
+            system.execute(_count_query(bucket=120.0, epsilon=1.0))
+
+    def test_denied_query_charges_nothing(self):
+        system = _constant_system(epsilon_budget=1.0)
+        with pytest.raises(BudgetExceededError):
+            system.execute(_count_query(epsilon=2.0))
+        assert system.remaining_budget("cam", TimeInterval(0, 600)) == pytest.approx(1.0)
+
+
+class TestMasksAndRegions:
+    def test_mask_policy_lowers_noise(self, campus_small):
+        system = PrividSystem(seed=4)
+        policy_map = MaskPolicyMap.unmasked(PrivacyPolicy(rho=240.0, k_segments=1))
+        policy_map.add("owner", campus_small.owner_mask, PrivacyPolicy(rho=50.0, k_segments=1))
+        system.register_camera("campus", campus_small.video, policy_map=policy_map,
+                               epsilon_budget=50.0,
+                               detector_config=campus_small.detector_config,
+                               tracker_config=campus_small.tracker_config,
+                               default_sample_period=1.0)
+
+        def query(mask):
+            return (QueryBuilder(f"masked-{mask}")
+                    .split("campus", begin=0, end=600, chunk_duration=60, mask=mask,
+                           into="chunks")
+                    .process("chunks", executable="count_entering_people.py", max_rows=5,
+                             schema=[("kind", "STRING", "")], into="t")
+                    .select_count(table="t", epsilon=1.0)
+                    .build())
+
+        unmasked = system.execute(query(None), charge_budget=False)
+        masked = system.execute(query("owner"), charge_budget=False)
+        assert masked.releases[0].noise_scale < unmasked.releases[0].noise_scale
+
+    def test_unknown_mask_rejected(self):
+        system = _constant_system()
+        query = _count_query()
+        query.splits[0].mask = "missing-mask"
+        with pytest.raises(Exception):
+            system.execute(query)
+
+    def test_region_scheme_used(self, registered_system):
+        query = (QueryBuilder("regions")
+                 .split("campus", begin=0, end=10, chunk_duration=0.5,
+                        region_scheme="default", into="chunks")
+                 .process("chunks", executable="count_entering_people.py", max_rows=5,
+                          schema=[("kind", "STRING", "")], into="t")
+                 .select_count(table="t", epsilon=0.1)
+                 .build())
+        result = registered_system.execute(query, charge_budget=False)
+        assert result.metadata["num_chunks"]["t"] == 40  # 20 temporal chunks x 2 regions
+
+    def test_unknown_region_scheme_rejected(self, registered_system):
+        query = (QueryBuilder("regions")
+                 .split("campus", begin=0, end=10, chunk_duration=0.5,
+                        region_scheme="nope", into="chunks")
+                 .process("chunks", executable="count_entering_people.py", max_rows=5,
+                          schema=[("kind", "STRING", "")], into="t")
+                 .select_count(table="t", epsilon=0.1)
+                 .build())
+        with pytest.raises(QueryValidationError):
+            registered_system.execute(query, charge_budget=False)
+
+
+class TestRhoZero:
+    def test_rho_zero_policy_means_no_noise(self):
+        system = PrividSystem(seed=1)
+        video = make_simple_video(duration=600.0)
+        system.register_camera("cam", video, policy=PrivacyPolicy(rho=0.0, k_segments=1),
+                               epsilon_budget=10.0)
+        system.register_executable("constant.py", ConstantExecutable(rows=[{"value": 1.0}]))
+        result = system.execute(_count_query())
+        assert result.releases[0].sensitivity == 0.0
+        assert result.releases[0].noisy_value == result.releases[0].raw_value_unsafe

@@ -1,0 +1,224 @@
+"""Tests for the query language: lexer, parser, builder, validator."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, QueryValidationError
+from repro.query.ast import collect_table_names
+from repro.query.builder import QueryBuilder, make_schema
+from repro.query.lexer import TokenType, tokenize
+from repro.query.parser import parse_query
+from repro.query.validator import validate_query
+from repro.relational.plan import GroupBy, Join, Projection, TableScan
+from repro.relational.table import DataType
+
+
+EXAMPLE_QUERY = """
+/* Listing 1, adapted: cars on a highway camera */
+SPLIT camA BEGIN 0 END 1hr BY TIME 5sec STRIDE 0sec INTO chunksA;
+
+PROCESS chunksA USING vehicle_reporter.py TIMEOUT 1sec
+    PRODUCING 10 ROWS
+    WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0)
+    INTO tableA;
+
+SELECT AVG(range(speed, 30, 60)) FROM tableA;
+
+SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA GROUP BY plate
+    WITH KEYS ["P1", "P2", "P3"])
+    GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"] CONSUMING 0.5;
+"""
+
+
+class TestLexer:
+    def test_tokenizes_keywords_numbers_strings(self):
+        tokens = tokenize('SPLIT cam BEGIN 0 END 1.5 WITH MASK "m";')
+        kinds = [token.type for token in tokens]
+        assert kinds[-1] is TokenType.END
+        values = [token.value for token in tokens if token.type is TokenType.NUMBER]
+        assert values == ["0", "1.5"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("/* hello */ SELECT # trailing comment\n COUNT")
+        idents = [t.value for t in tokens if t.type is TokenType.IDENT]
+        assert idents == ["SELECT", "COUNT"]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize('SELECT "oops')
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("/* never closed")
+
+    def test_dotted_identifiers(self):
+        tokens = tokenize("USING model.py")
+        assert tokens[1].value == "model.py"
+
+    def test_positions_tracked(self):
+        tokens = tokenize("SPLIT\n  cam")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestParser:
+    def test_parses_example_query(self):
+        query = parse_query(EXAMPLE_QUERY, name="listing1")
+        assert len(query.splits) == 1
+        assert len(query.processes) == 1
+        assert len(query.selects) == 2
+        split = query.splits[0]
+        assert split.camera == "camA"
+        assert split.end == 3600.0
+        assert split.chunk_duration == 5.0
+        process = query.processes[0]
+        assert process.max_rows == 10
+        assert process.schema.column("speed").dtype is DataType.NUMBER
+        first, second = query.selects
+        assert first.aggregation.function == "AVG"
+        assert second.aggregation.function == "COUNT"
+        assert second.epsilon == 0.5
+        assert second.group_by is not None
+        assert second.group_by.expected_keys == ("RED", "WHITE", "SILVER")
+
+    def test_parses_masks_and_regions(self):
+        text = """
+        SPLIT cam BEGIN 0 END 10min BY TIME 30sec STRIDE 0sec
+            WITH MASK owner BY REGION crosswalks INTO chunks;
+        PROCESS chunks USING count_entering_people.py PRODUCING 5 ROWS
+            WITH SCHEMA (kind:STRING="") INTO t;
+        SELECT COUNT(*) FROM t GROUP BY hour(chunk);
+        """
+        query = parse_query(text)
+        assert query.splits[0].mask == "owner"
+        assert query.splits[0].region_scheme == "crosswalks"
+        select = query.selects[0]
+        assert select.group_by is not None
+        assert select.group_by.expected_keys is None
+
+    def test_parses_join(self):
+        text = """
+        SPLIT camA BEGIN 0 END 1hr BY TIME 60sec INTO chunksA;
+        SPLIT camB BEGIN 0 END 1hr BY TIME 60sec INTO chunksB;
+        PROCESS chunksA USING taxi_sightings.py PRODUCING 5 ROWS
+            WITH SCHEMA (plate:STRING="") INTO tableA;
+        PROCESS chunksB USING taxi_sightings.py PRODUCING 5 ROWS
+            WITH SCHEMA (plate:STRING="") INTO tableB;
+        SELECT COUNT(*) FROM tableA JOIN tableB ON plate;
+        """
+        query = parse_query(text)
+        assert isinstance(query.selects[0].source, Join)
+        assert collect_table_names(query.selects[0].source) == {"tableA", "tableB"}
+
+    def test_syntax_error_reports_location(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SPLIT BEGIN 0;")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("FROBNICATE all the things;")
+
+    def test_time_units(self):
+        query = parse_query("""
+        SPLIT cam BEGIN 0 END 2day BY TIME 15min STRIDE 30sec INTO c;
+        PROCESS c USING taxi_sightings.py PRODUCING 2 ROWS WITH SCHEMA (plate:STRING="") INTO t;
+        SELECT COUNT(*) FROM t;
+        """)
+        assert query.splits[0].end == 2 * 86400.0
+        assert query.splits[0].chunk_duration == 900.0
+        assert query.splits[0].stride == 30.0
+
+
+class TestBuilder:
+    def test_make_schema(self):
+        schema = make_schema([("a", "NUMBER", 0.0), ("b", "STRING", "x")])
+        assert schema.names == ("a", "b")
+
+    def test_builder_round_trip(self):
+        query = (QueryBuilder("demo")
+                 .split("cam", begin=0, end=3600, chunk_duration=60, into="chunks")
+                 .process("chunks", executable="count_entering_people.py", max_rows=5,
+                          schema=[("kind", "STRING", "")], into="t")
+                 .select_count(table="t", group_by_hour=True)
+                 .build())
+        assert query.splits[0].output == "chunks"
+        assert query.selects[0].group_by is not None
+
+    def test_builder_requires_all_statement_kinds(self):
+        with pytest.raises(QueryValidationError):
+            QueryBuilder("incomplete").build()
+
+    def test_builder_average_inserts_range(self):
+        query = (QueryBuilder("avg")
+                 .split("cam", begin=0, end=600, chunk_duration=60, into="chunks")
+                 .process("chunks", executable="vehicle_reporter.py", max_rows=5,
+                          schema=[("speed", "NUMBER", 0.0)], into="t")
+                 .select_average("speed", 0, 120, table="t")
+                 .build())
+        assert isinstance(query.selects[0].source, Projection)
+
+    def test_builder_count_unique(self):
+        query = (QueryBuilder("unique")
+                 .split("cam", begin=0, end=600, chunk_duration=60, into="chunks")
+                 .process("chunks", executable="vehicle_reporter.py", max_rows=5,
+                          schema=[("plate", "STRING", "")], into="t")
+                 .select_count_unique("plate", table="t", keys=["P1", "P2"])
+                 .build())
+        assert isinstance(query.selects[0].source, GroupBy)
+
+    def test_group_by_column_requires_keys(self):
+        builder = (QueryBuilder("bad")
+                   .split("cam", begin=0, end=600, chunk_duration=60, into="chunks")
+                   .process("chunks", executable="vehicle_reporter.py", max_rows=5,
+                            schema=[("color", "STRING", "")], into="t"))
+        with pytest.raises(QueryValidationError):
+            builder.select_count(table="t", group_by_column="color")
+
+
+class TestValidator:
+    def _query(self):
+        return (QueryBuilder("valid")
+                .split("campus", begin=0, end=3600, chunk_duration=60, into="chunks")
+                .process("chunks", executable="count_entering_people.py", max_rows=5,
+                         schema=[("kind", "STRING", "")], into="t")
+                .select_count(table="t")
+                .build())
+
+    def test_valid_query_passes(self):
+        report = validate_query(self._query())
+        assert report.ok
+
+    def test_unknown_camera_flagged(self):
+        report = validate_query(self._query(), known_cameras={"other": 2.0},
+                                raise_on_error=False)
+        assert not report.ok
+
+    def test_chunk_alignment_checked(self):
+        query = (QueryBuilder("misaligned")
+                 .split("campus", begin=0, end=3600, chunk_duration=0.3, into="chunks")
+                 .process("chunks", executable="count_entering_people.py", max_rows=5,
+                          schema=[("kind", "STRING", "")], into="t")
+                 .select_count(table="t")
+                 .build())
+        report = validate_query(query, known_cameras={"campus": 2.0}, raise_on_error=False)
+        assert any("frames" in error for error in report.errors)
+
+    def test_unknown_table_flagged(self):
+        query = self._query()
+        query.selects[0].source = TableScan("missing")
+        with pytest.raises(QueryValidationError):
+            validate_query(query)
+
+    def test_unknown_executable_flagged(self):
+        report = validate_query(self._query(), known_executables=["other.py"],
+                                raise_on_error=False)
+        assert not report.ok
+
+    def test_large_max_rows_warns(self):
+        query = (QueryBuilder("big")
+                 .split("campus", begin=0, end=3600, chunk_duration=60, into="chunks")
+                 .process("chunks", executable="count_entering_people.py", max_rows=5000,
+                          schema=[("kind", "STRING", "")], into="t")
+                 .select_count(table="t")
+                 .build())
+        report = validate_query(query)
+        assert report.warnings

@@ -1,0 +1,121 @@
+"""Tests for scene objects, trajectories and (rho, K) ground-truth bounds."""
+
+import pytest
+
+from repro.scene.objects import (
+    Appearance,
+    SceneObject,
+    max_appearance_count_of,
+    max_duration_of,
+    objects_visible_at,
+)
+from repro.scene.trajectory import LinearTrajectory, StationaryTrajectory, WaypointTrajectory
+from repro.utils.timebase import TimeInterval
+from repro.video.geometry import BoundingBox
+
+
+def _object_with_segments(segments: list[tuple[float, float]], category: str = "person"):
+    box = BoundingBox(10, 10, 20, 40)
+    appearances = [Appearance(interval=TimeInterval(start, end),
+                              trajectory=StationaryTrajectory(box))
+                   for start, end in segments]
+    return SceneObject(object_id="obj", category=category, appearances=appearances)
+
+
+class TestTrajectories:
+    def test_stationary(self):
+        box = BoundingBox(1, 2, 3, 4)
+        trajectory = StationaryTrajectory(box)
+        assert trajectory.box_at(0.0) == box
+        assert trajectory.box_at(100.0) == box
+
+    def test_linear_interpolates(self):
+        trajectory = LinearTrajectory(BoundingBox(0, 0, 10, 10), BoundingBox(100, 0, 10, 10), 10.0)
+        assert trajectory.box_at(5.0).x == pytest.approx(50.0)
+
+    def test_linear_clamps_outside_duration(self):
+        trajectory = LinearTrajectory(BoundingBox(0, 0, 10, 10), BoundingBox(100, 0, 10, 10), 10.0)
+        assert trajectory.box_at(-5.0).x == 0.0
+        assert trajectory.box_at(50.0).x == 100.0
+
+    def test_linear_speed(self):
+        trajectory = LinearTrajectory(BoundingBox(0, 0, 10, 10), BoundingBox(100, 0, 10, 10), 10.0)
+        assert trajectory.speed_pixels_per_second() == pytest.approx(10.0)
+
+    def test_linear_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory(BoundingBox(0, 0, 1, 1), BoundingBox(1, 1, 1, 1), 0.0)
+
+    def test_waypoint_trajectory(self):
+        trajectory = WaypointTrajectory([
+            (0.0, BoundingBox(0, 0, 10, 10)),
+            (10.0, BoundingBox(100, 0, 10, 10)),
+            (20.0, BoundingBox(100, 100, 10, 10)),
+        ])
+        assert trajectory.box_at(5.0).x == pytest.approx(50.0)
+        assert trajectory.box_at(15.0).y == pytest.approx(50.0)
+        assert trajectory.box_at(100.0).y == pytest.approx(100.0)
+
+    def test_waypoint_needs_two_points(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0.0, BoundingBox(0, 0, 1, 1))])
+
+
+class TestSceneObject:
+    def test_visibility_and_box(self):
+        obj = _object_with_segments([(10, 40)])
+        assert obj.visible_at(20)
+        assert not obj.visible_at(50)
+        assert obj.box_at(20) is not None
+        assert obj.box_at(50) is None
+
+    def test_duration_properties(self):
+        obj = _object_with_segments([(0, 30), (100, 110)])
+        assert obj.max_appearance_duration == 30
+        assert obj.total_visible_duration == 40
+        assert obj.num_appearances == 2
+        assert obj.first_visible == 0
+        assert obj.last_visible == 110
+
+    def test_is_bounded_by(self):
+        obj = _object_with_segments([(0, 30), (100, 110)])
+        assert obj.is_bounded_by(30, 2)
+        assert not obj.is_bounded_by(29, 2)
+        assert not obj.is_bounded_by(30, 1)
+
+    def test_tightest_bound(self):
+        obj = _object_with_segments([(0, 30), (100, 110)])
+        assert obj.tightest_bound() == (30, 2)
+
+    def test_private_categories(self):
+        assert _object_with_segments([(0, 1)], category="person").is_private
+        assert _object_with_segments([(0, 1)], category="car").is_private
+        assert not _object_with_segments([(0, 1)], category="tree").is_private
+
+    def test_appearances_within(self):
+        obj = _object_with_segments([(0, 30), (100, 110)])
+        assert len(obj.appearances_within(TimeInterval(20, 50))) == 1
+        assert len(obj.appearances_within(TimeInterval(0, 200))) == 2
+        assert obj.appearances_within(TimeInterval(40, 90)) == []
+
+    def test_dynamic_attributes(self):
+        obj = _object_with_segments([(0, 100)])
+        obj.dynamic_attributes["state"] = lambda t: "RED" if t < 50 else "GREEN"
+        obj.attributes["kind"] = "light"
+        assert obj.attributes_at(10) == {"kind": "light", "state": "RED"}
+        assert obj.attributes_at(60)["state"] == "GREEN"
+
+    def test_helpers_over_collections(self):
+        objects = [
+            _object_with_segments([(0, 30)]),
+            _object_with_segments([(0, 45), (50, 60)]),
+            _object_with_segments([(0, 500)], category="tree"),
+        ]
+        assert max_duration_of(objects) == 45
+        assert max_appearance_count_of(objects) == 2
+        assert len(objects_visible_at(objects, 10)) == 3
+
+    def test_empty_object_raises_on_first_visible(self):
+        empty = SceneObject(object_id="none", category="person")
+        with pytest.raises(ValueError):
+            _ = empty.first_visible
