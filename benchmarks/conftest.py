@@ -8,9 +8,11 @@ expensive, so scenes are built once per session and shared read-only.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.core import PrividSystem
+from repro.core import ChunkResultCache, PrividSystem, create_engine
 from repro.evaluation.runner import (
     register_porto_cameras,
     register_scenario_camera,
@@ -27,6 +29,36 @@ BENCH_HOURS = 4.0
 #: The evaluation protects single appearances (K = 1), matching the noise
 #: levels implied by the paper's reported accuracies.
 BENCH_K_SEGMENTS = 1
+
+
+def pytest_addoption(parser):
+    """Engine/cache knobs for the whole benchmark harness.
+
+    ``--privid-engine`` selects the chunk execution engine ('serial',
+    'thread[:N]' or 'process[:N]'; defaults to the PRIVID_ENGINE environment
+    variable, then 'serial').  ``--privid-no-cache`` disables the shared chunk
+    result cache, which is on by default because the sweeps re-process large
+    overlapping chunk sets.
+    """
+    parser.addoption("--privid-engine", default=os.environ.get("PRIVID_ENGINE", "serial"),
+                     help="chunk execution engine: serial, thread[:N], process[:N]")
+    parser.addoption("--privid-no-cache", action="store_true",
+                     default=os.environ.get("PRIVID_NO_CACHE", "") not in ("", "0"),
+                     help="disable chunk result caching in the benchmark system")
+
+
+@pytest.fixture(scope="session")
+def bench_engine(request):
+    """The execution engine every benchmark system schedules chunks on."""
+    return create_engine(request.config.getoption("--privid-engine"))
+
+
+@pytest.fixture(scope="session")
+def bench_cache(request):
+    """Session-wide chunk result cache (None when disabled)."""
+    if request.config.getoption("--privid-no-cache"):
+        return None
+    return ChunkResultCache()
 
 
 @pytest.fixture(scope="session")
@@ -58,15 +90,25 @@ def porto_dataset():
 
 
 @pytest.fixture(scope="session")
-def evaluation_system(primary_scenarios, porto_dataset):
+def evaluation_system(primary_scenarios, porto_dataset, bench_engine, bench_cache):
     """One Privid deployment with every camera registered under a generous budget."""
-    system = PrividSystem(seed=2022)
+    system = PrividSystem(seed=2022, engine=bench_engine, cache=bench_cache)
     for scenario in primary_scenarios.values():
         policy_map = scenario_policy_map(scenario, k_segments=BENCH_K_SEGMENTS)
         register_scenario_camera(system, scenario, policy_map=policy_map,
                                  epsilon_budget=500.0, sample_period=1.0)
     register_porto_cameras(system, porto_dataset, epsilon_budget=500.0, k_segments=2)
     return system
+
+
+def print_cache_stats(system: PrividSystem, *, label: str = "chunk cache") -> None:
+    """Print the system's chunk-cache counters (no-op when caching is off)."""
+    stats = system.cache_stats()
+    if stats is None:
+        print(f"\n[{label}: disabled; engine={system.engine.name}]")
+        return
+    print(f"\n[{label}: engine={system.engine.name} "
+          f"hits={stats['hits']} misses={stats['misses']} hit_rate={stats['hit_rate']}]")
 
 
 def print_table(title: str, rows: list[dict], *, columns: list[str] | None = None) -> None:

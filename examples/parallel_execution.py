@@ -1,0 +1,73 @@
+"""Parallel chunk execution and result caching for what-if sweeps.
+
+Privid processes every chunk with an independent executable instance
+(Appendix B), so chunk work parallelises and memoizes without changing any
+answer.  This example shows the two knobs a deployment tunes for throughput:
+
+1. the *execution engine* — serial (default), a thread pool, or a process
+   pool — selected per :class:`~repro.core.PrividSystem`;
+2. the *chunk result cache*, which lets overlapping query windows and
+   repeated what-if sweeps skip already-processed chunks entirely.
+
+Run with: ``python examples/parallel_execution.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import ChunkResultCache, PrividSystem, SerialEngine, ThreadPoolEngine
+from repro.query.builder import QueryBuilder
+from repro.scene.scenarios import build_scenario
+from repro.evaluation.runner import register_scenario_camera, scenario_policy_map
+from repro.utils.timebase import SECONDS_PER_HOUR
+
+
+def build_system(scenario, *, engine, cache=None) -> PrividSystem:
+    system = PrividSystem(seed=1, engine=engine, cache=cache)
+    policy_map = scenario_policy_map(scenario, k_segments=1)
+    register_scenario_camera(system, scenario, policy_map=policy_map,
+                             epsilon_budget=100.0, sample_period=1.0)
+    return system
+
+
+def hourly_people_query(window_hours: float):
+    return (QueryBuilder(f"people-{window_hours:g}h")
+            .split("campus", begin=0, end=window_hours * SECONDS_PER_HOUR,
+                   chunk_duration=60, mask="owner", into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)], into="people")
+            .select_count(table="people", bucket_seconds=SECONDS_PER_HOUR, epsilon=1.0)
+            .build())
+
+
+def main() -> None:
+    print("Generating a 2-hour synthetic campus scene ...")
+    scenario = build_scenario("campus", scale=0.4, duration_hours=2.0, seed=7)
+
+    # ----------------------------------------------- engine selection
+    # Scenario scenes carry closure-valued attributes, so they pair with the
+    # serial or thread engines; fully picklable scenes can use 'process:N'.
+    for engine in (SerialEngine(), ThreadPoolEngine(max_workers=4)):
+        system = build_system(scenario, engine=engine)
+        started = time.perf_counter()
+        result = system.execute(hourly_people_query(2.0), charge_budget=False)
+        elapsed = time.perf_counter() - started
+        print(f"engine={engine.name:7s} {elapsed:6.2f}s  "
+              f"hourly counts (noisy): {[round(v, 1) for _, v in result.series()]}")
+
+    # ----------------------------------------------- chunk result cache
+    # A what-if sweep over nested windows re-processes the same chunks; the
+    # cache reduces each step to the newly added hour.
+    system = build_system(scenario, engine=SerialEngine(), cache=ChunkResultCache())
+    for hours in (1.0, 2.0, 2.0):
+        started = time.perf_counter()
+        system.execute(hourly_people_query(hours), charge_budget=False)
+        elapsed = time.perf_counter() - started
+        stats = system.cache_stats()
+        print(f"window={hours:g}h  {elapsed:6.2f}s  cache hits={stats['hits']:4d} "
+              f"misses={stats['misses']:4d} hit_rate={stats['hit_rate']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,15 @@
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
 from repro.core.noise import LaplaceMechanism
 from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.cache import CacheStats, ChunkResultCache
+from repro.core.engine import (
+    ChunkOutcome,
+    ExecutionEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    ThreadPoolEngine,
+    create_engine,
+)
 from repro.core.degradation import (
     detection_probability_bound,
     effective_epsilon,
@@ -17,6 +26,14 @@ __all__ = [
     "LaplaceMechanism",
     "FrameBudgetLedger",
     "BudgetRequest",
+    "CacheStats",
+    "ChunkOutcome",
+    "ChunkResultCache",
+    "ExecutionEngine",
+    "SerialEngine",
+    "ThreadPoolEngine",
+    "ProcessPoolEngine",
+    "create_engine",
     "detection_probability_bound",
     "effective_epsilon",
     "degradation_curve",

@@ -1,0 +1,188 @@
+"""Memoization of per-chunk sandbox outputs.
+
+Chunk processing is the dominant cost of every query, and it is a pure
+function of the chunk's identity and the processing configuration: the same
+(camera footage, chunk interval, mask, region, sample period) processed by the
+same (executable, schema, max_rows, timeout) always yields the same rows,
+because the sandbox builds a fresh executable instance and a freshly seeded
+detector per chunk.  What-if sweeps (Fig. 6/7), repeated noise re-evaluations,
+and overlapping query windows therefore re-process identical chunks over and
+over; :class:`ChunkResultCache` memoizes those executions so only genuinely
+new (chunk, configuration) pairs ever reach an execution engine.
+
+The cache never affects privacy accounting — budgets are charged per release
+by the executor regardless of whether the rows came from the cache — and it
+stores only intermediate rows that never leave the system un-noised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sandbox.environment import ExecutionContext, SandboxRunner
+    from repro.video.chunking import Chunk
+
+from repro.core.engine import ChunkRows
+
+
+def canonical_value(value: Any) -> Any:
+    """Reduce a configuration value to a stable, hashable-repr structure.
+
+    Handles the value shapes that appear in executable/detector/tracker
+    configurations: scalars, enums, (nested) sequences and mappings, and
+    dataclasses.  Callables are identified by qualified name (their identity
+    in a registry), anything else by ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, Enum):
+        return (type(value).__name__, value.value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,
+                tuple((spec.name, canonical_value(getattr(value, spec.name)))
+                      for spec in fields(value)))
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(key), canonical_value(item))
+                            for key, item in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [canonical_value(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return tuple(items)
+    if callable(value):
+        return getattr(value, "__qualname__", repr(value))
+    return repr(value)
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable hex digest of a sequence of canonicalized configuration parts."""
+    canonical = repr(tuple(canonical_value(part) for part in parts))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def chunk_fingerprint(chunk: "Chunk") -> str:
+    """Identity of one chunk's *visible content*.
+
+    Footage is identified by the video's name and session-unique content
+    token (a registered camera's footage is immutable for the lifetime of a
+    deployment, and the token keeps distinct footage objects with equal
+    names from colliding when a cache is shared), plus everything that
+    restricts what the executable can see: the interval, the mask, the
+    spatial region, and the frame sampling period.
+    """
+    return fingerprint(
+        chunk.video.name,
+        getattr(chunk.video, "content_token", 0),
+        chunk.video.fps,
+        chunk.video.duration,
+        chunk.index,
+        (chunk.interval.start, chunk.interval.end),
+        chunk.mask,
+        chunk.region,
+        chunk.sample_period,
+    )
+
+
+def runner_fingerprint(runner: "SandboxRunner") -> str:
+    """Identity of the processing configuration applied to every chunk."""
+    executable = runner.executable
+    return fingerprint(
+        getattr(executable, "name", type(executable).__name__),
+        executable.config_fingerprint(),
+        runner.schema,
+        runner.max_rows,
+        runner.timeout_seconds,
+        runner.enforce_wall_clock,
+    )
+
+
+def context_fingerprint(context: "ExecutionContext") -> str:
+    """Identity of the chunk-independent execution inputs."""
+    return fingerprint(
+        context.camera,
+        context.fps,
+        context.detector_config,
+        context.tracker_config,
+        context.metadata,
+        context.detector_seed,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ChunkResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters plus hit rate, for benchmark tables and logs."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": round(self.hit_rate, 3)}
+
+
+class ChunkResultCache:
+    """LRU cache from (chunk, runner, context) identity to sandbox output rows.
+
+    Rows are copied on the way in and on the way out so callers can mutate
+    their tables without corrupting cached entries.  ``max_entries`` bounds
+    memory; the least recently used entry is evicted first.
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, tuple[dict[str, Any], ...]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, runner: "SandboxRunner", chunk: "Chunk",
+                context: "ExecutionContext") -> str:
+        """Cache key of one chunk execution."""
+        return fingerprint(chunk_fingerprint(chunk), runner_fingerprint(runner),
+                           context_fingerprint(context))
+
+    def get(self, key: str) -> ChunkRows | None:
+        """Rows cached under ``key`` (a fresh copy), or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return [dict(row) for row in entry]
+
+    def put(self, key: str, rows: ChunkRows) -> None:
+        """Store the rows of one chunk execution under ``key``."""
+        self._entries[key] = tuple(dict(row) for row in rows)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``reset_stats`` for those)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.stats = CacheStats()

@@ -1,0 +1,212 @@
+"""Pluggable chunk execution engines.
+
+Privid's privacy argument requires every chunk to be processed by an
+*independent* instance of the analyst's executable whose only input is that
+chunk (Appendix B).  Independence makes the split-process stage embarrassingly
+parallel: no chunk's output can depend on another chunk's, so the engine that
+schedules chunk work is free to reorder, batch, or distribute it, as long as
+the concatenated rows come back in chunk order.
+
+Three engines are provided:
+
+* :class:`SerialEngine` — one chunk at a time (the default, and the reference
+  behaviour every other engine must reproduce bit for bit);
+* :class:`ThreadPoolEngine` — a shared thread pool, useful when executables
+  release the GIL or block on I/O;
+* :class:`ProcessPoolEngine` — a process pool for CPU-bound executables; the
+  unit of work must be picklable (scenes with callable dynamic attributes are
+  not, and should use the thread or serial engines).
+
+Engines are deliberately ignorant of caching — the
+:class:`~repro.core.cache.ChunkResultCache` filters out memoized chunks before
+the engine ever sees them (see ``SandboxRunner.run_chunks``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from itertools import repeat
+from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sandbox.environment import ExecutionContext, SandboxRunner
+    from repro.video.chunking import Chunk
+
+#: The output of one chunk's sandboxed execution: schema-coerced, stamped rows.
+ChunkRows = list[dict[str, Any]]
+
+
+@dataclass
+class ChunkOutcome:
+    """Rows of one chunk execution plus whether they are safe to memoize.
+
+    ``fallback`` marks the schema-default rows substituted on a crash or a
+    timeout; those can be transient (a wall-clock overrun on a loaded
+    machine), so the result cache must never store them.
+    """
+
+    rows: ChunkRows
+    fallback: bool = False
+
+
+def execute_chunk(runner: "SandboxRunner", chunk: "Chunk",
+                  context: "ExecutionContext") -> ChunkOutcome:
+    """The pure unit of work every engine schedules.
+
+    Module-level (rather than a bound method) so process pools can pickle it;
+    determinism comes from the runner building a fresh executable instance and
+    a freshly seeded detector per chunk, so the result depends only on the
+    arguments — never on scheduling order.
+    """
+    return runner.run_chunk_outcome(chunk, context)
+
+
+def _execute_chunk_thread(runner: "SandboxRunner", chunk: "Chunk",
+                          context: "ExecutionContext") -> ChunkOutcome:
+    """Thread-pool unit of work: time out on per-thread CPU time.
+
+    Concurrent threads share the GIL, so a chunk's wall-clock elapsed time is
+    inflated by its neighbours; measuring the thread's own CPU time keeps the
+    TIMEOUT check equivalent to an uncontended serial run and preserves the
+    engines-produce-identical-results guarantee.
+    """
+    return runner.run_chunk_outcome(chunk, context, thread_clock=True)
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """Schedules independent chunk executions and preserves chunk order."""
+
+    name: str
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+                   context: "ExecutionContext") -> list[ChunkOutcome]:
+        """Run every chunk through the runner, returning outcomes in chunk order."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SerialEngine:
+    """Processes chunks one at a time on the calling thread (reference engine)."""
+
+    name: str = field(default="serial", init=False)
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+                   context: "ExecutionContext") -> list[ChunkOutcome]:
+        return [execute_chunk(runner, chunk, context) for chunk in chunks]
+
+
+def _default_workers() -> int:
+    return max(2, (os.cpu_count() or 2))
+
+
+@dataclass
+class ThreadPoolEngine:
+    """Processes chunks on a persistent pool of threads.
+
+    Python threads only overlap executables that release the GIL or wait on
+    I/O; for the pure-Python synthetic executables the win is modest, but the
+    engine exists so real deployments (whose detectors run in native code) get
+    parallelism without pickling requirements.  TIMEOUT enforcement uses
+    per-thread CPU time (see :func:`_execute_chunk_thread`), so an executable
+    that merely *sleeps* past its timeout is only caught by the serial and
+    process engines' wall clocks.
+
+    The pool is created lazily on first use and reused across queries; call
+    :meth:`shutdown` to release the worker threads early.
+    """
+
+    max_workers: int | None = None
+    name: str = field(default="thread", init=False)
+    _pool: ThreadPoolExecutor | None = field(default=None, init=False, repr=False,
+                                             compare=False)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers or _default_workers())
+        return self._pool
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+                   context: "ExecutionContext") -> list[ChunkOutcome]:
+        if len(chunks) <= 1:
+            return [execute_chunk(runner, chunk, context) for chunk in chunks]
+        return list(self._ensure_pool().map(_execute_chunk_thread, repeat(runner), chunks,
+                                            repeat(context)))
+
+    def shutdown(self) -> None:
+        """Release the worker threads (the pool is rebuilt on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+@dataclass
+class ProcessPoolEngine:
+    """Processes chunks on a persistent pool of worker processes.
+
+    The runner, chunk, and context are pickled to the workers, so everything
+    they reference must be picklable.  ``chunksize`` batches chunks per IPC
+    round-trip to amortize pickling overhead for large sweeps.
+
+    The pool is created lazily on first use and reused across queries (worker
+    spawn is far too expensive to pay per PROCESS statement); call
+    :meth:`shutdown` to release the worker processes early.
+    """
+
+    max_workers: int | None = None
+    chunksize: int = 1
+    name: str = field(default="process", init=False)
+    _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False,
+                                              compare=False)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers or _default_workers())
+        return self._pool
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+                   context: "ExecutionContext") -> list[ChunkOutcome]:
+        if len(chunks) <= 1:
+            return [execute_chunk(runner, chunk, context) for chunk in chunks]
+        return list(self._ensure_pool().map(execute_chunk, repeat(runner), chunks,
+                                            repeat(context), chunksize=max(1, self.chunksize)))
+
+    def shutdown(self) -> None:
+        """Release the worker processes (the pool is rebuilt on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:
+    """Build an engine from a spec string (``serial``, ``thread[:N]``, ``process[:N]``).
+
+    Passing an engine instance returns it unchanged; ``None`` or an empty
+    string yields the default :class:`SerialEngine`.  The optional ``:N``
+    suffix fixes the worker count (e.g. ``thread:8``).
+    """
+    if spec is None:
+        return SerialEngine()
+    if not isinstance(spec, str):
+        return spec
+    text = spec.strip().lower()
+    if text in ("", "serial"):
+        return SerialEngine()
+    kind, _, workers_text = text.partition(":")
+    workers: int | None = None
+    if workers_text:
+        try:
+            workers = int(workers_text)
+        except ValueError as exc:
+            raise ValueError(f"invalid engine worker count in spec {spec!r}") from exc
+        if workers <= 0:
+            raise ValueError(f"engine worker count must be positive in spec {spec!r}")
+    if kind == "thread":
+        return ThreadPoolEngine(max_workers=workers)
+    if kind == "process":
+        return ProcessPoolEngine(max_workers=workers)
+    raise ValueError(f"unknown execution engine {spec!r}; "
+                     "expected 'serial', 'thread[:N]' or 'process[:N]'")

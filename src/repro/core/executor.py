@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.cache import ChunkResultCache
+from repro.core.engine import ExecutionEngine, create_engine
 from repro.core.noise import LaplaceMechanism
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
 from repro.core.result import QueryResult, ReleaseResult
@@ -78,11 +80,18 @@ class _TableSource:
 class PrividSystem:
     """A deployment of Privid over a set of registered cameras."""
 
-    def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None) -> None:
+    def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None,
+                 engine: ExecutionEngine | str | None = None,
+                 cache: ChunkResultCache | None = None) -> None:
         self.random = RandomSource(seed, path="privid")
         self.mechanism = LaplaceMechanism(self.random)
         self.registry = registry if registry is not None else default_registry()
         self.cameras: dict[str, CameraRegistration] = {}
+        #: Engine scheduling the independent per-chunk executions; accepts an
+        #: instance or a spec string ('serial', 'thread[:N]', 'process[:N]').
+        self.engine: ExecutionEngine = create_engine(engine)
+        #: Optional memoization of chunk outputs across queries of this system.
+        self.chunk_cache = cache
 
     # ------------------------------------------------------------------ setup
 
@@ -138,6 +147,12 @@ class PrividSystem:
         """Minimum remaining per-frame budget of a camera over an interval."""
         return self.camera(camera).ledger.remaining_over(interval)
 
+    def cache_stats(self) -> dict[str, float] | None:
+        """Chunk-cache counters (hits/misses/hit rate), or None when caching is off."""
+        if self.chunk_cache is None:
+            return None
+        return self.chunk_cache.stats.as_dict()
+
     # -------------------------------------------------------------- execution
 
     def _run_splits(self, query: PrividQuery) -> dict[str, _ChunkSet]:
@@ -188,7 +203,8 @@ class PrividSystem:
                 detector_seed=camera.detector_seed,
             )
             table = Table.from_schema(process.schema, name=process.output)
-            table.extend(runner.run_chunks(chunk_set.chunks, context))
+            table.extend(runner.run_chunks(chunk_set.chunks, context,
+                                           engine=self.engine, cache=self.chunk_cache))
             tables[process.output] = table
             properties[process.output] = TableProperties(
                 name=process.output,
@@ -244,6 +260,25 @@ class PrividSystem:
             return TimeInterval(start, start + bucket.width).clamp(window)
         return window
 
+    def _source_intervals(self, release: Release, group: GroupSpec | None,
+                          bucket: TimeBucket | None, table_sources: list[_TableSource]
+                          ) -> dict[str, tuple[TimeInterval, ...]]:
+        """Per-camera frame intervals one release draws budget from.
+
+        Mirrors the budget-request loop of :meth:`execute` exactly — one
+        interval per contributing source, grouped by camera and *not* merged,
+        so the intervals reported on a :class:`ReleaseResult` always match
+        what the ledgers charged (merging would claim the gap between two
+        disjoint source windows of the same camera was charged).
+        """
+        intervals: dict[str, list[TimeInterval]] = {}
+        for source in table_sources:
+            interval = self._release_interval(release, group, bucket, source.window)
+            if interval.duration <= 0:
+                continue
+            intervals.setdefault(source.camera.name, []).append(interval)
+        return {camera: tuple(charged) for camera, charged in intervals.items()}
+
     def execute(self, query: PrividQuery, *, default_epsilon: float = 1.0,
                 add_noise: bool = True, charge_budget: bool = True) -> QueryResult:
         """Run a query end to end and return its (noisy) releases.
@@ -296,9 +331,16 @@ class PrividSystem:
         result = QueryResult(query_name=query.name)
         for select, releases, group, bucket, table_sources, epsilon in prepared:
             for release in releases:
-                interval = self._release_interval(
-                    release, group, bucket,
-                    table_sources[0].window if table_sources else TimeInterval(0.0, 0.0))
+                source_intervals = self._source_intervals(release, group, bucket, table_sources)
+                if source_intervals:
+                    interval = None
+                    for charged in source_intervals.values():
+                        for piece in charged:
+                            interval = piece if interval is None else interval.union_span(piece)
+                else:
+                    interval = self._release_interval(
+                        release, group, bucket,
+                        table_sources[0].window if table_sources else TimeInterval(0.0, 0.0))
                 noise_scale = self.mechanism.scale(release.sensitivity, epsilon)
                 if release.kind is ReleaseKind.ARGMAX:
                     assert release.candidates is not None
@@ -327,6 +369,9 @@ class PrividSystem:
                     noise_scale=noise_scale,
                     group_key=release.group_key,
                     interval=interval,
+                    source_intervals=source_intervals or None,
+                    candidates=dict(release.candidates)
+                    if release.kind is ReleaseKind.ARGMAX and release.candidates else None,
                 ))
                 result.epsilon_consumed += epsilon
         result.metadata["num_tables"] = len(plan_context.tables)
@@ -340,14 +385,20 @@ class PrividSystem:
         The evaluation re-executes every query's noise 100-1000 times
         (Section 8.1); re-running the whole pipeline for each sample would be
         wasteful, and only the noise is random, so this redraws it from the
-        stored raw values, sensitivities and epsilons.
+        stored raw values, sensitivities and epsilons.  ARGMAX releases redraw
+        report-noisy-max over their stored candidates, so the winning key
+        varies across resamples exactly as it would across real re-executions.
         """
         fresh = QueryResult(query_name=result.query_name,
                             epsilon_consumed=result.epsilon_consumed,
                             metadata=dict(result.metadata))
         for release in result.releases:
             if release.kind == ReleaseKind.ARGMAX.value:
-                noisy_value: Any = release.noisy_value
+                if release.candidates:
+                    noisy_value: Any = self.mechanism.noisy_argmax(
+                        release.candidates, release.sensitivity, release.epsilon)
+                else:
+                    noisy_value = release.noisy_value
             else:
                 noisy_value = self.mechanism.add_noise(
                     float(release.raw_value_unsafe), release.sensitivity, release.epsilon)
@@ -361,5 +412,8 @@ class PrividSystem:
                 noise_scale=release.noise_scale,
                 group_key=release.group_key,
                 interval=release.interval,
+                source_intervals=dict(release.source_intervals)
+                if release.source_intervals else None,
+                candidates=dict(release.candidates) if release.candidates else None,
             ))
         return fresh

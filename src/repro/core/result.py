@@ -18,7 +18,16 @@ from repro.utils.timebase import TimeInterval
 
 @dataclass
 class ReleaseResult:
-    """One released datum with its noise accounting."""
+    """One released datum with its noise accounting.
+
+    ``interval`` is the smallest interval covering every frame the release
+    drew budget from (it may include uncharged gaps between sources);
+    ``source_intervals`` lists the exact charged intervals per camera,
+    matching the ledger charges one for one.  ``candidates`` retains the raw
+    per-key values of an ARGMAX release so noise re-sampling can redraw
+    report-noisy-max — like ``raw_value_unsafe`` they are evaluation-only and
+    never released.
+    """
 
     label: str
     kind: str
@@ -29,6 +38,8 @@ class ReleaseResult:
     noise_scale: float
     group_key: Any | None = None
     interval: TimeInterval | None = None
+    source_intervals: dict[str, tuple[TimeInterval, ...]] | None = None
+    candidates: dict[Any, float] | None = None
 
     @property
     def absolute_noise(self) -> float:

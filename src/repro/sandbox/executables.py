@@ -11,9 +11,10 @@ Each executable documents which evaluation queries it serves.
 
 from __future__ import annotations
 
+import copy
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any
 
 from repro.cv.tracker import IoUTracker, Track
@@ -26,7 +27,7 @@ class ProcessExecutable(ABC):
 
     ``process`` receives one chunk and the chunk-independent context and
     returns a list of row dictionaries.  Implementations must not keep state
-    across calls (the sandbox deep-copies the executable per chunk to make
+    across calls (the sandbox runs a fresh instance per chunk to make
     cross-chunk state ineffective even if attempted).
     """
 
@@ -35,6 +36,29 @@ class ProcessExecutable(ABC):
     @abstractmethod
     def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
         """Produce output rows for one chunk."""
+
+    def fresh_instance(self) -> "ProcessExecutable":
+        """A pristine copy of this executable for one chunk's isolated run.
+
+        The registered executable acts as a factory: each chunk is processed
+        by an instance carrying only the registered configuration, never state
+        accumulated by a previous chunk.  The default deep copy is correct for
+        any executable; implementations with expensive immutable assets (e.g.
+        model weights) may override this to share them across instances.
+        """
+        return copy.deepcopy(self)
+
+    def config_fingerprint(self) -> Any:
+        """A stable description of this executable's configuration.
+
+        Used by :class:`~repro.core.cache.ChunkResultCache` to key memoized
+        chunk outputs.  Dataclass executables fingerprint their fields; other
+        implementations should override this if ``repr`` is not stable.
+        """
+        if is_dataclass(self):
+            return (type(self).__name__,
+                    tuple((spec.name, getattr(self, spec.name)) for spec in fields(self)))
+        return (type(self).__name__, repr(self))
 
 
 def _track_chunk(chunk: Chunk, context: ExecutionContext, *, categories: set[str] | None = None

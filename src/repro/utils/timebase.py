@@ -39,6 +39,29 @@ def is_integral_frame_count(seconds: float, fps: float, *, tolerance: float = 1e
     return abs(frames - round(frames)) <= tolerance
 
 
+#: Tolerance (in frames) when mapping float timestamps to frame indices.
+#: Chunk boundaries are frame-aligned by construction, but float arithmetic
+#: can land just below the exact product (e.g. ``29.999999999 * 30``); the
+#: epsilon snaps such values to the intended frame instead of truncating.
+FRAME_INDEX_EPSILON = 1e-6
+
+
+def frame_index_range(start: float, end: float, fps: float, *,
+                      epsilon: float = FRAME_INDEX_EPSILON) -> tuple[int, int]:
+    """Frame indices covered by the half-open time window ``[start, end)``.
+
+    Returns ``(first, last)`` such that ``range(first, last)`` enumerates
+    every frame whose timestamp lies in the window.  A frame belongs to the
+    window when ``start <= index / fps < end``, so ``first`` is the ceiling of
+    ``start * fps`` and ``last`` the ceiling of ``end * fps`` — each computed
+    with an epsilon so float error at a chunk boundary can neither drop the
+    boundary frame nor duplicate it into the neighbouring chunk.
+    """
+    first = math.ceil(start * fps - epsilon)
+    last = math.ceil(end * fps - epsilon)
+    return first, max(first, last)
+
+
 def hour_of(timestamp: float) -> int:
     """Hour-of-period helper mirroring the query language ``hour(chunk)``."""
     return int(timestamp // SECONDS_PER_HOUR)

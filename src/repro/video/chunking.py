@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
-from repro.utils.timebase import TimeInterval
+from repro.utils.timebase import TimeInterval, frame_index_range
 from repro.video.masking import EMPTY_MASK, Mask
 from repro.video.regions import Region, RegionScheme
 from repro.video.video import FrameTruth, SyntheticVideo, VisibleObject
@@ -97,8 +97,7 @@ class Chunk:
         period = self.video.frame_period if self.sample_period is None \
             else max(self.sample_period, self.video.frame_period)
         step = max(1, int(round(period * self.video.fps)))
-        first_frame = int(window.start * self.video.fps)
-        last_frame = int(window.end * self.video.fps)
+        first_frame, last_frame = frame_index_range(window.start, window.end, self.video.fps)
         for frame_index in range(first_frame, last_frame, step):
             timestamp = self.video.frame_timestamp(frame_index)
             visible = tuple(self.video.visible_objects_at(timestamp, candidates=candidates))

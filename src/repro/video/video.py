@@ -10,14 +10,21 @@ that perfect information the way a real CNN would.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from repro.utils.timebase import TimeInterval, is_integral_frame_count
+from repro.utils.timebase import TimeInterval, frame_index_range, is_integral_frame_count
 from repro.video.geometry import BoundingBox
 
 if TYPE_CHECKING:  # imported only for type annotations to avoid a package cycle
     from repro.scene.objects import SceneObject
+
+#: Session-unique tokens telling footage *objects* apart even when their
+#: name/fps/duration coincide (two test videos are both called "test-cam");
+#: chunk caching keys on this so equal-looking but distinct footage never
+#: shares entries.
+_CONTENT_TOKENS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -81,6 +88,12 @@ class SyntheticVideo:
             raise ValueError("frame dimensions must be positive")
         self._index_bucket_size: float = max(60.0, self.duration / 2048.0)
         self._bucket_index: dict[int, list[SceneObject]] | None = None
+        self._content_token: int = next(_CONTENT_TOKENS)
+
+    @property
+    def content_token(self) -> int:
+        """Session-unique identity of this footage object (used by chunk caching)."""
+        return self._content_token
 
     def _build_index(self) -> dict[int, list[SceneObject]]:
         """Build (lazily) a time-bucket index from appearances to objects.
@@ -198,8 +211,7 @@ class SyntheticVideo:
         window = self.interval if window is None else window.clamp(self.interval)
         period = self.frame_period if sample_period is None else max(sample_period, self.frame_period)
         step = max(1, int(round(period * self.fps)))
-        first_frame = int(window.start * self.fps)
-        last_frame = int(window.end * self.fps)
+        first_frame, last_frame = frame_index_range(window.start, window.end, self.fps)
         for frame_index in range(first_frame, last_frame, step):
             yield self.frame_truth(frame_index)
 

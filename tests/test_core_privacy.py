@@ -155,6 +155,43 @@ class TestBudgetLedger:
         ledger.admit(requests, margin=0.0)
         assert ledger.remaining_at(5 * 3600.0) == pytest.approx(0.0)
 
+    def test_multi_camera_all_or_nothing_admission(self):
+        # The executor admits multi-camera queries in two phases: every
+        # camera's ledger is pre-checked with charge=False, and only if all
+        # pass is charge=True applied — a failing camera leaves every ledger
+        # untouched.
+        ledger_a = FrameBudgetLedger(total_epsilon=1.0)
+        ledger_b = FrameBudgetLedger(total_epsilon=0.5)
+        requests = [BudgetRequest(TimeInterval(0, 100), 0.8)]
+        ledger_a.admit(requests, margin=10.0, charge=False)
+        with pytest.raises(BudgetExceededError):
+            ledger_b.admit(requests, margin=10.0, charge=False)
+        assert ledger_a.remaining_at(50.0) == pytest.approx(1.0)
+        assert ledger_b.remaining_at(50.0) == pytest.approx(0.5)
+        # Had both passed, the second phase charges each ledger in turn.
+        richer_b = FrameBudgetLedger(total_epsilon=1.0)
+        for ledger in (ledger_a, richer_b):
+            ledger.admit(requests, margin=10.0, charge=False)
+        for ledger in (ledger_a, richer_b):
+            ledger.admit(requests, margin=10.0, charge=True)
+        assert ledger_a.remaining_at(50.0) == pytest.approx(0.2)
+        assert richer_b.remaining_at(50.0) == pytest.approx(0.2)
+
+    def test_margin_expansion_at_exact_rho_boundary(self):
+        # The admission window is the half-open [a - rho, b + rho): a prior
+        # charge ending exactly at a - rho does not intersect it, while one
+        # extending a single frame further does.
+        rho = 50.0
+        ledger = FrameBudgetLedger(total_epsilon=1.0)
+        ledger.admit([BudgetRequest(TimeInterval(0, 50), 0.6)], margin=0.0)
+        # Expanded window [50, 250) touches the old charge only at its open end.
+        ledger.admit([BudgetRequest(TimeInterval(100, 200), 0.6)], margin=rho)
+        # A request whose expansion reaches one instant into [0, 50) is denied.
+        ledger.reset()
+        ledger.admit([BudgetRequest(TimeInterval(0, 50), 0.6)], margin=0.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.admit([BudgetRequest(TimeInterval(99.0, 200), 0.6)], margin=rho)
+
     def test_invalid_parameters(self):
         with pytest.raises(PolicyError):
             FrameBudgetLedger(total_epsilon=0.0)

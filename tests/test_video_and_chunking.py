@@ -133,6 +133,24 @@ class TestChunking:
         with pytest.raises(ValueError):
             ChunkSpec(window=TimeInterval(0, 10), chunk_duration=0.0)
 
+    def test_frames_at_non_representable_chunk_boundary(self):
+        # Regression: a chunk boundary that float arithmetic places just below
+        # the exact frame product (29.999999999 * 30 = 899.99999997) used to
+        # truncate to frame 899, duplicating the last frame of the previous
+        # chunk and shifting this chunk's coverage.
+        video = make_simple_video(duration=90.0, fps=30.0)
+        boundary_lo = 29.999999999
+        boundary_hi = 59.999999999
+        first = Chunk(video=video, index=0, interval=TimeInterval(0.0, boundary_lo))
+        second = Chunk(video=video, index=1, interval=TimeInterval(boundary_lo, boundary_hi))
+        first_indices = [frame.frame_index for frame in first.frames()]
+        second_indices = [frame.frame_index for frame in second.frames()]
+        assert first_indices == list(range(0, 900))
+        assert second_indices == list(range(900, 1800))
+        # Exact boundaries produce the same frames: no drops, no duplicates.
+        exact = Chunk(video=video, index=1, interval=TimeInterval(30.0, 60.0))
+        assert [frame.frame_index for frame in exact.frames()] == second_indices
+
 
 class TestMasks:
     def test_empty_mask_hides_nothing(self):
