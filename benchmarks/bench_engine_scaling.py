@@ -9,13 +9,20 @@ engine and under a chunk result cache, and checks that
 * every engine produces identical raw results on the fixed seed, and
 * the cache turns a repeated sweep into pure lookups (measurable speedup).
 
-The scene is built from simple linear trajectories only, keeping every object
-picklable so the process pool can be exercised too (scenario scenes carry
-closure-valued dynamic attributes and are thread/serial only).
+It also times the columnar chunk hot path stage by stage (render the
+FrameBatch, detect, track) and emits a machine-readable ``BENCH_pipeline.json``
+(path overridable via ``BENCH_PIPELINE_JSON``) with chunk throughput,
+frames/sec and per-stage timings, which CI uploads as an artifact.
+
+The scene is built from simple linear trajectories with no dynamic
+attributes; scenario scenes (declarative schedules since the columnar
+pipeline PR) are picklable too, so every scene runs on every engine.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from repro.core import (
@@ -26,10 +33,13 @@ from repro.core import (
     ThreadPoolEngine,
 )
 from repro.core.policy import PrivacyPolicy
+from repro.cv.tracker import IoUTracker
 from repro.query.builder import QueryBuilder
+from repro.sandbox.environment import ExecutionContext
 from repro.scene.objects import Appearance, SceneObject
 from repro.scene.trajectory import LinearTrajectory
 from repro.utils.timebase import TimeInterval
+from repro.video.chunking import ChunkSpec, split_interval
 from repro.video.geometry import BoundingBox
 from repro.video.video import SyntheticVideo
 
@@ -90,6 +100,52 @@ def _timed_sweep(system: PrividSystem) -> tuple[float, list]:
     return time.perf_counter() - started, raw
 
 
+def _stage_timings(video: SyntheticVideo) -> dict:
+    """Per-stage wall time over the full chunk set (render / detect / track)."""
+    spec = ChunkSpec(window=TimeInterval(0.0, DURATION), chunk_duration=CHUNK_DURATION)
+    chunks = split_interval(video, spec)
+    context = ExecutionContext(camera="cam", fps=video.fps)
+    detector = context.detector()
+    render_s = detect_s = track_s = 0.0
+    num_frames = 0
+    num_detections = 0
+    for chunk in chunks:
+        started = time.perf_counter()
+        batch = chunk.frame_batch()
+        rendered = time.perf_counter()
+        per_frame = detector.detect_batch(batch, frame_width=video.width,
+                                          frame_height=video.height,
+                                          categories={"person"})
+        detected = time.perf_counter()
+        tracker = IoUTracker(context.tracker_config)
+        for detections in per_frame:
+            tracker.step(detections)
+        tracker.finalize()
+        tracked = time.perf_counter()
+        render_s += rendered - started
+        detect_s += detected - rendered
+        track_s += tracked - detected
+        num_frames += batch.num_frames
+        num_detections += sum(len(detections) for detections in per_frame)
+    return {
+        "num_chunks": len(chunks),
+        "num_frames": num_frames,
+        "num_detections": num_detections,
+        "render_s": round(render_s, 6),
+        "detect_s": round(detect_s, 6),
+        "track_s": round(track_s, 6),
+    }
+
+
+def _write_pipeline_json(payload: dict) -> str:
+    """Write the machine-readable benchmark record for the CI artifact."""
+    path = os.environ.get("BENCH_PIPELINE_JSON", "BENCH_pipeline.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def test_engine_scaling_and_cache_speedup(benchmark):
     video = _picklable_video()
 
@@ -128,3 +184,25 @@ def test_engine_scaling_and_cache_speedup(benchmark):
     # must beat the uncached serial sweep even after paying the cold first run.
     assert timings["serial+cache"] < timings["serial"], \
         "chunk result cache failed to speed up a repeated sweep"
+
+    # Machine-readable record of the chunk hot path for the CI artifact.
+    stages = _stage_timings(video)
+    serial_exec_s = timings["serial"] / SWEEP_REPEATS
+    num_chunks = stages["num_chunks"]
+    payload = {
+        "scene": {
+            "duration_s": DURATION,
+            "chunk_duration_s": CHUNK_DURATION,
+            "fps": video.fps,
+            "num_walkers": NUM_WALKERS,
+            "num_chunks": num_chunks,
+        },
+        "serial_exec_s": round(serial_exec_s, 6),
+        "chunk_throughput_per_s": round(num_chunks / serial_exec_s, 2),
+        "frames_per_s": round(DURATION * video.fps / serial_exec_s, 1),
+        "engine_sweep_s": {label: round(value, 6) for label, value in timings.items()},
+        "stages": stages,
+    }
+    path = _write_pipeline_json(payload)
+    print(f"\nwrote {path}: {payload['chunk_throughput_per_s']} chunks/s, "
+          f"{payload['frames_per_s']} frames/s")

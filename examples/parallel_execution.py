@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import time
 
-from repro.core import ChunkResultCache, PrividSystem, SerialEngine, ThreadPoolEngine
+from repro.core import (
+    ChunkResultCache,
+    ProcessPoolEngine,
+    PrividSystem,
+    SerialEngine,
+    ThreadPoolEngine,
+)
 from repro.query.builder import QueryBuilder
 from repro.scene.scenarios import build_scenario
 from repro.evaluation.runner import register_scenario_camera, scenario_policy_map
@@ -46,15 +52,21 @@ def main() -> None:
     scenario = build_scenario("campus", scale=0.4, duration_hours=2.0, seed=7)
 
     # ----------------------------------------------- engine selection
-    # Scenario scenes carry closure-valued attributes, so they pair with the
-    # serial or thread engines; fully picklable scenes can use 'process:N'.
-    for engine in (SerialEngine(), ThreadPoolEngine(max_workers=4)):
-        system = build_system(scenario, engine=engine)
-        started = time.perf_counter()
-        result = system.execute(hourly_people_query(2.0), charge_budget=False)
-        elapsed = time.perf_counter() - started
-        print(f"engine={engine.name:7s} {elapsed:6.2f}s  "
-              f"hourly counts (noisy): {[round(v, 1) for _, v in result.series()]}")
+    # Scenario scenes use declarative attribute schedules and pickle cleanly,
+    # so every engine — including the process pool — runs every scene.
+    for engine in (SerialEngine(), ThreadPoolEngine(max_workers=4),
+                   ProcessPoolEngine(max_workers=4, chunksize=4)):
+        try:
+            system = build_system(scenario, engine=engine)
+            started = time.perf_counter()
+            result = system.execute(hourly_people_query(2.0), charge_budget=False)
+            elapsed = time.perf_counter() - started
+            print(f"engine={engine.name:7s} {elapsed:6.2f}s  "
+                  f"hourly counts (noisy): {[round(v, 1) for _, v in result.series()]}")
+        finally:
+            shutdown = getattr(engine, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
 
     # ----------------------------------------------- chunk result cache
     # A what-if sweep over nested windows re-processes the same chunks; the

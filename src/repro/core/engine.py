@@ -14,8 +14,10 @@ Three engines are provided:
 * :class:`ThreadPoolEngine` — a shared thread pool, useful when executables
   release the GIL or block on I/O;
 * :class:`ProcessPoolEngine` — a process pool for CPU-bound executables; the
-  unit of work must be picklable (scenes with callable dynamic attributes are
-  not, and should use the thread or serial engines).
+  unit of work must be picklable.  All bundled scenes qualify — dynamic
+  attributes are declarative :mod:`repro.scene.schedules` objects — but a
+  scene hand-built with closure-valued dynamic attributes is not, and should
+  use the thread or serial engines.
 
 Engines are deliberately ignorant of caching — the
 :class:`~repro.core.cache.ChunkResultCache` filters out memoized chunks before

@@ -11,21 +11,50 @@ produces per-frame detections with the failure modes of a real CNN detector:
 * **attribute read errors** — attributes such as colour or licence plate are
   occasionally misread or unavailable.
 
-All randomness is *derived deterministically* from ``(seed, object_id,
-frame_index)`` so the same frame always produces the same detections,
-regardless of how many times (or in which order) chunks are processed.  This
-keeps the non-private baseline and the Privid execution of a query comparable
-apart from chunking effects, exactly as in the paper's evaluation.
+All randomness is *derived deterministically* from ``(seed, stream, object_id,
+frame_index)`` via the counter-based splitmix64 scheme of
+:mod:`repro.utils.hashing`, so the same frame always produces the same
+detections, regardless of how many times (or in which order) chunks are
+processed.  This keeps the non-private baseline and the Privid execution of a
+query comparable apart from chunking effects, exactly as in the paper's
+evaluation.
+
+The preferred entry point is :meth:`SyntheticDetector.detect_batch`, which
+detects a whole :class:`~repro.video.video.FrameBatch` (typically one chunk)
+with vectorized draws — the per-frame :meth:`detect_frame` path computes the
+same draws scalar-by-scalar and therefore yields bit-identical detections.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.utils.hashing import (
+    signed_draw,
+    stream_key,
+    string_token,
+    unit_draw,
+    unit_draws,
+    unit_draws_matrix,
+)
 from repro.video.geometry import BoundingBox
 from repro.video.video import FrameTruth, VisibleObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.video.video import FrameBatch
+
+#: Lane tokens naming the detector's independent draw streams.
+_TAG_MISS = string_token("miss")
+_TAG_JITTER_X = string_token("jx")
+_TAG_JITTER_Y = string_token("jy")
+_TAG_CONFIDENCE = string_token("conf")
+_TAG_ATTRIBUTE = string_token("attr")
+_TAG_FP_COUNT = string_token("fp-count")
+_TAG_FP_X = string_token("fp-x")
+_TAG_FP_Y = string_token("fp-y")
 
 
 @dataclass(frozen=True)
@@ -63,17 +92,6 @@ class DetectorConfig:
         return float(self.category_miss_rates.get(category, self.miss_rate))
 
 
-def _unit_hash(*parts: Any) -> float:
-    """Deterministic hash of the parts mapped to [0, 1)."""
-    digest = hashlib.sha256("|".join(str(part) for part in parts).encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "little") / 2**64
-
-
-def _signed_hash(*parts: Any) -> float:
-    """Deterministic hash of the parts mapped to [-1, 1)."""
-    return 2.0 * _unit_hash(*parts) - 1.0
-
-
 class SyntheticDetector:
     """Stateless, deterministic stand-in for a CNN object detector."""
 
@@ -81,10 +99,14 @@ class SyntheticDetector:
         self.config = config or DetectorConfig()
         self.seed = int(seed)
 
+    def _key(self, tag: int, object_id: str, *extra: int) -> int:
+        """Stream key for one (tag, object) draw stream."""
+        return stream_key(self.seed, tag, string_token(object_id), *extra)
+
     def _detects(self, visible_object: VisibleObject, frame_index: int) -> bool:
         """Decide (deterministically) whether the object is detected in this frame."""
         miss_rate = self.config.miss_rate_for(visible_object.category)
-        draw = _unit_hash(self.seed, "miss", visible_object.object_id, frame_index)
+        draw = unit_draw(self._key(_TAG_MISS, visible_object.object_id), frame_index)
         return draw >= miss_rate
 
     def _jittered_box(self, visible_object: VisibleObject, frame_index: int) -> BoundingBox:
@@ -92,25 +114,29 @@ class SyntheticDetector:
         jitter = self.config.position_jitter
         if jitter <= 0:
             return visible_object.box
-        dx = jitter * _signed_hash(self.seed, "jx", visible_object.object_id, frame_index)
-        dy = jitter * _signed_hash(self.seed, "jy", visible_object.object_id, frame_index)
+        dx = jitter * signed_draw(self._key(_TAG_JITTER_X, visible_object.object_id),
+                                  frame_index)
+        dy = jitter * signed_draw(self._key(_TAG_JITTER_Y, visible_object.object_id),
+                                  frame_index)
         return visible_object.box.translate(dx, dy)
 
     def _observed_attributes(self, visible_object: VisibleObject, frame_index: int,
                              timestamp: float) -> dict[str, Any]:
         """Read the object's attributes, occasionally failing per attribute."""
         observed: dict[str, Any] = {}
+        error_rate = self.config.attribute_error_rate
         for key, value in visible_object.scene_object.attributes_at(timestamp).items():
-            draw = _unit_hash(self.seed, "attr", visible_object.object_id, frame_index, key)
-            if draw >= self.config.attribute_error_rate:
+            draw = unit_draw(self._key(_TAG_ATTRIBUTE, visible_object.object_id,
+                                       string_token(key)), frame_index)
+            if draw >= error_rate:
                 observed[key] = value
         return observed
 
     def _confidence(self, visible_object: VisibleObject, frame_index: int) -> float:
         """Deterministic pseudo-confidence in [min_confidence, 1]."""
         spread = 1.0 - self.config.min_confidence
-        return self.config.min_confidence + spread * _unit_hash(
-            self.seed, "conf", visible_object.object_id, frame_index)
+        return self.config.min_confidence + spread * unit_draw(
+            self._key(_TAG_CONFIDENCE, visible_object.object_id), frame_index)
 
     def _false_positives(self, frame: FrameTruth, frame_width: float,
                          frame_height: float) -> list[Detection]:
@@ -118,11 +144,14 @@ class SyntheticDetector:
         rate = self.config.false_positives_per_frame
         if rate <= 0:
             return []
-        count = int(rate) + (1 if _unit_hash(self.seed, "fp-count", frame.frame_index) < rate % 1 else 0)
+        count = int(rate) + (1 if unit_draw(stream_key(self.seed, _TAG_FP_COUNT),
+                                            frame.frame_index) < rate % 1 else 0)
         detections: list[Detection] = []
-        for i in range(count):
-            x = frame_width * _unit_hash(self.seed, "fp-x", frame.frame_index, i)
-            y = frame_height * _unit_hash(self.seed, "fp-y", frame.frame_index, i)
+        for slot in range(count):
+            x = frame_width * unit_draw(stream_key(self.seed, _TAG_FP_X, slot),
+                                        frame.frame_index)
+            y = frame_height * unit_draw(stream_key(self.seed, _TAG_FP_Y, slot),
+                                         frame.frame_index)
             detections.append(Detection(
                 timestamp=frame.timestamp,
                 frame_index=frame.frame_index,
@@ -135,7 +164,7 @@ class SyntheticDetector:
 
     def detect_frame(self, frame: FrameTruth, *, frame_width: float = 1280.0,
                      frame_height: float = 720.0) -> list[Detection]:
-        """Detect objects in a single ground-truth frame."""
+        """Detect objects in a single ground-truth frame (legacy scalar path)."""
         detections: list[Detection] = []
         for visible_object in frame.visible:
             if visible_object.category not in self.config.detectable_categories:
@@ -153,6 +182,143 @@ class SyntheticDetector:
             ))
         detections.extend(self._false_positives(frame, frame_width, frame_height))
         return detections
+
+    def detect_batch(self, batch: "FrameBatch", *, frame_width: float = 1280.0,
+                     frame_height: float = 720.0,
+                     categories: Iterable[str] | None = None) -> list[list[Detection]]:
+        """Detect a whole frame batch at once; returns per-frame detection lists.
+
+        All miss/jitter/confidence/attribute draws for an object are computed
+        as vectorized splitmix64 lanes over its visible frame indices, so the
+        per-(seed, object, frame) keying — and therefore every draw — is
+        bit-identical to :meth:`detect_frame` over the same frames.
+        ``categories`` optionally restricts the output (and skips the work)
+        to the given object classes, mirroring the post-hoc filter the
+        executables used to apply.
+        """
+        config = self.config
+        wanted = frozenset(categories) if categories is not None else None
+        num_frames = len(batch)
+        per_frame: list[list[Detection]] = [[] for _ in range(num_frames)]
+        if num_frames == 0:
+            return per_frame
+        timestamps_list = batch.timestamps.tolist()
+        jitter = config.position_jitter
+        spread = 1.0 - config.min_confidence
+        error_rate = config.attribute_error_rate
+        # First pass: collect every draw stream of the chunk — four per object
+        # (miss, jitter x/y, confidence) plus one per attribute — so all of
+        # them evaluate in a single stacked mix64 pass over the frame lanes.
+        entries: list[tuple[Any, str, int, list[str]]] = []
+        stream_keys: list[int] = []
+        for entry in batch.objects:
+            scene_object = entry.scene_object
+            category = scene_object.category
+            if category not in config.detectable_categories:
+                continue
+            if wanted is not None and category not in wanted:
+                continue
+            if not entry.visible.any():
+                continue
+            object_token = string_token(scene_object.object_id)
+            attribute_keys = scene_object.attribute_keys()
+            entries.append((entry, category, len(stream_keys), attribute_keys))
+            stream_keys.append(stream_key(self.seed, _TAG_MISS, object_token))
+            stream_keys.append(stream_key(self.seed, _TAG_JITTER_X, object_token))
+            stream_keys.append(stream_key(self.seed, _TAG_JITTER_Y, object_token))
+            stream_keys.append(stream_key(self.seed, _TAG_CONFIDENCE, object_token))
+            stream_keys.extend(stream_key(self.seed, _TAG_ATTRIBUTE, object_token,
+                                          string_token(key)) for key in attribute_keys)
+        if entries:
+            draws = unit_draws_matrix(stream_keys, batch.frame_indices)
+        for entry, category, first_row, attribute_keys in entries:
+            scene_object = entry.scene_object
+            positions = np.nonzero(entry.visible)[0]
+            miss_rate = config.miss_rate_for(category)
+            detected = draws[first_row, positions] >= miss_rate
+            if not detected.any():
+                continue
+            positions = positions[detected]
+            boxes = entry.boxes[positions]
+            xs = boxes[:, 0]
+            ys = boxes[:, 1]
+            if jitter > 0:
+                xs = xs + jitter * (2.0 * draws[first_row + 1, positions] - 1.0)
+                ys = ys + jitter * (2.0 * draws[first_row + 2, positions] - 1.0)
+            confidences = config.min_confidence + spread * draws[first_row + 3, positions]
+            if attribute_keys:
+                attribute_series = scene_object.attribute_series(batch.timestamps[positions])
+                attribute_columns = [
+                    (key, constant, values,
+                     draws[first_row + 4 + offset, positions] >= error_rate)
+                    for offset, (key, constant, values) in enumerate(attribute_series)
+                ]
+            else:
+                attribute_columns = []
+            xs_list = xs.tolist()
+            ys_list = ys.tolist()
+            widths_list = boxes[:, 2].tolist()
+            heights_list = boxes[:, 3].tolist()
+            confidences_list = confidences.tolist()
+            frames_list = batch.frame_indices[positions].tolist()
+            for row, position in enumerate(positions.tolist()):
+                attributes: dict[str, Any] = {}
+                for key, constant, values, kept in attribute_columns:
+                    if kept[row]:
+                        attributes[key] = constant if values is None else values[row]
+                per_frame[position].append(Detection(
+                    timestamp=timestamps_list[position],
+                    frame_index=frames_list[row],
+                    category=category,
+                    box=BoundingBox(xs_list[row], ys_list[row],
+                                    widths_list[row], heights_list[row]),
+                    confidence=confidences_list[row],
+                    attributes=attributes,
+                ))
+        self._false_positive_batch(batch, per_frame, frame_width, frame_height,
+                                   wanted=wanted)
+        return per_frame
+
+    def _false_positive_batch(self, batch: "FrameBatch",
+                              per_frame: list[list[Detection]],
+                              frame_width: float, frame_height: float, *,
+                              wanted: frozenset[str] | None) -> None:
+        """Append vectorized false positives to each frame's detection list."""
+        rate = self.config.false_positives_per_frame
+        if rate <= 0:
+            return
+        if wanted is not None and "person" not in wanted:
+            return
+        base = int(rate)
+        fraction = rate % 1
+        frames = batch.frame_indices
+        counts = np.full(frames.size, base, dtype=np.int64)
+        if fraction > 0:
+            counts = counts + (unit_draws(stream_key(self.seed, _TAG_FP_COUNT),
+                                          frames) < fraction)
+        max_count = int(counts.max(initial=0))
+        timestamps_list = batch.timestamps.tolist()
+        for slot in range(max_count):
+            selected = np.nonzero(counts > slot)[0]
+            if selected.size == 0:
+                break
+            slot_frames = frames[selected]
+            xs = frame_width * unit_draws(stream_key(self.seed, _TAG_FP_X, slot),
+                                          slot_frames)
+            ys = frame_height * unit_draws(stream_key(self.seed, _TAG_FP_Y, slot),
+                                           slot_frames)
+            xs_list = xs.tolist()
+            ys_list = ys.tolist()
+            frames_list = slot_frames.tolist()
+            for row, position in enumerate(selected.tolist()):
+                per_frame[position].append(Detection(
+                    timestamp=timestamps_list[position],
+                    frame_index=frames_list[row],
+                    category="person",
+                    box=BoundingBox(xs_list[row], ys_list[row], 20.0, 40.0),
+                    confidence=self.config.min_confidence,
+                    attributes={"false_positive": True},
+                ))
 
     def detect_frames(self, frames: Sequence[FrameTruth] | Any, *, frame_width: float = 1280.0,
                       frame_height: float = 720.0) -> list[tuple[FrameTruth, list[Detection]]]:

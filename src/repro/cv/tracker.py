@@ -13,15 +13,30 @@ Like the real trackers, the combination of gap bridging and greedy
 association can merge distinct objects that pass through the same area into
 one long track, which is precisely why CV-estimated maximum durations are
 *conservative over-estimates* of the ground truth (Table 1).
+
+Matching is computed against per-step candidate arrays: each step snapshots
+the active tracks' (possibly motion-predicted) reference boxes once, then
+either runs an allocation-free scalar loop (typical frames carry a handful of
+detections) or computes the full detection x track IoU matrix with numpy when
+the pair count is large.  Both paths apply the same greedy policy — highest
+confidence first, ties broken towards the later candidate — and produce
+identical associations.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from repro.cv.detector import Detection
 from repro.video.geometry import BoundingBox
+
+#: Steps whose detections x candidates pair count reaches this size compute
+#: the IoU matrix with numpy; smaller steps use the scalar loop.
+VECTOR_MATCH_MIN_PAIRS = 64
 
 
 @dataclass(frozen=True)
@@ -57,6 +72,11 @@ class Track:
     category: str
     observations: list[Detection] = field(default_factory=list)
     misses: int = 0
+    #: Matching cache maintained by :meth:`_rebuild_motion_cache`; keyed on
+    #: the observation count, so only count-changing edits (the tracker's
+    #: appends) invalidate it — same-length in-place replacement of
+    #: observations mid-tracking is unsupported.
+    _motion_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def hits(self) -> int:
@@ -85,22 +105,70 @@ class Track:
         """Bounding box of the most recent matched detection."""
         return self.observations[-1].box
 
+    #: Velocity is estimated over (up to) this many recent observations.
+    #: A longer baseline averages out localisation jitter the way SORT's
+    #: Kalman filter does — a two-point estimate amplifies per-box jitter
+    #: into large extrapolation errors across long detection gaps.
+    VELOCITY_WINDOW = 5
+
     def predicted_box(self, frames_ahead: int) -> BoundingBox:
         """Constant-velocity extrapolation of the track's box.
 
-        The per-frame velocity is estimated from the last two matched
-        detections (normalised by the frame gap between them) and projected
+        The per-frame velocity is estimated across the last few matched
+        detections (normalised by the frame span between them) and projected
         ``frames_ahead`` frames past the last detection — the same role the
         Kalman prediction step plays in SORT.
         """
         if len(self.observations) < 2 or frames_ahead <= 0:
             return self.last_box
-        previous = self.observations[-2]
+        baseline = self.observations[-min(len(self.observations), self.VELOCITY_WINDOW)]
         last = self.observations[-1]
-        frame_gap = max(1, last.frame_index - previous.frame_index)
-        vx = (last.box.x - previous.box.x) / frame_gap
-        vy = (last.box.y - previous.box.y) / frame_gap
+        frame_gap = max(1, last.frame_index - baseline.frame_index)
+        vx = (last.box.x - baseline.box.x) / frame_gap
+        vy = (last.box.y - baseline.box.y) / frame_gap
         return last.box.translate(vx * frames_ahead, vy * frames_ahead)
+
+    def _reference_bounds(self, frame_index: int, use_motion: bool
+                          ) -> tuple[float, float, float, float, float]:
+        """Reference box for matching as ``(x1, y1, x2, y2, area)`` floats.
+
+        Equivalent to ``predicted_box(...)`` (same arithmetic, same results)
+        but works from the cached motion state so the hot path avoids
+        materialising a :class:`BoundingBox` per candidate per step.
+        """
+        cache = self._motion_cache
+        if cache is None or cache[0] != len(self.observations):
+            cache = self._rebuild_motion_cache()
+        _, x, y, width, height, area, last_frame, vx, vy = cache
+        if use_motion and vx is not None:
+            frames_ahead = frame_index - last_frame
+            if frames_ahead > 0:
+                x = x + vx * frames_ahead
+                y = y + vy * frames_ahead
+        return x, y, x + width, y + height, area
+
+    def _rebuild_motion_cache(self) -> tuple:
+        """Recompute the matching cache from the observation list.
+
+        The cache holds ``(num_observations, x, y, width, height, area,
+        last_frame_index, vx, vy)``; ``vx``/``vy`` are None until the track
+        has two observations.  It is keyed on the observation count, so
+        appends (and other length-changing edits) are picked up
+        transparently; same-length in-place replacement is not.
+        """
+        observations = self.observations
+        last = observations[-1]
+        box = last.box
+        vx = vy = None
+        if len(observations) >= 2:
+            baseline = observations[-min(len(observations), self.VELOCITY_WINDOW)]
+            frame_gap = max(1, last.frame_index - baseline.frame_index)
+            vx = (box.x - baseline.box.x) / frame_gap
+            vy = (box.y - baseline.box.y) / frame_gap
+        cache = (len(observations), box.x, box.y, box.width, box.height,
+                 box.width * box.height, last.frame_index, vx, vy)
+        self._motion_cache = cache
+        return cache
 
     def attribute_values(self, key: str) -> list[Any]:
         """All observed values of an attribute across the track."""
@@ -115,10 +183,7 @@ class Track:
         values = self.attribute_values(key)
         if not values:
             return default
-        counts: dict[Any, int] = {}
-        for value in values:
-            counts[value] = counts.get(value, 0) + 1
-        return max(counts, key=counts.get)
+        return Counter(values).most_common(1)[0][0]
 
     def is_confirmed(self, min_hits: int) -> bool:
         """True once the track has accumulated at least ``min_hits`` detections."""
@@ -134,48 +199,129 @@ class IoUTracker:
         self._finished: list[Track] = []
         self._next_id = 0
 
-    def _match(self, detection: Detection, candidates: list[Track]) -> Track | None:
-        """Best matching active track for a detection, if any clears the threshold."""
-        best_track: Track | None = None
-        best_iou = self.config.iou_threshold
-        for track in candidates:
-            if self.config.per_category and track.category != detection.category:
-                continue
-            if self.config.use_motion_prediction:
-                frames_ahead = detection.frame_index - track.observations[-1].frame_index
-                reference = track.predicted_box(frames_ahead)
-            else:
-                reference = track.last_box
-            iou = reference.iou(detection.box)
-            if iou >= best_iou:
-                best_iou = iou
-                best_track = track
-        return best_track
+    @staticmethod
+    def _iou_matrix(ordered: list[Detection],
+                    references: list[tuple[float, float, float, float, float]]
+                    ) -> np.ndarray:
+        """Detections x candidates IoU matrix (vectorized wide-step path)."""
+        det = np.array([[d.box.x, d.box.y, d.box.width, d.box.height] for d in ordered],
+                       dtype=np.float64)
+        ref = np.array(references, dtype=np.float64)
+        det_x1 = det[:, 0:1]
+        det_y1 = det[:, 1:2]
+        det_x2 = det_x1 + det[:, 2:3]
+        det_y2 = det_y1 + det[:, 3:4]
+        det_area = det[:, 2:3] * det[:, 3:4]
+        left = np.maximum(det_x1, ref[:, 0])
+        right = np.minimum(det_x2, ref[:, 2])
+        top = np.maximum(det_y1, ref[:, 1])
+        bottom = np.minimum(det_y2, ref[:, 3])
+        width = right - left
+        height = bottom - top
+        intersection = np.where((width > 0) & (height > 0), width * height, 0.0)
+        union = det_area + ref[:, 4] - intersection
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(union > 0, intersection / union, 0.0)
 
     def step(self, detections: Sequence[Detection]) -> None:
         """Consume the detections of one frame (frames must arrive in time order)."""
-        unmatched_tracks = list(self._active)
-        ordered = sorted(detections, key=lambda det: -det.confidence)
-        for detection in ordered:
-            match = self._match(detection, unmatched_tracks)
-            if match is not None:
-                match.observations.append(detection)
-                match.misses = 0
-                unmatched_tracks.remove(match)
-            else:
-                track = Track(track_id=self._next_id, category=detection.category,
-                              observations=[detection])
-                self._next_id += 1
-                self._active.append(track)
-        for track in unmatched_tracks:
-            track.misses += 1
-        still_active: list[Track] = []
-        for track in self._active:
-            if track.misses > self.config.max_age:
-                self._finished.append(track)
-            else:
-                still_active.append(track)
-        self._active = still_active
+        config = self.config
+        candidates = self._active
+        num_candidates = len(candidates)
+        matched = [False] * num_candidates
+        if detections:
+            # A step normally carries one frame's detections, so each
+            # candidate's (motion-predicted) reference box is computed
+            # exactly once; mixed-frame steps (allowed by the signature)
+            # fall back to per-detection prediction below.
+            frame_index = detections[0].frame_index
+            mixed_frames = any(det.frame_index != frame_index for det in detections)
+            use_motion = config.use_motion_prediction
+            references = [track._reference_bounds(frame_index, use_motion)
+                          for track in candidates]
+            categories = [track.category for track in candidates] \
+                if config.per_category else None
+            ordered = sorted(detections, key=lambda det: -det.confidence) \
+                if len(detections) > 1 else list(detections)
+            iou_matrix = None
+            if num_candidates and not mixed_frames \
+                    and len(ordered) * num_candidates >= VECTOR_MATCH_MIN_PAIRS:
+                iou_matrix = self._iou_matrix(ordered, references)
+            threshold = config.iou_threshold
+            new_tracks: list[Track] = []
+            for det_index, detection in enumerate(ordered):
+                best = -1
+                best_iou = threshold
+                if iou_matrix is not None:
+                    row = iou_matrix[det_index]
+                    for index in range(num_candidates):
+                        if matched[index]:
+                            continue
+                        if categories is not None and categories[index] != detection.category:
+                            continue
+                        iou = row[index]
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best = index
+                else:
+                    box = detection.box
+                    det_x1 = box.x
+                    det_y1 = box.y
+                    det_x2 = det_x1 + box.width
+                    det_y2 = det_y1 + box.height
+                    det_area = box.width * box.height
+                    for index in range(num_candidates):
+                        if matched[index]:
+                            continue
+                        if categories is not None and categories[index] != detection.category:
+                            continue
+                        if mixed_frames and detection.frame_index != frame_index:
+                            reference = candidates[index]._reference_bounds(
+                                detection.frame_index, use_motion)
+                        else:
+                            reference = references[index]
+                        ref_x1, ref_y1, ref_x2, ref_y2, ref_area = reference
+                        left = det_x1 if det_x1 > ref_x1 else ref_x1
+                        right = det_x2 if det_x2 < ref_x2 else ref_x2
+                        top = det_y1 if det_y1 > ref_y1 else ref_y1
+                        bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                        if right > left and bottom > top:
+                            intersection = (right - left) * (bottom - top)
+                            union = det_area + ref_area - intersection
+                            iou = intersection / union if union > 0 else 0.0
+                        else:
+                            iou = 0.0
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best = index
+                if best >= 0:
+                    track = candidates[best]
+                    track.observations.append(detection)
+                    track.misses = 0
+                    matched[best] = True
+                else:
+                    new_tracks.append(Track(track_id=self._next_id,
+                                            category=detection.category,
+                                            observations=[detection]))
+                    self._next_id += 1
+            if new_tracks:
+                self._active.extend(new_tracks)
+        max_age = config.max_age
+        expired = False
+        for index in range(num_candidates):
+            if not matched[index]:
+                track = candidates[index]
+                track.misses += 1
+                if track.misses > max_age:
+                    expired = True
+        if expired:
+            still_active: list[Track] = []
+            for track in self._active:
+                if track.misses > max_age:
+                    self._finished.append(track)
+                else:
+                    still_active.append(track)
+            self._active = still_active
 
     def finalize(self) -> list[Track]:
         """Flush remaining active tracks and return every *confirmed* track."""

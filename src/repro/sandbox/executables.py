@@ -63,14 +63,19 @@ class ProcessExecutable(ABC):
 
 def _track_chunk(chunk: Chunk, context: ExecutionContext, *, categories: set[str] | None = None
                  ) -> list[Track]:
-    """Detect and track objects within a single chunk (the common preamble)."""
+    """Detect and track objects within a single chunk (the common preamble).
+
+    The chunk renders once as a columnar
+    :class:`~repro.video.video.FrameBatch` and the detector computes every
+    draw for the chunk in vectorized array ops; only the (cheap, stateful)
+    tracker consumes the frames one at a time.
+    """
     detector = context.detector()
     tracker = IoUTracker(context.tracker_config)
-    for frame in chunk.frames():
-        detections = detector.detect_frame(frame, frame_width=chunk.video.width,
-                                           frame_height=chunk.video.height)
-        if categories is not None:
-            detections = [det for det in detections if det.category in categories]
+    batch = chunk.frame_batch()
+    for detections in detector.detect_batch(batch, frame_width=chunk.video.width,
+                                            frame_height=chunk.video.height,
+                                            categories=categories):
         tracker.step(detections)
     return tracker.finalize()
 
@@ -150,17 +155,17 @@ class TreeLeafClassifier(ProcessExecutable):
 
     def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
         detector = context.detector()
+        # single-frame semantics even if the chunk holds more frames
+        per_frame = detector.detect_batch(chunk.frame_batch(max_frames=1),
+                                          frame_width=chunk.video.width,
+                                          frame_height=chunk.video.height,
+                                          categories={"tree"})
         rows: list[dict[str, Any]] = []
-        for frame in chunk.frames():
-            for detection in detector.detect_frame(frame, frame_width=chunk.video.width,
-                                                   frame_height=chunk.video.height):
-                if detection.category != "tree":
-                    continue
-                has_leaves = detection.attributes.get("has_leaves")
-                if has_leaves is None:
-                    continue
-                rows.append({"has_leaves": 100.0 if has_leaves else 0.0})
-            break  # single-frame semantics even if the chunk holds more frames
+        for detection in per_frame[0] if per_frame else []:
+            has_leaves = detection.attributes.get("has_leaves")
+            if has_leaves is None:
+                continue
+            rows.append({"has_leaves": 100.0 if has_leaves else 0.0})
         return rows
 
 
@@ -180,14 +185,15 @@ class RedLightObserver(ProcessExecutable):
     def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
         detector = context.detector()
         transitions: list[tuple[float, str]] = []
-        for frame in chunk.frames():
-            for detection in detector.detect_frame(frame, frame_width=chunk.video.width,
-                                                   frame_height=chunk.video.height):
-                if detection.category != "traffic_light":
-                    continue
+        per_frame = detector.detect_batch(chunk.frame_batch(),
+                                          frame_width=chunk.video.width,
+                                          frame_height=chunk.video.height,
+                                          categories={"traffic_light"})
+        for detections in per_frame:
+            for detection in detections:
                 state = detection.attributes.get("light_state")
                 if state is not None:
-                    transitions.append((frame.timestamp, str(state)))
+                    transitions.append((detection.timestamp, str(state)))
                 break
         rows: list[dict[str, Any]] = []
         red_started: float | None = None

@@ -1,6 +1,12 @@
 """Synthetic scene substrate standing in for the paper's real videos."""
 
 from repro.scene.objects import Appearance, SceneObject
+from repro.scene.schedules import (
+    AttributeSchedule,
+    ConstantSchedule,
+    CyclicSchedule,
+    periodic_two_state,
+)
 from repro.scene.trajectory import (
     LinearTrajectory,
     StationaryTrajectory,
@@ -20,6 +26,10 @@ from repro.scene.porto import PortoConfig, PortoDataset, generate_porto_dataset
 __all__ = [
     "Appearance",
     "SceneObject",
+    "AttributeSchedule",
+    "ConstantSchedule",
+    "CyclicSchedule",
+    "periodic_two_state",
     "Trajectory",
     "LinearTrajectory",
     "StationaryTrajectory",

@@ -12,9 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+import numpy as np
+
+from repro.scene.schedules import AttributeSchedule
 from repro.scene.trajectory import Trajectory
 from repro.utils.timebase import TimeInterval
 from repro.video.geometry import BoundingBox
+
+#: A time-varying attribute: a declarative (picklable, batch-evaluable)
+#: schedule, or a bare ``timestamp -> value`` callable kept for backwards
+#: compatibility with closure-based scenes.
+DynamicAttribute = AttributeSchedule | Callable[[float], Any]
 
 #: Object categories the paper treats as private (individually identifying).
 PRIVATE_CATEGORIES = frozenset({"person", "car", "taxi", "bike"})
@@ -45,6 +53,10 @@ class Appearance:
             return None
         return self.trajectory.box_at(timestamp - self.interval.start)
 
+    def visible_mask(self, timestamps: np.ndarray) -> np.ndarray:
+        """Boolean mask of the timestamps this appearance covers (vectorized)."""
+        return (timestamps >= self.interval.start) & (timestamps < self.interval.end)
+
 
 @dataclass
 class SceneObject:
@@ -54,21 +66,61 @@ class SceneObject:
     category: str
     appearances: list[Appearance] = field(default_factory=list)
     attributes: dict[str, Any] = field(default_factory=dict)
-    dynamic_attributes: dict[str, Callable[[float], Any]] = field(default_factory=dict)
+    dynamic_attributes: dict[str, DynamicAttribute] = field(default_factory=dict)
 
     def attributes_at(self, timestamp: float) -> dict[str, Any]:
         """Static attributes merged with time-varying ones evaluated at ``timestamp``.
 
         Dynamic attributes model observable state that changes over time (for
         example a traffic light's current colour); a real detector would read
-        this from pixels.
+        this from pixels.  They are normally declarative
+        :class:`~repro.scene.schedules.AttributeSchedule` objects (picklable,
+        batch-evaluable); bare callables still work.
         """
         if not self.dynamic_attributes:
             return dict(self.attributes)
         merged = dict(self.attributes)
-        for key, fn in self.dynamic_attributes.items():
-            merged[key] = fn(timestamp)
+        for key, schedule in self.dynamic_attributes.items():
+            merged[key] = schedule(timestamp) if callable(schedule) \
+                else schedule.value_at(timestamp)
         return merged
+
+    def attribute_keys(self) -> list[str]:
+        """Attribute names in the order :meth:`attributes_at` produces them.
+
+        Static keys first (a dynamic attribute overriding a static one keeps
+        the static position, matching dict-merge order), then dynamic-only
+        keys.  The batched detector allocates one draw stream per entry of
+        this list, and :meth:`attribute_series` evaluates in the same order,
+        so the two stay aligned by construction.
+        """
+        keys = list(self.attributes)
+        keys.extend(key for key in self.dynamic_attributes if key not in self.attributes)
+        return keys
+
+    def attribute_series(self, timestamps: np.ndarray
+                         ) -> list[tuple[str, Any, list[Any] | None]]:
+        """Attribute values evaluated for a whole batch of timestamps.
+
+        Returns ``(key, constant_value, per_frame_values)`` triples in
+        :meth:`attribute_keys` order; ``per_frame_values`` is ``None`` for
+        static attributes (the constant applies to every frame).  Schedules
+        evaluate the batch in one vectorized call; bare callables fall back
+        to one call per timestamp.
+        """
+        dynamic = self.dynamic_attributes
+        series: list[tuple[str, Any, list[Any] | None]] = []
+        for key in self.attribute_keys():
+            if key in dynamic:
+                schedule = dynamic[key]
+                if isinstance(schedule, AttributeSchedule):
+                    values = list(schedule.values_at(timestamps))
+                else:
+                    values = [schedule(timestamp) for timestamp in timestamps.tolist()]
+                series.append((key, None, values))
+            else:
+                series.append((key, self.attributes[key], None))
+        return series
 
     @property
     def is_private(self) -> bool:

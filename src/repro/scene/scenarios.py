@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.cv.detector import DetectorConfig
 from repro.cv.tracker import TrackerConfig
+from repro.scene.schedules import AttributeSchedule, CyclicSchedule
 from repro.scene.simulator import (
     CrossingPopulation,
     LingerPopulation,
@@ -73,15 +74,18 @@ def _car_attribute_factory(prefix: str) -> Callable[[np.random.Generator, int], 
 
 
 def _traffic_light_factory(red_duration: float, green_duration: float
-                           ) -> Callable[[int], dict[str, Callable[[float], Any]]]:
-    """Dynamic-attribute factory producing the light's colour as a function of time."""
-    cycle = red_duration + green_duration
+                           ) -> Callable[[int], dict[str, AttributeSchedule]]:
+    """Dynamic-attribute factory producing the light's colour schedule.
 
-    def factory(_index: int) -> dict[str, Callable[[float], Any]]:
-        def light_state(timestamp: float) -> str:
-            return "RED" if (timestamp % cycle) < red_duration else "GREEN"
+    Declarative :class:`~repro.scene.schedules.CyclicSchedule` objects (not
+    closures) keep scenario videos picklable, so every benchmark scene runs
+    on the process-pool engine and the batched detector evaluates the light
+    state for a whole chunk in one vectorized call.
+    """
+    schedule = CyclicSchedule(phases=(("RED", red_duration), ("GREEN", green_duration)))
 
-        return {"light_state": light_state}
+    def factory(_index: int) -> dict[str, AttributeSchedule]:
+        return {"light_state": schedule}
 
     return factory
 

@@ -24,7 +24,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.scene.objects import Appearance, SceneObject
+from repro.scene.objects import Appearance, DynamicAttribute, SceneObject
 from repro.scene.trajectory import LinearTrajectory, StationaryTrajectory
 from repro.utils.rng import RandomSource
 from repro.utils.timebase import SECONDS_PER_HOUR, TimeInterval
@@ -98,7 +98,9 @@ class StaticPopulation:
     category: str
     boxes: tuple[BoundingBox, ...]
     attributes: tuple[dict[str, Any], ...] = ()
-    dynamic_attribute_factory: Callable[[int], dict[str, Callable[[float], Any]]] | None = None
+    #: Factory of declarative attribute schedules per object index (closures
+    #: are still accepted, but make the resulting scene unpicklable).
+    dynamic_attribute_factory: Callable[[int], dict[str, DynamicAttribute]] | None = None
     label: str = ""
 
 

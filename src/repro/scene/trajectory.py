@@ -3,6 +3,12 @@
 A trajectory maps a timestamp (relative to the start of the *appearance* it
 belongs to) to a bounding box.  Trajectories are purely geometric: visibility
 windows are handled by :class:`repro.scene.objects.Appearance`.
+
+Every trajectory also evaluates a whole *batch* of timestamps at once via
+:meth:`Trajectory.boxes_at`: the columnar frame pipeline renders a chunk's
+frames as one broadcasted array op per appearance instead of one Python call
+per frame.  The vectorized implementations mirror the scalar formulas
+operation-for-operation, so both paths produce bit-identical boxes.
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.video.geometry import BoundingBox, interpolate_boxes
 
@@ -25,6 +33,24 @@ class Trajectory(ABC):
     def duration_hint(self) -> float | None:
         """Nominal duration the trajectory was designed for, if any."""
 
+    def boxes_at(self, elapsed: np.ndarray) -> np.ndarray:
+        """Bounding boxes for a batch of elapsed times as an ``(n, 4)`` array.
+
+        Rows are ``[x, y, width, height]``.  The base implementation falls
+        back to per-element :meth:`box_at` so custom trajectories keep
+        working; the built-in trajectories override it with broadcasted
+        array math.
+        """
+        elapsed = np.asarray(elapsed, dtype=np.float64)
+        out = np.empty((elapsed.size, 4), dtype=np.float64)
+        for row, value in enumerate(elapsed.tolist()):
+            box = self.box_at(value)
+            out[row, 0] = box.x
+            out[row, 1] = box.y
+            out[row, 2] = box.width
+            out[row, 3] = box.height
+        return out
+
 
 @dataclass(frozen=True)
 class StationaryTrajectory(Trajectory):
@@ -34,6 +60,12 @@ class StationaryTrajectory(Trajectory):
 
     def box_at(self, elapsed: float) -> BoundingBox:
         return self.box
+
+    def boxes_at(self, elapsed: np.ndarray) -> np.ndarray:
+        elapsed = np.asarray(elapsed, dtype=np.float64)
+        out = np.empty((elapsed.size, 4), dtype=np.float64)
+        out[:] = (self.box.x, self.box.y, self.box.width, self.box.height)
+        return out
 
     def duration_hint(self) -> float | None:
         return None
@@ -58,6 +90,16 @@ class LinearTrajectory(Trajectory):
     def box_at(self, elapsed: float) -> BoundingBox:
         fraction = elapsed / self.duration
         return interpolate_boxes(self.start, self.end, fraction)
+
+    def boxes_at(self, elapsed: np.ndarray) -> np.ndarray:
+        elapsed = np.asarray(elapsed, dtype=np.float64)
+        fraction = np.clip(elapsed / self.duration, 0.0, 1.0)
+        out = np.empty((fraction.size, 4), dtype=np.float64)
+        out[:, 0] = self.start.x + (self.end.x - self.start.x) * fraction
+        out[:, 1] = self.start.y + (self.end.y - self.start.y) * fraction
+        out[:, 2] = self.start.width + (self.end.width - self.start.width) * fraction
+        out[:, 3] = self.start.height + (self.end.height - self.start.height) * fraction
+        return out
 
     def duration_hint(self) -> float | None:
         return self.duration
@@ -97,6 +139,33 @@ class WaypointTrajectory(Trajectory):
                     return box1
                 return interpolate_boxes(box0, box1, (elapsed - t0) / (t1 - t0))
         return last_box  # unreachable, kept for safety
+
+    def boxes_at(self, elapsed: np.ndarray) -> np.ndarray:
+        elapsed = np.asarray(elapsed, dtype=np.float64)
+        times = np.array([pair[0] for pair in self.waypoints], dtype=np.float64)
+        coords = np.array([[box.x, box.y, box.width, box.height]
+                           for _, box in self.waypoints], dtype=np.float64)
+        # side='left' selects the segment ending at an exact waypoint time,
+        # matching the scalar loop's first `t0 <= elapsed <= t1` pair.
+        upper = np.clip(np.searchsorted(times, elapsed, side="left"), 1, len(times) - 1)
+        lower = upper - 1
+        t0 = times[lower]
+        dt = times[upper] - t0
+        safe_dt = np.where(dt > 0, dt, 1.0)
+        fraction = np.clip((elapsed - t0) / safe_dt, 0.0, 1.0)
+        # zero-length segments snap to the segment's end box (scalar: box1).
+        fraction = np.where(dt > 0, fraction, 1.0)
+        start = coords[lower]
+        end = coords[upper]
+        out = start + (end - start) * fraction[:, np.newaxis]
+        # the scalar path returns boxes *exactly* (no interpolation
+        # round-off) for zero-length segments and outside the covered range.
+        zero_dt = dt <= 0
+        if zero_dt.any():
+            out[zero_dt] = end[zero_dt]
+        out[elapsed <= times[0]] = coords[0]
+        out[elapsed >= times[-1]] = coords[-1]
+        return out
 
     def duration_hint(self) -> float | None:
         return self.waypoints[-1][0] - self.waypoints[0][0]

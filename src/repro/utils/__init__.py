@@ -1,5 +1,11 @@
 """Shared utilities: time bases, random-number management, statistics."""
 
+from repro.utils.hashing import (
+    stream_key,
+    string_token,
+    unit_draw,
+    unit_draws,
+)
 from repro.utils.timebase import TimeInterval, frames_to_seconds, seconds_to_frames
 from repro.utils.rng import RandomSource, derive_rng
 from repro.utils.stats import (
@@ -11,6 +17,10 @@ from repro.utils.stats import (
 )
 
 __all__ = [
+    "stream_key",
+    "string_token",
+    "unit_draw",
+    "unit_draws",
     "TimeInterval",
     "frames_to_seconds",
     "seconds_to_frames",

@@ -46,6 +46,28 @@ def is_integral_frame_count(seconds: float, fps: float, *, tolerance: float = 1e
 FRAME_INDEX_EPSILON = 1e-6
 
 
+def frame_index_of(timestamp: float, fps: float, *,
+                   epsilon: float = FRAME_INDEX_EPSILON) -> int:
+    """Frame index containing ``timestamp``, robust to float error.
+
+    A bare ``int(timestamp * fps)`` truncates products that land just below
+    the exact frame boundary (e.g. ``0.2999999... * 10``); the epsilon snaps
+    such values to the intended frame before flooring.
+    """
+    return int(math.floor(timestamp * fps + epsilon))
+
+
+def num_frames_in(duration: float, fps: float, *,
+                  epsilon: float = FRAME_INDEX_EPSILON) -> int:
+    """Number of whole frames in ``[0, duration)``, robust to float error.
+
+    Consistent with :func:`frame_index_range` over the same window, so a
+    video's ``num_frames`` always equals the number of frames its iterators
+    yield (``duration=0.3, fps=10`` is 3 frames, not ``int(2.999...) == 2``).
+    """
+    return frame_index_range(0.0, duration, fps, epsilon=epsilon)[1]
+
+
 def frame_index_range(start: float, end: float, fps: float, *,
                       epsilon: float = FRAME_INDEX_EPSILON) -> tuple[int, int]:
     """Frame indices covered by the half-open time window ``[start, end)``.

@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
+import numpy as np
+
 from repro.utils.timebase import TimeInterval, frame_index_range
 from repro.video.masking import EMPTY_MASK, Mask
 from repro.video.regions import Region, RegionScheme
-from repro.video.video import FrameTruth, SyntheticVideo, VisibleObject
+from repro.video.video import FrameBatch, FrameTruth, SyntheticVideo
 
 
 @dataclass(frozen=True)
@@ -79,30 +81,64 @@ class Chunk:
         """Chunk duration in seconds."""
         return self.interval.duration
 
-    def _filter_visible(self, visible: tuple[VisibleObject, ...]) -> tuple[VisibleObject, ...]:
-        """Apply the mask and region restriction to one frame's ground truth."""
-        kept: list[VisibleObject] = []
-        for visible_object in visible:
-            if self.mask.hides(visible_object.box):
-                continue
-            if self.region is not None and not self.region.contains(visible_object.box.center):
-                continue
-            kept.append(visible_object)
-        return tuple(kept)
+    def _apply_filters(self, batch: FrameBatch) -> FrameBatch:
+        """Apply the mask and region restriction to a whole batch (vectorized).
 
-    def frames(self) -> Iterator[FrameTruth]:
-        """Yield masked/region-filtered ground truth for each frame of the chunk."""
+        Coverage and containment are computed as array intersection math over
+        each object's per-frame boxes; objects left with no visible frame are
+        dropped from the batch entirely.
+        """
+        if self.mask.is_empty and self.region is None:
+            return batch
+        kept = []
+        for entry in batch.objects:
+            visible = entry.visible
+            if not self.mask.is_empty:
+                positions = np.nonzero(visible)[0]
+                hidden = self.mask.hides_boxes(entry.boxes[positions])
+                if hidden.any():
+                    visible[positions[hidden]] = False
+            if self.region is not None and visible.any():
+                positions = np.nonzero(visible)[0]
+                boxes = entry.boxes[positions]
+                centers_x = boxes[:, 0] + boxes[:, 2] / 2.0
+                centers_y = boxes[:, 1] + boxes[:, 3] / 2.0
+                inside = self.region.contains_points(centers_x, centers_y)
+                if not inside.all():
+                    visible[positions[~inside]] = False
+            if visible.any():
+                kept.append(entry)
+        batch.objects = kept
+        return batch
+
+    def frame_batch(self, *, max_frames: int | None = None) -> FrameBatch:
+        """Columnar masked/region-filtered ground truth for the whole chunk.
+
+        This is the hot path every executable-facing view derives from: the
+        chunk renders as one :class:`~repro.video.video.FrameBatch` and the
+        mask/region restriction is applied as vectorized box math.
+        ``max_frames`` truncates the batch to the chunk's first frames, for
+        executables with single-frame semantics.
+        """
         candidates = self.video.objects_overlapping(self.interval)
         window = self.interval.clamp(self.video.interval)
-        period = self.video.frame_period if self.sample_period is None \
-            else max(self.sample_period, self.video.frame_period)
-        step = max(1, int(round(period * self.video.fps)))
-        first_frame, last_frame = frame_index_range(window.start, window.end, self.video.fps)
-        for frame_index in range(first_frame, last_frame, step):
-            timestamp = self.video.frame_timestamp(frame_index)
-            visible = tuple(self.video.visible_objects_at(timestamp, candidates=candidates))
-            yield FrameTruth(timestamp=timestamp, frame_index=frame_index,
-                             visible=self._filter_visible(visible))
+        step = self.video._sample_step(self.sample_period)
+        first_frame, last_frame = frame_index_range(window.start, window.end,
+                                                    self.video.fps)
+        frame_indices = np.arange(first_frame, last_frame, step, dtype=np.int64)
+        if max_frames is not None:
+            frame_indices = frame_indices[:max_frames]
+        batch = self.video.batch_for_indices(frame_indices, candidates)
+        return self._apply_filters(batch)
+
+    def frames(self) -> Iterator[FrameTruth]:
+        """Yield masked/region-filtered ground truth for each frame of the chunk.
+
+        Legacy per-frame adapter over :meth:`frame_batch`, kept so
+        third-party executables written against the frame iterator keep
+        working unchanged.
+        """
+        yield from self.frame_batch().iter_frames()
 
     def visible_objects(self) -> list:
         """Ground-truth objects visible at some point during the chunk.

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import MaskError
 from repro.video.geometry import BoundingBox, GridSpec
 
@@ -58,6 +60,41 @@ class Mask:
         if self.is_empty:
             return False
         return self.covered_fraction(box) >= self.hide_threshold
+
+    def covered_fractions(self, boxes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`covered_fraction` over an ``(n, 4)`` box array.
+
+        Rows are ``[x, y, width, height]``.  The intersection-area math
+        mirrors the scalar path operation-for-operation (same region order,
+        same left-to-right accumulation), so both produce identical floats.
+        """
+        boxes = np.asarray(boxes, dtype=np.float64)
+        count = boxes.shape[0]
+        if count == 0 or self.is_empty:
+            return np.zeros(count, dtype=np.float64)
+        x1 = boxes[:, 0]
+        y1 = boxes[:, 1]
+        x2 = x1 + boxes[:, 2]
+        y2 = y1 + boxes[:, 3]
+        areas = boxes[:, 2] * boxes[:, 3]
+        covered = np.zeros(count, dtype=np.float64)
+        for region in self.regions:
+            left = np.maximum(x1, region.x)
+            right = np.minimum(x2, region.x2)
+            top = np.maximum(y1, region.y)
+            bottom = np.minimum(y2, region.y2)
+            width = right - left
+            height = bottom - top
+            covered += np.where((width > 0) & (height > 0), width * height, 0.0)
+        safe_areas = np.where(areas > 0, areas, 1.0)
+        return np.where(areas > 0, np.minimum(1.0, covered / safe_areas), 0.0)
+
+    def hides_boxes(self, boxes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`hides` over an ``(n, 4)`` box array."""
+        boxes = np.asarray(boxes, dtype=np.float64)
+        if self.is_empty:
+            return np.zeros(boxes.shape[0], dtype=bool)
+        return self.covered_fractions(boxes) >= self.hide_threshold
 
     def union(self, other: "Mask", *, name: str | None = None) -> "Mask":
         """Return a mask combining both sets of regions."""

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import RegionError
 from repro.video.geometry import BoundingBox, Point
 
@@ -36,6 +38,12 @@ class Region:
     def contains(self, point: Point) -> bool:
         """True if the point lies inside the region."""
         return self.box.contains_point(point)
+
+    def contains_points(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over coordinate arrays (edges inclusive)."""
+        box = self.box
+        return ((box.x <= xs) & (xs <= box.x2)
+                & (box.y <= ys) & (ys <= box.y2))
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
-from repro.utils.timebase import TimeInterval, frame_index_range, is_integral_frame_count
+import numpy as np
+
+from repro.utils.timebase import (
+    TimeInterval,
+    frame_index_of,
+    frame_index_range,
+    is_integral_frame_count,
+    num_frames_in,
+)
 from repro.video.geometry import BoundingBox
 
 if TYPE_CHECKING:  # imported only for type annotations to avoid a package cycle
@@ -61,6 +69,106 @@ class FrameTruth:
     def of_category(self, category: str) -> tuple[VisibleObject, ...]:
         """Visible objects of the given category."""
         return tuple(obj for obj in self.visible if obj.category == category)
+
+
+@dataclass
+class BatchObject:
+    """One object's columnar ground truth across a batch of frames.
+
+    ``visible`` marks the batch positions the object appears in; ``boxes``
+    holds the ``[x, y, width, height]`` row for every position (rows where
+    ``visible`` is False are unspecified).
+    """
+
+    scene_object: SceneObject
+    visible: np.ndarray
+    boxes: np.ndarray
+
+
+@dataclass
+class FrameBatch:
+    """Columnar ground truth for a run of frames (the chunk hot-path format).
+
+    Instead of one :class:`FrameTruth` object per frame, a batch stores the
+    frame indices and timestamps as arrays plus one :class:`BatchObject` per
+    scene object with any visibility in the window.  The batched detector
+    consumes this directly; :meth:`iter_frames` adapts it back to the legacy
+    per-frame representation for third-party executables.
+    """
+
+    frame_indices: np.ndarray
+    timestamps: np.ndarray
+    objects: list[BatchObject]
+    width: float
+    height: float
+    fps: float
+
+    def __len__(self) -> int:
+        return int(self.frame_indices.size)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the batch."""
+        return int(self.frame_indices.size)
+
+    def total_visible(self) -> int:
+        """Total ground-truth object-frame pairs in the batch."""
+        return int(sum(int(entry.visible.sum()) for entry in self.objects))
+
+    def frame_truth(self, position: int) -> FrameTruth:
+        """Legacy per-frame view of batch position ``position``."""
+        visible: list[VisibleObject] = []
+        for entry in self.objects:
+            if entry.visible[position]:
+                x, y, width, height = entry.boxes[position].tolist()
+                visible.append(VisibleObject(entry.scene_object,
+                                             BoundingBox(x, y, width, height)))
+        return FrameTruth(timestamp=float(self.timestamps[position]),
+                          frame_index=int(self.frame_indices[position]),
+                          visible=tuple(visible))
+
+    def iter_frames(self) -> Iterator[FrameTruth]:
+        """Yield legacy :class:`FrameTruth` objects for every batch position."""
+        timestamps = self.timestamps.tolist()
+        frame_indices = self.frame_indices.tolist()
+        per_object = [(entry.scene_object, entry.visible.tolist(), entry.boxes.tolist())
+                      for entry in self.objects]
+        for position in range(len(frame_indices)):
+            visible: list[VisibleObject] = []
+            for scene_object, visible_flags, boxes in per_object:
+                if visible_flags[position]:
+                    x, y, width, height = boxes[position]
+                    visible.append(VisibleObject(scene_object,
+                                                 BoundingBox(x, y, width, height)))
+            yield FrameTruth(timestamp=timestamps[position],
+                             frame_index=frame_indices[position],
+                             visible=tuple(visible))
+
+
+def _batch_object(scene_object: SceneObject, timestamps: np.ndarray) -> BatchObject | None:
+    """Columnar visibility/boxes for one object, or None if never visible.
+
+    Appearances are evaluated in order and earlier appearances win where they
+    overlap, matching the scalar ``SceneObject.box_at`` scan.
+    """
+    visible: np.ndarray | None = None
+    boxes: np.ndarray | None = None
+    for appearance in scene_object.appearances:
+        mask = appearance.visible_mask(timestamps)
+        if visible is not None:
+            mask &= ~visible
+        if not mask.any():
+            continue
+        rows = appearance.trajectory.boxes_at(timestamps[mask] - appearance.interval.start)
+        if boxes is None:
+            visible = mask
+            boxes = np.zeros((timestamps.size, 4), dtype=np.float64)
+        else:
+            visible |= mask
+        boxes[mask] = rows
+    if visible is None:
+        return None
+    return BatchObject(scene_object=scene_object, visible=visible, boxes=boxes)
 
 
 @dataclass
@@ -143,8 +251,8 @@ class SyntheticVideo:
 
     @property
     def num_frames(self) -> int:
-        """Total number of frames in the video."""
-        return int(self.duration * self.fps)
+        """Total number of frames in the video (epsilon-aware rounding)."""
+        return num_frames_in(self.duration, self.fps)
 
     @property
     def frame_period(self) -> float:
@@ -152,8 +260,8 @@ class SyntheticVideo:
         return 1.0 / self.fps
 
     def frame_index_at(self, timestamp: float) -> int:
-        """Frame index containing ``timestamp``."""
-        return int(timestamp * self.fps)
+        """Frame index containing ``timestamp`` (epsilon-aware rounding)."""
+        return frame_index_of(timestamp, self.fps)
 
     def frame_timestamp(self, frame_index: int) -> float:
         """Timestamp of the first instant of frame ``frame_index``."""
@@ -199,6 +307,55 @@ class SyntheticVideo:
         return FrameTruth(timestamp=timestamp, frame_index=frame_index,
                           visible=tuple(self.visible_objects_at(timestamp)))
 
+    def _sample_step(self, sample_period: float | None) -> int:
+        """Frame step implementing ``sample_period`` subsampling."""
+        if sample_period is None:
+            return 1
+        period = max(sample_period, self.frame_period)
+        return max(1, int(round(period * self.fps)))
+
+    def batch_for_indices(self, frame_indices: np.ndarray,
+                          candidates: Sequence[SceneObject] | None = None) -> FrameBatch:
+        """Columnar ground truth for an explicit array of frame indices."""
+        frame_indices = np.asarray(frame_indices, dtype=np.int64)
+        timestamps = frame_indices.astype(np.float64) / self.fps
+        if candidates is None:
+            if frame_indices.size:
+                window = TimeInterval(float(timestamps[0]),
+                                      float(timestamps[-1]) + self.frame_period)
+                candidates = self.objects_overlapping(window)
+            else:
+                candidates = []
+        entries: list[BatchObject] = []
+        for scene_object in candidates:
+            entry = _batch_object(scene_object, timestamps)
+            if entry is not None:
+                entries.append(entry)
+        return FrameBatch(frame_indices=frame_indices, timestamps=timestamps,
+                          objects=entries, width=self.width, height=self.height,
+                          fps=self.fps)
+
+    def frame_batch(self, window: TimeInterval | None = None, *,
+                    sample_period: float | None = None,
+                    candidates: Sequence[SceneObject] | None = None) -> FrameBatch:
+        """Columnar ground truth for every frame in ``window`` at once.
+
+        This is the chunk hot path: boxes come from one broadcasted array op
+        per appearance instead of one Python call per (object, frame), so a
+        whole chunk renders in a handful of numpy ops.
+        """
+        window = self.interval if window is None else window.clamp(self.interval)
+        step = self._sample_step(sample_period)
+        first_frame, last_frame = frame_index_range(window.start, window.end, self.fps)
+        frame_indices = np.arange(first_frame, last_frame, step, dtype=np.int64)
+        if candidates is None:
+            candidates = self.objects_overlapping(window)
+        return self.batch_for_indices(frame_indices, candidates)
+
+    #: Frames per block when the legacy iterator adapts over batches; bounds
+    #: peak memory on day-long windows while amortising the batch setup.
+    _FRAMES_PER_BLOCK = 4096
+
     def frames(self, window: TimeInterval | None = None, *,
                sample_period: float | None = None) -> Iterator[FrameTruth]:
         """Yield ground truth for every frame in ``window`` (default: whole video).
@@ -207,13 +364,19 @@ class SyntheticVideo:
         default yields every frame.  Subsampling is used heavily by the
         benchmarks to keep full-day scenarios tractable without changing the
         shape of the results.
+
+        This is the legacy per-frame adapter over :meth:`frame_batch`: frames
+        are rendered in columnar blocks and materialised one
+        :class:`FrameTruth` at a time.
         """
         window = self.interval if window is None else window.clamp(self.interval)
-        period = self.frame_period if sample_period is None else max(sample_period, self.frame_period)
-        step = max(1, int(round(period * self.fps)))
+        step = self._sample_step(sample_period)
         first_frame, last_frame = frame_index_range(window.start, window.end, self.fps)
-        for frame_index in range(first_frame, last_frame, step):
-            yield self.frame_truth(frame_index)
+        block = self._FRAMES_PER_BLOCK * step
+        for block_first in range(first_frame, last_frame, block):
+            block_last = min(block_first + block, last_frame)
+            indices = np.arange(block_first, block_last, step, dtype=np.int64)
+            yield from self.batch_for_indices(indices).iter_frames()
 
     def objects_overlapping(self, window: TimeInterval) -> list[SceneObject]:
         """Objects with at least one appearance overlapping ``window``."""
