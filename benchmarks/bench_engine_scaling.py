@@ -9,10 +9,15 @@ engine and under a chunk result cache, and checks that
 * every engine produces identical raw results on the fixed seed, and
 * the cache turns a repeated sweep into pure lookups (measurable speedup).
 
-It also times the columnar chunk hot path stage by stage (render the
-FrameBatch, detect, track) and emits a machine-readable ``BENCH_pipeline.json``
-(path overridable via ``BENCH_PIPELINE_JSON``) with chunk throughput,
-frames/sec and per-stage timings, which CI uploads as an artifact.
+It also measures the *streaming* dataflow against the materialize-everything
+batch dataflow — time-to-first-result, total wall time, peak concurrently
+resident chunks, and the process's peak RSS — and times the columnar chunk
+hot path stage by stage (render the FrameBatch, detect, track), emitting a
+machine-readable ``BENCH_pipeline.json`` (path overridable via
+``BENCH_PIPELINE_JSON``) with chunk throughput, frames/sec, per-stage
+timings and the batch-vs-streaming columns, which CI uploads as an artifact
+(the perf-smoke job runs this file, so a streaming regression shows up
+there).
 
 The scene is built from simple linear trajectories with no dynamic
 attributes; scenario scenes (declarative schedules since the columnar
@@ -23,6 +28,8 @@ from __future__ import annotations
 
 import json
 import os
+import resource
+import tempfile
 import time
 
 from repro.core import (
@@ -31,15 +38,18 @@ from repro.core import (
     ProcessPoolEngine,
     SerialEngine,
     ThreadPoolEngine,
+    TieredChunkCache,
 )
 from repro.core.policy import PrivacyPolicy
 from repro.cv.tracker import IoUTracker
 from repro.query.builder import QueryBuilder
-from repro.sandbox.environment import ExecutionContext
+from repro.relational.table import ColumnSpec, DataType, Schema
+from repro.sandbox.environment import ExecutionContext, SandboxRunner
+from repro.sandbox.registry import default_registry
 from repro.scene.objects import Appearance, SceneObject
 from repro.scene.trajectory import LinearTrajectory
 from repro.utils.timebase import TimeInterval
-from repro.video.chunking import ChunkSpec, split_interval
+from repro.video.chunking import ChunkSpec, iter_chunks, split_interval
 from repro.video.geometry import BoundingBox
 from repro.video.video import SyntheticVideo
 
@@ -100,6 +110,67 @@ def _timed_sweep(system: PrividSystem) -> tuple[float, list]:
     return time.perf_counter() - started, raw
 
 
+PERSON_SCHEMA = Schema(columns=(ColumnSpec("kind", DataType.STRING, ""),
+                                ColumnSpec("dy", DataType.NUMBER, 0.0)))
+
+
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process in KiB (a monotonic high-water mark)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _dataflow_metrics(video: SyntheticVideo, engine) -> dict:
+    """Batch vs streaming over the same chunk set on one engine.
+
+    ``batch`` materializes the full chunk list and runs ``map_chunks`` to
+    completion before any row is visible (the pre-streaming dataflow);
+    ``streaming`` pulls chunks lazily through ``imap_chunks`` and observes
+    the first chunk's rows as soon as the head of the stream completes.
+    ``peak_resident_chunks`` counts chunks materialized but not yet consumed
+    (for batch that is the whole chunk list); ``peak_rss_kb`` is the process
+    high-water mark after the run — monotonic across the process, so order
+    the comparison streaming-first when reading absolute values.
+    """
+    spec = ChunkSpec(window=TimeInterval(0.0, DURATION), chunk_duration=CHUNK_DURATION)
+    runner = SandboxRunner(default_registry().resolve("count_entering_people.py"),
+                           PERSON_SCHEMA, max_rows=5, timeout_seconds=30.0)
+    context = ExecutionContext(camera="cam", fps=video.fps)
+
+    state = {"pulled": 0, "consumed": 0, "peak": 0}
+
+    def instrumented():
+        for chunk in iter_chunks(video, spec):
+            state["pulled"] += 1
+            state["peak"] = max(state["peak"], state["pulled"] - state["consumed"])
+            yield chunk
+
+    started = time.perf_counter()
+    first_result_at = None
+    for _ in engine.imap_chunks(runner, instrumented(), context):
+        state["consumed"] += 1
+        if first_result_at is None:
+            first_result_at = time.perf_counter()
+    streaming = {
+        "ttfr_s": round(first_result_at - started, 6),
+        "total_s": round(time.perf_counter() - started, 6),
+        "peak_resident_chunks": state["peak"],
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+    started = time.perf_counter()
+    chunks = split_interval(video, spec)
+    outcomes = engine.map_chunks(runner, chunks, context)
+    first_result_at = time.perf_counter()  # no row visible before the batch ends
+    assert outcomes
+    batch = {
+        "ttfr_s": round(first_result_at - started, 6),
+        "total_s": round(time.perf_counter() - started, 6),
+        "peak_resident_chunks": len(chunks),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return {"batch": batch, "streaming": streaming}
+
+
 def _stage_timings(video: SyntheticVideo) -> dict:
     """Per-stage wall time over the full chunk set (render / detect / track)."""
     spec = ChunkSpec(window=TimeInterval(0.0, DURATION), chunk_duration=CHUNK_DURATION)
@@ -148,6 +219,7 @@ def _write_pipeline_json(payload: dict) -> str:
 
 def test_engine_scaling_and_cache_speedup(benchmark):
     video = _picklable_video()
+    tiered_dir = tempfile.mkdtemp(prefix="privid-bench-tiered-")
 
     def run():
         rows = []
@@ -158,6 +230,7 @@ def test_engine_scaling_and_cache_speedup(benchmark):
             ("thread:4", ThreadPoolEngine(max_workers=4), None),
             ("process:4", ProcessPoolEngine(max_workers=4, chunksize=4), None),
             ("serial+cache", SerialEngine(), ChunkResultCache()),
+            ("serial+tiered", SerialEngine(), TieredChunkCache(disk=tiered_dir)),
         ]
         for label, engine, cache in configs:
             system = _build_system(video, engine=engine, cache=cache)
@@ -169,7 +242,7 @@ def test_engine_scaling_and_cache_speedup(benchmark):
                 "engine": label,
                 "sweep_s": round(elapsed, 3),
                 "speedup_vs_serial": round(timings["serial"] / elapsed, 2),
-                "cache_hit_rate": stats["hit_rate"] if stats else "-",
+                "cache_hit_rate": stats["hit_rate"] if stats["enabled"] else "-",
             })
         return rows, results, timings
 
@@ -184,6 +257,18 @@ def test_engine_scaling_and_cache_speedup(benchmark):
     # must beat the uncached serial sweep even after paying the cold first run.
     assert timings["serial+cache"] < timings["serial"], \
         "chunk result cache failed to speed up a repeated sweep"
+
+    # Streaming vs batch dataflow: time-to-first-result and peak residency.
+    with ThreadPoolEngine(max_workers=4) as stream_engine:
+        dataflow = _dataflow_metrics(video, stream_engine)
+    dataflow_rows = [{"dataflow": mode, **metrics}
+                     for mode, metrics in dataflow.items()]
+    print_table("Batch vs streaming dataflow (thread:4, one sweep)", dataflow_rows)
+    assert dataflow["streaming"]["ttfr_s"] < dataflow["batch"]["ttfr_s"], \
+        "streaming lost its time-to-first-result advantage"
+    assert dataflow["streaming"]["peak_resident_chunks"] \
+        < dataflow["batch"]["peak_resident_chunks"], \
+        "streaming no longer bounds resident chunks below the full chunk list"
 
     # Machine-readable record of the chunk hot path for the CI artifact.
     stages = _stage_timings(video)
@@ -201,8 +286,10 @@ def test_engine_scaling_and_cache_speedup(benchmark):
         "chunk_throughput_per_s": round(num_chunks / serial_exec_s, 2),
         "frames_per_s": round(DURATION * video.fps / serial_exec_s, 1),
         "engine_sweep_s": {label: round(value, 6) for label, value in timings.items()},
+        "dataflow": dataflow,
         "stages": stages,
     }
     path = _write_pipeline_json(payload)
     print(f"\nwrote {path}: {payload['chunk_throughput_per_s']} chunks/s, "
-          f"{payload['frames_per_s']} frames/s")
+          f"{payload['frames_per_s']} frames/s, streaming ttfr "
+          f"{dataflow['streaming']['ttfr_s']}s vs batch {dataflow['batch']['ttfr_s']}s")

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.core import ChunkResultCache, PrividSystem, create_engine
+from repro.core import PrividSystem, create_cache, create_engine
 from repro.evaluation.runner import (
     register_porto_cameras,
     register_scenario_camera,
@@ -36,12 +36,17 @@ def pytest_addoption(parser):
 
     ``--privid-engine`` selects the chunk execution engine ('serial',
     'thread[:N]' or 'process[:N]'; defaults to the PRIVID_ENGINE environment
-    variable, then 'serial').  ``--privid-no-cache`` disables the shared chunk
-    result cache, which is on by default because the sweeps re-process large
-    overlapping chunk sets.
+    variable, then 'serial').  ``--privid-cache`` selects the chunk result
+    store ('off', 'memory', 'disk:PATH' or 'tiered:PATH'; defaults to the
+    PRIVID_CACHE environment variable, then 'memory' — caching is on by
+    default because the sweeps re-process large overlapping chunk sets).
+    ``--privid-no-cache`` is the legacy off switch and overrides both.
     """
     parser.addoption("--privid-engine", default=os.environ.get("PRIVID_ENGINE", "serial"),
                      help="chunk execution engine: serial, thread[:N], process[:N]")
+    parser.addoption("--privid-cache",
+                     default=os.environ.get("PRIVID_CACHE", "memory"),
+                     help="chunk result store: off, memory, disk:PATH, tiered:PATH")
     parser.addoption("--privid-no-cache", action="store_true",
                      default=os.environ.get("PRIVID_NO_CACHE", "") not in ("", "0"),
                      help="disable chunk result caching in the benchmark system")
@@ -55,10 +60,10 @@ def bench_engine(request):
 
 @pytest.fixture(scope="session")
 def bench_cache(request):
-    """Session-wide chunk result cache (None when disabled)."""
+    """Session-wide chunk result store (None when disabled)."""
     if request.config.getoption("--privid-no-cache"):
         return None
-    return ChunkResultCache()
+    return create_cache(request.config.getoption("--privid-cache"))
 
 
 @pytest.fixture(scope="session")
@@ -102,13 +107,18 @@ def evaluation_system(primary_scenarios, porto_dataset, bench_engine, bench_cach
 
 
 def print_cache_stats(system: PrividSystem, *, label: str = "chunk cache") -> None:
-    """Print the system's chunk-cache counters (no-op when caching is off)."""
+    """Print the system's chunk-cache counters (noting when caching is off)."""
     stats = system.cache_stats()
-    if stats is None:
+    if not stats["enabled"]:
         print(f"\n[{label}: disabled; engine={system.engine.name}]")
         return
+    tiers = ""
+    if "disk" in stats:
+        tiers = (f" memory_hits={stats['memory']['hits']}"
+                 f" disk_hits={stats['disk']['hits']}")
     print(f"\n[{label}: engine={system.engine.name} "
-          f"hits={stats['hits']} misses={stats['misses']} hit_rate={stats['hit_rate']}]")
+          f"hits={stats['hits']} misses={stats['misses']} "
+          f"hit_rate={stats['hit_rate']}{tiers}]")
 
 
 def print_table(title: str, rows: list[dict], *, columns: list[str] | None = None) -> None:

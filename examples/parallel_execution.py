@@ -2,18 +2,28 @@
 
 Privid processes every chunk with an independent executable instance
 (Appendix B), so chunk work parallelises and memoizes without changing any
-answer.  This example shows the two knobs a deployment tunes for throughput:
+answer.  The whole dataflow is *streaming*: SPLIT produces chunks on demand,
+engines keep a bounded in-flight window, and rows land in the intermediate
+table as each chunk completes — memory and time-to-first-result are
+independent of the query window length.  This example shows the two knobs a
+deployment tunes for throughput:
 
 1. the *execution engine* — serial (default), a thread pool, or a process
-   pool — selected per :class:`~repro.core.PrividSystem`;
-2. the *chunk result cache*, which lets overlapping query windows and
-   repeated what-if sweeps skip already-processed chunks entirely.
+   pool — selected per :class:`~repro.core.PrividSystem` (pool engines are
+   context managers, and a system built from a spec string shuts its own
+   engine down on ``close()``);
+2. the *chunk result store* — in-process LRU (``cache="memory"``), shared
+   on-disk (``"disk:PATH"``), or tiered memory-over-disk
+   (``"tiered:PATH"``) — which lets overlapping query windows, repeated
+   what-if sweeps, *and entirely separate processes* skip already-processed
+   chunks.
 
 Run with: ``python examples/parallel_execution.py``
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 from repro.core import (
@@ -53,20 +63,17 @@ def main() -> None:
 
     # ----------------------------------------------- engine selection
     # Scenario scenes use declarative attribute schedules and pickle cleanly,
-    # so every engine — including the process pool — runs every scene.
+    # so every engine — including the process pool — runs every scene.  Pool
+    # engines are context managers: workers are released on exit.
     for engine in (SerialEngine(), ThreadPoolEngine(max_workers=4),
                    ProcessPoolEngine(max_workers=4, chunksize=4)):
-        try:
+        with engine:
             system = build_system(scenario, engine=engine)
             started = time.perf_counter()
             result = system.execute(hourly_people_query(2.0), charge_budget=False)
             elapsed = time.perf_counter() - started
             print(f"engine={engine.name:7s} {elapsed:6.2f}s  "
                   f"hourly counts (noisy): {[round(v, 1) for _, v in result.series()]}")
-        finally:
-            shutdown = getattr(engine, "shutdown", None)
-            if shutdown is not None:
-                shutdown()
 
     # ----------------------------------------------- chunk result cache
     # A what-if sweep over nested windows re-processes the same chunks; the
@@ -79,6 +86,26 @@ def main() -> None:
         stats = system.cache_stats()
         print(f"window={hours:g}h  {elapsed:6.2f}s  cache hits={stats['hits']:4d} "
               f"misses={stats['misses']:4d} hit_rate={stats['hit_rate']:.2f}")
+
+    # ----------------------------------------------- tiered (disk) store
+    # A tiered store persists chunk results on disk keyed by the footage's
+    # stable content fingerprint, so a *separate* deployment over the same
+    # footage — another PrividSystem, another process, another day — starts
+    # warm.  Systems built from spec strings are context managers too.
+    store_dir = tempfile.mkdtemp(prefix="privid-example-store-")
+    for attempt in ("cold", "warm"):
+        with PrividSystem(seed=1, cache=f"tiered:{store_dir}") as system:
+            policy_map = scenario_policy_map(scenario, k_segments=1)
+            register_scenario_camera(system, scenario, policy_map=policy_map,
+                                     epsilon_budget=100.0, sample_period=1.0)
+            started = time.perf_counter()
+            system.execute(hourly_people_query(2.0), charge_budget=False)
+            elapsed = time.perf_counter() - started
+            stats = system.cache_stats()
+            print(f"tiered store, {attempt} start: {elapsed:6.2f}s  "
+                  f"memory hits={stats['memory']['hits']:4d} "
+                  f"disk hits={stats['disk']['hits']:4d} "
+                  f"disk writes={stats['disk']['writes']:4d}")
 
 
 if __name__ == "__main__":

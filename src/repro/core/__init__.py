@@ -3,7 +3,14 @@
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
 from repro.core.noise import LaplaceMechanism
 from repro.core.budget import BudgetRequest, FrameBudgetLedger
-from repro.core.cache import CacheStats, ChunkResultCache
+from repro.core.cache import (
+    CacheStats,
+    ChunkResultCache,
+    ChunkStore,
+    DiskChunkStore,
+    TieredChunkCache,
+    create_cache,
+)
 from repro.core.engine import (
     ChunkOutcome,
     ExecutionEngine,
@@ -29,6 +36,10 @@ __all__ = [
     "CacheStats",
     "ChunkOutcome",
     "ChunkResultCache",
+    "ChunkStore",
+    "DiskChunkStore",
+    "TieredChunkCache",
+    "create_cache",
     "ExecutionEngine",
     "SerialEngine",
     "ThreadPoolEngine",

@@ -1,4 +1,4 @@
-"""Memoization of per-chunk sandbox outputs.
+"""Memoization of per-chunk sandbox outputs (memory, disk, and tiered).
 
 Chunk processing is the dominant cost of every query, and it is a pure
 function of the chunk's identity and the processing configuration: the same
@@ -7,20 +7,36 @@ same (executable, schema, max_rows, timeout) always yields the same rows,
 because the sandbox builds a fresh executable instance and a freshly seeded
 detector per chunk.  What-if sweeps (Fig. 6/7), repeated noise re-evaluations,
 and overlapping query windows therefore re-process identical chunks over and
-over; :class:`ChunkResultCache` memoizes those executions so only genuinely
-new (chunk, configuration) pairs ever reach an execution engine.
+over; these stores memoize those executions so only genuinely new
+(chunk, configuration) pairs ever reach an execution engine.
 
-The cache never affects privacy accounting — budgets are charged per release
-by the executor regardless of whether the rows came from the cache — and it
-stores only intermediate rows that never leave the system un-noised.
+Three stores are provided, selectable on ``PrividSystem`` via ``cache=``
+(an instance or a spec string, see :func:`create_cache`):
+
+* :class:`ChunkResultCache` (``"memory"``) — the in-process LRU hot tier;
+* :class:`DiskChunkStore` (``"disk:PATH"``) — fingerprint-named JSON files
+  under a directory, shared across ``PrividSystem`` instances *and*
+  processes; keys embed the footage's stable content fingerprint
+  (``SyntheticVideo.content_fingerprint``), so mutated footage can never hit
+  a stale entry;
+* :class:`TieredChunkCache` (``"tiered:PATH"``) — memory in front of disk,
+  promoting disk hits into the hot tier.
+
+No store ever affects privacy accounting — budgets are charged per release
+by the executor regardless of whether the rows came from a cache — and they
+hold only intermediate rows that never leave the system un-noised.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,16 +84,23 @@ def fingerprint(*parts: Any) -> str:
 def chunk_fingerprint(chunk: "Chunk") -> str:
     """Identity of one chunk's *visible content*.
 
-    Footage is identified by the video's name and session-unique content
-    token (a registered camera's footage is immutable for the lifetime of a
-    deployment, and the token keeps distinct footage objects with equal
-    names from colliding when a cache is shared), plus everything that
+    Footage is identified by the video's name and its stable content
+    fingerprint — a digest of the ground-truth scene itself, identical
+    across processes for identical footage and changed by any mutation
+    (``SyntheticVideo.content_fingerprint``), which keeps distinct footage
+    objects with equal names from colliding when a cache is shared and is
+    the invalidation story for the on-disk store — plus everything that
     restricts what the executable can see: the interval, the mask, the
-    spatial region, and the frame sampling period.
+    spatial region, and the frame sampling period.  Footage objects without
+    a content fingerprint fall back to the session-unique ``content_token``
+    (entries for those are only valid within one process).
     """
+    footage_fingerprint = getattr(chunk.video, "content_fingerprint", None)
+    footage_identity: Any = (footage_fingerprint() if callable(footage_fingerprint)
+                             else getattr(chunk.video, "content_token", 0))
     return fingerprint(
         chunk.video.name,
-        getattr(chunk.video, "content_token", 0),
+        footage_identity,
         chunk.video.fps,
         chunk.video.duration,
         chunk.index,
@@ -137,12 +160,20 @@ class CacheStats:
                 "evictions": self.evictions, "hit_rate": round(self.hit_rate, 3)}
 
 
+def chunk_key(runner: "SandboxRunner", chunk: "Chunk",
+              context: "ExecutionContext") -> str:
+    """Cache key of one chunk execution, shared by every store tier."""
+    return fingerprint(chunk_fingerprint(chunk), runner_fingerprint(runner),
+                       context_fingerprint(context))
+
+
 class ChunkResultCache:
     """LRU cache from (chunk, runner, context) identity to sandbox output rows.
 
     Rows are copied on the way in and on the way out so callers can mutate
     their tables without corrupting cached entries.  ``max_entries`` bounds
-    memory; the least recently used entry is evicted first.
+    memory; eviction is true LRU — a ``get`` refreshes the entry's recency
+    (move-to-end), so a hot key survives any number of cold inserts.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
@@ -158,8 +189,7 @@ class ChunkResultCache:
     def key_for(self, runner: "SandboxRunner", chunk: "Chunk",
                 context: "ExecutionContext") -> str:
         """Cache key of one chunk execution."""
-        return fingerprint(chunk_fingerprint(chunk), runner_fingerprint(runner),
-                           context_fingerprint(context))
+        return chunk_key(runner, chunk, context)
 
     def get(self, key: str) -> ChunkRows | None:
         """Rows cached under ``key`` (a fresh copy), or None on a miss."""
@@ -186,3 +216,216 @@ class ChunkResultCache:
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
         self.stats = CacheStats()
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Counters plus the live entry count, for ``PrividSystem.cache_stats``."""
+        return {**self.stats.as_dict(), "entries": len(self._entries)}
+
+
+#: On-disk entry format version; bump on any change to the serialization so
+#: stores written by older code read as misses instead of wrong rows.
+_DISK_FORMAT = 1
+
+
+class DiskChunkStore:
+    """On-disk chunk result store: one fingerprint-named JSON file per entry.
+
+    The cold tier of the tiered cache, and a valid store on its own.  Because
+    keys embed the footage's *stable* content fingerprint (not the
+    session-unique token), a directory can be shared across ``PrividSystem``
+    instances, processes and sessions: identical footage and configuration
+    hash to the same file everywhere, while any footage mutation changes the
+    fingerprint so stale entries simply stop being addressed.  Writes go
+    through a temp file plus :func:`os.replace`, so concurrent readers and
+    writers only ever observe complete entries.  Entries are sharded into
+    256 subdirectories by key prefix to keep directory listings sane at
+    millions of chunks.
+
+    Rows must be JSON-serializable, which schema-coerced sandbox rows are by
+    construction (strings and numbers only).  Unreadable or corrupt entries
+    read as misses and are removed.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def key_for(self, runner: "SandboxRunner", chunk: "Chunk",
+                context: "ExecutionContext") -> str:
+        """Cache key of one chunk execution (same scheme as every tier)."""
+        return chunk_key(runner, chunk, context)
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ChunkRows | None:
+        """Rows stored under ``key``, or None on a miss (or corrupt entry)."""
+        path = self._path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or payload.get("format") != _DISK_FORMAT:
+                raise ValueError("unknown disk store format")
+            rows = [dict(row) for row in payload["rows"]]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn or foreign file: treat as a miss and drop it so the slot
+            # can be rewritten cleanly.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return rows
+
+    def put(self, key: str, rows: ChunkRows) -> None:
+        """Persist the rows of one chunk execution under ``key`` (atomic)."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _DISK_FORMAT, "rows": rows}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def clear(self) -> None:
+        """Remove every stored entry (counters are kept)."""
+        for entry in self.directory.glob("*/*.json"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/write counters."""
+        self.stats = CacheStats()
+        self.writes = 0
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Counters plus write count and directory, for stats reporting."""
+        stats = self.stats.as_dict()
+        stats.pop("evictions", None)  # the disk tier never evicts
+        return {**stats, "writes": self.writes, "directory": str(self.directory)}
+
+
+class TieredChunkCache:
+    """Memory tier in front of a disk tier, sharing one fingerprint keyspace.
+
+    ``get`` consults memory first and promotes disk hits into memory, so a
+    warm working set is served at in-process LRU speed while the full
+    history persists on disk; ``put`` writes through to both tiers.  The
+    memory tier bounds residency (LRU eviction), the disk tier is the
+    shared, durable record — the standard hot/cold split for this workload
+    shape.
+    """
+
+    def __init__(self, memory: ChunkResultCache | None = None,
+                 disk: DiskChunkStore | str | os.PathLike[str] = "privid-chunk-cache") -> None:
+        self.memory = memory if memory is not None else ChunkResultCache()
+        self.disk = disk if isinstance(disk, DiskChunkStore) else DiskChunkStore(disk)
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def key_for(self, runner: "SandboxRunner", chunk: "Chunk",
+                context: "ExecutionContext") -> str:
+        """Cache key of one chunk execution (same scheme as every tier)."""
+        return chunk_key(runner, chunk, context)
+
+    def get(self, key: str) -> ChunkRows | None:
+        """Rows under ``key`` from the first tier that has them, or None."""
+        rows = self.memory.get(key)
+        if rows is not None:
+            return rows
+        rows = self.disk.get(key)
+        if rows is not None:
+            self.memory.put(key, rows)
+        return rows
+
+    def put(self, key: str, rows: ChunkRows) -> None:
+        """Write the rows of one chunk execution through to both tiers."""
+        self.memory.put(key, rows)
+        self.disk.put(key, rows)
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        self.memory.clear()
+        self.disk.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters of both tiers."""
+        self.memory.reset_stats()
+        self.disk.reset_stats()
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Combined counters plus per-tier sub-stats.
+
+        The top-level hits/misses describe the tiered store as one cache: a
+        lookup is a hit if *either* tier served it, a miss only if both
+        missed (every lookup starts at the memory tier, so memory lookups
+        count the total).
+        """
+        memory = self.memory.stats_dict()
+        disk = self.disk.stats_dict()
+        hits = self.memory.stats.hits + self.disk.stats.hits
+        lookups = self.memory.stats.lookups
+        return {
+            "hits": hits,
+            "misses": lookups - hits,
+            "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+            "memory": memory,
+            "disk": disk,
+        }
+
+
+#: Duck type accepted everywhere a chunk result cache is expected.
+ChunkStore = ChunkResultCache | DiskChunkStore | TieredChunkCache
+
+
+def create_cache(spec: "str | ChunkStore | None") -> "ChunkStore | None":
+    """Build a chunk result store from a spec string.
+
+    ``None``, ``"off"`` and ``"none"`` disable caching; ``"memory"`` is the
+    in-process LRU cache; ``"disk:PATH"`` the shared on-disk store;
+    ``"tiered:PATH"`` memory in front of disk.  A store instance passes
+    through unchanged.  This is the value of the ``cache=`` argument of
+    ``PrividSystem`` and of the ``PRIVID_CACHE`` benchmark knob.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, str):
+        return spec
+    text = spec.strip()
+    lowered = text.lower()
+    if lowered in ("", "off", "none"):
+        return None
+    if lowered == "memory":
+        return ChunkResultCache()
+    kind, _, path = text.partition(":")
+    kind = kind.lower()
+    if kind in ("disk", "tiered") and not path:
+        raise ValueError(f"cache spec {spec!r} needs a directory: '{kind}:PATH'")
+    if kind == "disk":
+        return DiskChunkStore(path)
+    if kind == "tiered":
+        return TieredChunkCache(disk=path)
+    raise ValueError(f"unknown cache spec {spec!r}; "
+                     "expected 'off', 'memory', 'disk:PATH' or 'tiered:PATH'")

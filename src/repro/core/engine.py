@@ -19,18 +19,28 @@ Three engines are provided:
   scene hand-built with closure-valued dynamic attributes is not, and should
   use the thread or serial engines.
 
+Every engine exposes two entry points: :meth:`~ExecutionEngine.imap_chunks`,
+an *ordered streaming map* that pulls chunks lazily from an iterable and
+yields outcomes as the head of the stream completes, holding at most a
+bounded in-flight window of chunks alive (default ``2 x workers``); and
+:meth:`~ExecutionEngine.map_chunks`, a thin ``list(imap_chunks(...))``
+adapter for callers that want the batch.  Streaming is what keeps memory and
+time-to-first-result independent of the query window length: SPLIT produces
+chunks on demand (``repro.video.chunking.iter_chunks``) and the executor
+appends rows per chunk as outcomes arrive.
+
 Engines are deliberately ignorant of caching — the
 :class:`~repro.core.cache.ChunkResultCache` filters out memoized chunks before
-the engine ever sees them (see ``SandboxRunner.run_chunks``).
+the engine ever sees them (see ``SandboxRunner.iter_chunk_rows``).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from itertools import repeat
-from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sandbox.environment import ExecutionContext, SandboxRunner
@@ -77,13 +87,38 @@ def _execute_chunk_thread(runner: "SandboxRunner", chunk: "Chunk",
     return runner.run_chunk_outcome(chunk, context, thread_clock=True)
 
 
+def _execute_chunk_list(runner: "SandboxRunner", chunks: list["Chunk"],
+                        context: "ExecutionContext") -> list[ChunkOutcome]:
+    """Process-pool unit of work: one future per batch of chunks.
+
+    Module-level so process pools can pickle it; batching amortizes the
+    per-future pickling round-trip the way ``chunksize`` did for ``pool.map``.
+    """
+    return [execute_chunk(runner, chunk, context) for chunk in chunks]
+
+
+def _execute_chunk_list_thread(runner: "SandboxRunner", chunks: list["Chunk"],
+                               context: "ExecutionContext") -> list[ChunkOutcome]:
+    """Thread-pool unit of work over a batch (per-thread CPU-time TIMEOUT)."""
+    return [_execute_chunk_thread(runner, chunk, context) for chunk in chunks]
+
+
 @runtime_checkable
 class ExecutionEngine(Protocol):
     """Schedules independent chunk executions and preserves chunk order."""
 
     name: str
 
-    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+    def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+        """Stream outcomes in chunk order, pulling chunks lazily.
+
+        At most the engine's in-flight window of chunks may be materialized
+        (pulled from ``chunks`` but not yet yielded) at any moment.
+        """
+        ...  # pragma: no cover - protocol
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:
         """Run every chunk through the runner, returning outcomes in chunk order."""
         ...  # pragma: no cover - protocol
@@ -95,13 +130,86 @@ class SerialEngine:
 
     name: str = field(default="serial", init=False)
 
-    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+    def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+        for chunk in chunks:
+            yield execute_chunk(runner, chunk, context)
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:
-        return [execute_chunk(runner, chunk, context) for chunk in chunks]
+        return list(self.imap_chunks(runner, chunks, context))
+
+    def shutdown(self) -> None:
+        """No pools to release; present so every engine shuts down uniformly."""
+
+    def __enter__(self) -> "SerialEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
 
 def _default_workers() -> int:
     return max(2, (os.cpu_count() or 2))
+
+
+def _stream_through_pool(pool_factory: Callable[[], Executor],
+                         unit: Callable[..., list[ChunkOutcome]],
+                         runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                         context: "ExecutionContext", *,
+                         window: int, batch_size: int = 1) -> Iterator[ChunkOutcome]:
+    """Ordered streaming map over a (lazily created) executor pool.
+
+    Chunks are pulled from the iterable only as in-flight slots free up, so
+    at most ``window`` chunks are ever materialized-but-unyielded; outcomes
+    are yielded strictly in chunk order (head-of-line completion).  A
+    single-chunk stream runs inline without touching the pool, matching the
+    historical short-circuit that keeps tiny queries pool-free.  ``unit``
+    maps ``(runner, [chunks], context)`` to a list of outcomes;
+    ``batch_size`` groups chunks per future to amortize IPC for process
+    pools.
+    """
+    iterator = iter(chunks)
+    first = next(iterator, None)
+    if first is None:
+        return
+    second = next(iterator, None)
+    if second is None:
+        yield execute_chunk(runner, first, context)
+        return
+    pool = pool_factory()
+    window = max(window, batch_size)
+    pending: deque[Any] = deque()  # futures, each resolving to a list of outcomes
+    in_flight = 0
+    batch: list["Chunk"] = []
+
+    def submit_batch() -> None:
+        nonlocal in_flight
+        if batch:
+            pending.append(pool.submit(unit, runner, list(batch), context))
+            in_flight += len(batch)
+            batch.clear()
+
+    replay: Iterator["Chunk"] = iter((first, second))
+    exhausted = False
+    while True:
+        while not exhausted and in_flight + len(batch) < window:
+            chunk = next(replay, None)
+            if chunk is None:
+                replay = iterator
+                chunk = next(iterator, None)
+            if chunk is None:
+                exhausted = True
+                break
+            batch.append(chunk)
+            if len(batch) >= batch_size:
+                submit_batch()
+        submit_batch()
+        if not pending:
+            return
+        for outcome in pending.popleft().result():
+            in_flight -= 1
+            yield outcome
 
 
 @dataclass
@@ -117,10 +225,17 @@ class ThreadPoolEngine:
     process engines' wall clocks.
 
     The pool is created lazily on first use and reused across queries; call
-    :meth:`shutdown` to release the worker threads early.
+    :meth:`shutdown` to release the worker threads early, or use the engine
+    as a context manager (``with ThreadPoolEngine() as engine: ...``).
+
+    ``in_flight_window`` bounds how many chunks may be materialized but not
+    yet yielded by :meth:`imap_chunks` (default ``2 x workers``): enough to
+    keep every worker busy while the head-of-line result is consumed, small
+    enough that streaming a week-long window holds only a handful of chunks.
     """
 
     max_workers: int | None = None
+    in_flight_window: int | None = None
     name: str = field(default="thread", init=False)
     _pool: ThreadPoolExecutor | None = field(default=None, init=False, repr=False,
                                              compare=False)
@@ -130,18 +245,33 @@ class ThreadPoolEngine:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers or _default_workers())
         return self._pool
 
-    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+    def _window(self) -> int:
+        if self.in_flight_window is not None:
+            if self.in_flight_window <= 0:
+                raise ValueError("in_flight_window must be positive")
+            return self.in_flight_window
+        return 2 * (self.max_workers or _default_workers())
+
+    def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+        return _stream_through_pool(self._ensure_pool, _execute_chunk_list_thread,
+                                    runner, chunks, context, window=self._window())
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:
-        if len(chunks) <= 1:
-            return [execute_chunk(runner, chunk, context) for chunk in chunks]
-        return list(self._ensure_pool().map(_execute_chunk_thread, repeat(runner), chunks,
-                                            repeat(context)))
+        return list(self.imap_chunks(runner, chunks, context))
 
     def shutdown(self) -> None:
         """Release the worker threads (the pool is rebuilt on next use)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def __enter__(self) -> "ThreadPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
 
 @dataclass
@@ -154,11 +284,16 @@ class ProcessPoolEngine:
 
     The pool is created lazily on first use and reused across queries (worker
     spawn is far too expensive to pay per PROCESS statement); call
-    :meth:`shutdown` to release the worker processes early.
+    :meth:`shutdown` to release the worker processes early, or use the
+    engine as a context manager.
+
+    ``in_flight_window`` bounds the chunks materialized-but-unyielded by
+    :meth:`imap_chunks` (default ``2 x workers``, never below ``chunksize``).
     """
 
     max_workers: int | None = None
     chunksize: int = 1
+    in_flight_window: int | None = None
     name: str = field(default="process", init=False)
     _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False,
                                               compare=False)
@@ -169,18 +304,34 @@ class ProcessPoolEngine:
                 max_workers=self.max_workers or _default_workers())
         return self._pool
 
-    def map_chunks(self, runner: "SandboxRunner", chunks: Sequence["Chunk"],
+    def _window(self) -> int:
+        if self.in_flight_window is not None:
+            if self.in_flight_window <= 0:
+                raise ValueError("in_flight_window must be positive")
+            return self.in_flight_window
+        return 2 * (self.max_workers or _default_workers())
+
+    def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+        return _stream_through_pool(self._ensure_pool, _execute_chunk_list,
+                                    runner, chunks, context, window=self._window(),
+                                    batch_size=max(1, self.chunksize))
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:
-        if len(chunks) <= 1:
-            return [execute_chunk(runner, chunk, context) for chunk in chunks]
-        return list(self._ensure_pool().map(execute_chunk, repeat(runner), chunks,
-                                            repeat(context), chunksize=max(1, self.chunksize)))
+        return list(self.imap_chunks(runner, chunks, context))
 
     def shutdown(self) -> None:
         """Release the worker processes (the pool is rebuilt on next use)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def __enter__(self) -> "ProcessPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
 
 def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:

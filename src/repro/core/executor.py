@@ -9,11 +9,13 @@ calibrated Laplace noise, and returns only the noisy releases.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from functools import partial
+from typing import Any, Callable, Iterator
 
 from repro.core.budget import BudgetRequest, FrameBudgetLedger
-from repro.core.cache import ChunkResultCache
+from repro.core.cache import ChunkStore, create_cache
 from repro.core.engine import ExecutionEngine, create_engine
 from repro.core.noise import LaplaceMechanism
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
@@ -31,7 +33,7 @@ from repro.sandbox.environment import ExecutionContext, SandboxRunner
 from repro.sandbox.registry import ExecutableRegistry, default_registry
 from repro.utils.rng import RandomSource
 from repro.utils.timebase import TimeInterval
-from repro.video.chunking import Chunk, ChunkSpec, split_interval
+from repro.video.chunking import Chunk, ChunkSpec, count_chunks, iter_chunks
 from repro.video.regions import RegionScheme
 from repro.video.video import SyntheticVideo
 
@@ -59,10 +61,18 @@ class CameraRegistration:
 
 @dataclass
 class _ChunkSet:
-    """Internal: the result of one SPLIT statement."""
+    """Internal: the result of one SPLIT statement.
+
+    SPLIT is lazy: instead of a materialized chunk list, the set holds a
+    *factory* producing a fresh chunk stream per consumer (several PROCESS
+    statements may reference the same SPLIT output) plus the chunk count
+    computed in O(1) from window arithmetic — sensitivity accounting needs
+    the count before any chunk exists.
+    """
 
     camera: CameraRegistration
-    chunks: list[Chunk]
+    make_chunks: Callable[[], Iterator[Chunk]]
+    num_chunks: int
     policy: PrivacyPolicy
     window: TimeInterval
     chunk_duration: float
@@ -82,7 +92,7 @@ class PrividSystem:
 
     def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None,
                  engine: ExecutionEngine | str | None = None,
-                 cache: ChunkResultCache | None = None) -> None:
+                 cache: ChunkStore | str | None = None) -> None:
         self.random = RandomSource(seed, path="privid")
         self.mechanism = LaplaceMechanism(self.random)
         self.registry = registry if registry is not None else default_registry()
@@ -90,8 +100,13 @@ class PrividSystem:
         #: Engine scheduling the independent per-chunk executions; accepts an
         #: instance or a spec string ('serial', 'thread[:N]', 'process[:N]').
         self.engine: ExecutionEngine = create_engine(engine)
-        #: Optional memoization of chunk outputs across queries of this system.
-        self.chunk_cache = cache
+        #: True when the engine was built here from a spec string — those
+        #: pools belong to this system, so :meth:`close` shuts them down.
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
+        #: Optional memoization of chunk outputs across queries; accepts a
+        #: store instance or a spec string ('off', 'memory', 'disk:PATH',
+        #: 'tiered:PATH').
+        self.chunk_cache = create_cache(cache)
 
     # ------------------------------------------------------------------ setup
 
@@ -147,11 +162,35 @@ class PrividSystem:
         """Minimum remaining per-frame budget of a camera over an interval."""
         return self.camera(camera).ledger.remaining_over(interval)
 
-    def cache_stats(self) -> dict[str, float] | None:
-        """Chunk-cache counters (hits/misses/hit rate), or None when caching is off."""
+    def cache_stats(self) -> dict[str, Any]:
+        """Chunk-cache counters, always a dict.
+
+        ``{"enabled": False}`` when caching is off; otherwise ``enabled`` is
+        True alongside the store's flat hit/miss counters, and a tiered
+        store additionally reports per-tier ``memory`` / ``disk`` sub-stats.
+        """
         if self.chunk_cache is None:
-            return None
-        return self.chunk_cache.stats.as_dict()
+            return {"enabled": False}
+        return {"enabled": True, **self.chunk_cache.stats_dict()}
+
+    def close(self) -> None:
+        """Release execution resources this system created.
+
+        Shuts down the engine's worker pools when the engine was built from
+        a spec string (``engine="thread:8"``); an engine instance passed in
+        by the caller is shared property and is left running.  Safe to call
+        more than once; the system remains usable (pools rebuild lazily).
+        """
+        if self._owns_engine:
+            shutdown = getattr(self.engine, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+
+    def __enter__(self) -> "PrividSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -------------------------------------------------------------- execution
 
@@ -173,17 +212,37 @@ class PrividSystem:
                 sample_period = camera.default_sample_period
             spec = ChunkSpec(window=window, chunk_duration=split.chunk_duration,
                              stride=split.stride, sample_period=sample_period)
-            chunks = split_interval(camera.video, spec, mask=mask, region_scheme=region_scheme)
+            make_chunks = partial(iter_chunks, camera.video, spec, mask=mask,
+                                  region_scheme=region_scheme)
+            # iter_chunks validates eagerly (before yielding anything), so
+            # invoking the factory once surfaces bad chunking parameters at
+            # SPLIT time without materializing a single chunk.
+            make_chunks()
             chunk_sets[split.output] = _ChunkSet(
-                camera=camera, chunks=chunks, policy=policy, window=window,
+                camera=camera, make_chunks=make_chunks,
+                num_chunks=count_chunks(camera.video, spec, region_scheme=region_scheme),
+                policy=policy, window=window,
                 chunk_duration=split.chunk_duration)
         return chunk_sets
 
     def _run_processes(self, query: PrividQuery, chunk_sets: dict[str, _ChunkSet]
                        ) -> tuple[PlanContext, dict[str, _TableSource]]:
+        """Run every PROCESS statement as an incremental streaming consumer.
+
+        Each statement's chunk stream flows split → engine → table without
+        ever materializing the chunk list: rows are appended to the
+        intermediate :class:`Table` per chunk as outcomes arrive.  With
+        several PROCESS statements (multiple cameras), the streams are
+        consumed round-robin, one chunk's rows at a time, so no camera's
+        stream has to finish — or buffer — before another starts.  Rows
+        still land in chunk order within each table, and chunk results are
+        order-independent by the hashing contract (ROADMAP §Hashing), so the
+        output is byte-identical to the batch dataflow.
+        """
         tables: dict[str, Table] = {}
         properties: dict[str, TableProperties] = {}
         sources: dict[str, _TableSource] = {}
+        streams: deque[tuple[Table, Iterator[list[dict[str, Any]]]]] = deque()
         for process in query.processes:
             if process.chunks not in chunk_sets:
                 raise QueryValidationError(
@@ -203,19 +262,27 @@ class PrividSystem:
                 detector_seed=camera.detector_seed,
             )
             table = Table.from_schema(process.schema, name=process.output)
-            table.extend(runner.run_chunks(chunk_set.chunks, context,
-                                           engine=self.engine, cache=self.chunk_cache))
             tables[process.output] = table
             properties[process.output] = TableProperties(
                 name=process.output,
                 max_rows=process.max_rows,
                 chunk_duration=chunk_set.chunk_duration,
-                num_chunks=len(chunk_set.chunks),
+                num_chunks=chunk_set.num_chunks,
                 rho=chunk_set.policy.rho,
                 k_segments=chunk_set.policy.k_segments,
             )
             sources[process.output] = _TableSource(
                 camera=camera, window=chunk_set.window, policy=chunk_set.policy)
+            streams.append((table, runner.iter_chunk_rows(
+                chunk_set.make_chunks(), context,
+                engine=self.engine, cache=self.chunk_cache)))
+        while streams:
+            table, stream = streams.popleft()
+            chunk_rows = next(stream, None)
+            if chunk_rows is None:
+                continue
+            table.extend(chunk_rows)
+            streams.append((table, stream))
         return PlanContext(tables=tables, properties=properties), sources
 
     @staticmethod

@@ -165,16 +165,22 @@ class TimeInterval:
         ``stride`` is the gap between the end of one chunk and the start of
         the next (0 means contiguous chunks, as in the paper's examples).  The
         final chunk is truncated at the interval end.
+
+        Boundaries come from per-index multiplication, not a running float
+        accumulator, so exactly :meth:`num_chunks` chunks are yielded: an
+        accumulator can land a hair below ``end`` after the final chunk
+        (e.g. ten 0.1s steps summing to 0.9999...) and emit a spurious
+        sliver chunk that the O(1) count — which sensitivity accounting
+        relies on — would never predict.
         """
         if chunk_duration <= 0:
             raise ValueError("chunk_duration must be positive")
         step = chunk_duration + stride
         if step <= 0:
             raise ValueError("chunk_duration + stride must be positive")
-        position = self.start
-        while position < self.end:
+        for index in range(self.num_chunks(chunk_duration, stride)):
+            position = min(self.start + index * step, self.end)
             yield TimeInterval(position, min(position + chunk_duration, self.end))
-            position += step
 
     def num_chunks(self, chunk_duration: float, stride: float = 0.0) -> int:
         """Number of chunks produced by :meth:`split` with the same arguments."""

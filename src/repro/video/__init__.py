@@ -2,7 +2,7 @@
 
 from repro.video.geometry import BoundingBox, GridSpec, Point
 from repro.video.video import BatchObject, FrameBatch, FrameTruth, SyntheticVideo, VisibleObject
-from repro.video.chunking import Chunk, ChunkSpec, split_interval
+from repro.video.chunking import Chunk, ChunkSpec, count_chunks, iter_chunks, split_interval
 from repro.video.masking import Mask, apply_mask_to_boxes
 from repro.video.regions import Region, RegionScheme
 
@@ -17,6 +17,8 @@ __all__ = [
     "VisibleObject",
     "Chunk",
     "ChunkSpec",
+    "count_chunks",
+    "iter_chunks",
     "split_interval",
     "Mask",
     "apply_mask_to_boxes",

@@ -173,31 +173,65 @@ class Chunk:
         return replace(self, region=region)
 
 
-def split_interval(video: SyntheticVideo, spec: ChunkSpec, *,
-                   mask: Mask = EMPTY_MASK,
-                   region_scheme: RegionScheme | None = None,
-                   validate_frame_alignment: bool = True) -> list[Chunk]:
-    """Split a video window into chunks according to ``spec``.
+def iter_chunks(video: SyntheticVideo, spec: ChunkSpec, *,
+                mask: Mask = EMPTY_MASK,
+                region_scheme: RegionScheme | None = None,
+                validate_frame_alignment: bool = True) -> Iterator[Chunk]:
+    """Lazily split a video window into chunks according to ``spec``.
 
-    When a region scheme is supplied, each temporal chunk is expanded into one
-    chunk per region (the spatial-splitting optimisation); soft-boundary
-    schemes enforce their single-frame chunk restriction.
+    The streaming twin of :func:`split_interval`: chunks are produced one at
+    a time as the consumer pulls them, so a SPLIT over hours of footage never
+    materialises its whole chunk list — the execution engine's bounded
+    in-flight window (``ExecutionEngine.imap_chunks``) is the only thing that
+    holds chunks alive.  When a region scheme is supplied, each temporal
+    chunk is expanded into one chunk per region (the spatial-splitting
+    optimisation); soft-boundary schemes enforce their single-frame chunk
+    restriction.  Validation runs eagerly at call time, before the first
+    chunk is requested.
     """
     if validate_frame_alignment:
         video.validate_chunking(spec.chunk_duration, spec.stride)
     window = spec.window.clamp(video.interval)
     if region_scheme is not None:
         region_scheme.validate_chunk_size(spec.chunk_duration, video.frame_period)
-    chunks: list[Chunk] = []
-    for index, interval in enumerate(window.split(spec.chunk_duration, spec.stride)):
-        base = Chunk(video=video, index=index, interval=interval, mask=mask,
-                     sample_period=spec.sample_period)
-        if region_scheme is None:
-            chunks.append(base)
-        else:
-            for region in region_scheme.regions:
-                chunks.append(base.with_region(region))
-    return chunks
+
+    def generate() -> Iterator[Chunk]:
+        for index, interval in enumerate(window.split(spec.chunk_duration, spec.stride)):
+            base = Chunk(video=video, index=index, interval=interval, mask=mask,
+                         sample_period=spec.sample_period)
+            if region_scheme is None:
+                yield base
+            else:
+                for region in region_scheme.regions:
+                    yield base.with_region(region)
+
+    return generate()
+
+
+def count_chunks(video: SyntheticVideo, spec: ChunkSpec, *,
+                 region_scheme: RegionScheme | None = None) -> int:
+    """Number of chunks :func:`iter_chunks` will produce, without producing them.
+
+    Sensitivity accounting (``TableProperties.num_chunks``) needs the chunk
+    count before the stream is consumed; this computes it from the clamped
+    window arithmetic alone, in O(1).
+    """
+    window = spec.window.clamp(video.interval)
+    per_interval = 1 if region_scheme is None else len(region_scheme.regions)
+    return window.num_chunks(spec.chunk_duration, spec.stride) * per_interval
+
+
+def split_interval(video: SyntheticVideo, spec: ChunkSpec, *,
+                   mask: Mask = EMPTY_MASK,
+                   region_scheme: RegionScheme | None = None,
+                   validate_frame_alignment: bool = True) -> list[Chunk]:
+    """Split a video window into chunks according to ``spec``.
+
+    Batch adapter over :func:`iter_chunks`, kept for callers that genuinely
+    need the full list (tests, small ad-hoc windows); the executor streams.
+    """
+    return list(iter_chunks(video, spec, mask=mask, region_scheme=region_scheme,
+                            validate_frame_alignment=validate_frame_alignment))
 
 
 def num_chunks_spanned(rho: float, chunk_duration: float) -> int:

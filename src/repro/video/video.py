@@ -197,11 +197,50 @@ class SyntheticVideo:
         self._index_bucket_size: float = max(60.0, self.duration / 2048.0)
         self._bucket_index: dict[int, list[SceneObject]] | None = None
         self._content_token: int = next(_CONTENT_TOKENS)
+        self._content_fingerprint: str | None = None
 
     @property
     def content_token(self) -> int:
         """Session-unique identity of this footage object (used by chunk caching)."""
         return self._content_token
+
+    def content_fingerprint(self) -> str:
+        """Stable digest of the footage *content* (scene objects + parameters).
+
+        Unlike :attr:`content_token` (a session-unique counter), this digest
+        is identical across processes and sessions for identical footage and
+        changes whenever the ground-truth content changes, which is what lets
+        an on-disk chunk result store be shared between ``PrividSystem``
+        instances and processes with a sound invalidation story: mutated
+        footage (``add_objects``) produces a new fingerprint, so stale disk
+        entries can never be returned for it.  Computed lazily (full-day
+        scenes hold tens of thousands of objects) and memoized until the
+        footage is mutated.
+
+        Closure-valued dynamic attributes have no content-stable identity
+        (a callable hashes by qualified name, which two closures with
+        different captured state share), so scenes that carry any mix the
+        session-unique token into the digest: their cache entries stay
+        correct but are only shareable within one process — the same
+        limitation those scenes already have with the process engine.
+        Declarative :mod:`repro.scene.schedules` scenes (every bundled
+        scene) are fully content-addressed.
+        """
+        if self._content_fingerprint is None:
+            from repro.core.cache import fingerprint
+            from repro.scene.schedules import AttributeSchedule
+
+            session_salt = 0
+            for scene_object in self.objects:
+                dynamic = getattr(scene_object, "dynamic_attributes", None) or {}
+                if any(callable(value) and not isinstance(value, AttributeSchedule)
+                       for value in dynamic.values()):
+                    session_salt = self._content_token
+                    break
+            self._content_fingerprint = fingerprint(
+                self.name, self.fps, self.width, self.height, self.duration,
+                self.metadata, session_salt, tuple(self.objects))
+        return self._content_fingerprint
 
     def _build_index(self) -> dict[int, list[SceneObject]]:
         """Build (lazily) a time-bucket index from appearances to objects.
@@ -227,6 +266,7 @@ class SyntheticVideo:
     def invalidate_index(self) -> None:
         """Drop the time-bucket index (called after objects are added)."""
         self._bucket_index = None
+        self._content_fingerprint = None
 
     def candidate_objects(self, window: TimeInterval) -> list[SceneObject]:
         """Objects that *may* overlap ``window`` (superset, from the bucket index)."""

@@ -190,6 +190,17 @@ class TestChunkResultCache:
         assert cache.get("b") is None
         assert cache.get("a") == [] and cache.get("c") == []
 
+    def test_hot_key_survives_max_entries_of_cold_inserts(self):
+        # True LRU: a get refreshes recency, so a key read between every
+        # insert outlives max_entries worth of cold, never-read entries.
+        cache = ChunkResultCache(max_entries=4)
+        cache.put("hot", [{"value": 1.0}])
+        for index in range(cache.max_entries):
+            cache.put(f"cold-{index}", [])
+            assert cache.get("hot") == [{"value": 1.0}]
+        assert cache.stats.evictions == 1  # only cold entries were evicted
+        assert cache.get("cold-0") is None
+
     def test_system_level_cache_reuses_chunks_across_queries(self):
         cache = ChunkResultCache()
         system = PrividSystem(seed=3, cache=cache)
@@ -207,8 +218,8 @@ class TestChunkResultCache:
                     .build())
 
         system.execute(query(300.0), charge_budget=False)
-        assert system.cache_stats() == {"hits": 0, "misses": 5, "evictions": 0,
-                                        "hit_rate": 0.0}
+        assert system.cache_stats() == {"enabled": True, "hits": 0, "misses": 5,
+                                        "evictions": 0, "hit_rate": 0.0, "entries": 5}
         # The wider window shares its first five chunks with the narrower one.
         wide = system.execute(query(600.0), charge_budget=False)
         assert system.cache_stats()["hits"] == 5
@@ -219,7 +230,8 @@ class TestChunkResultCache:
                                  epsilon_budget=100.0)
         reference = uncached.execute(query(600.0), charge_budget=False)
         assert wide.raw_series_unsafe() == reference.raw_series_unsafe()
-        assert uncached.cache_stats() is None
+        # cache_stats is always a dict; disabled caching reports enabled=False.
+        assert uncached.cache_stats() == {"enabled": False}
 
 
 class TestMultiCameraAccounting:
