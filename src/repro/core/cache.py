@@ -291,6 +291,10 @@ class DiskChunkStore:
         """Persist the rows of one chunk execution under ``key`` (atomic)."""
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        if not isinstance(rows, list):
+            # ColumnarRows (and any other sequence) serialize as the
+            # equivalent dict rows.
+            rows = [dict(row) for row in rows]
         payload = {"format": _DISK_FORMAT, "rows": rows}
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False)

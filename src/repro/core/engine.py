@@ -22,12 +22,24 @@ Three engines are provided:
 Every engine exposes two entry points: :meth:`~ExecutionEngine.imap_chunks`,
 an *ordered streaming map* that pulls chunks lazily from an iterable and
 yields outcomes as the head of the stream completes, holding at most a
-bounded in-flight window of chunks alive (default ``2 x workers``); and
+bounded in-flight window of chunks alive; and
 :meth:`~ExecutionEngine.map_chunks`, a thin ``list(imap_chunks(...))``
 adapter for callers that want the batch.  Streaming is what keeps memory and
 time-to-first-result independent of the query window length: SPLIT produces
 chunks on demand (``repro.video.chunking.iter_chunks``) and the executor
 appends rows per chunk as outcomes arrive.
+
+The process engine does **not** pickle chunks to its workers.  Each stream
+broadcasts its heavy constants once — the runner, the execution context, and
+every distinct video/mask/region the stream's chunks reference — through a
+pickle file workers load (and cache) on first use; per-dispatch messages are
+then just the payload path plus a few ints and floats per chunk
+(:class:`_TaskBroadcast` / ``_execute_chunk_specs``).  That turns per-future
+IPC from whole-scene payloads into bytes, which is what lets ``process:N``
+beat the serial engine even on sub-second sweeps.  The per-future batch size
+defaults to an adaptive heuristic (``count_chunks // (4 * workers)``, capped
+at 32) fed by the caller's ``count_hint``; a fixed ``chunksize`` overrides
+it.
 
 Engines are deliberately ignorant of caching — the
 :class:`~repro.core.cache.ChunkResultCache` filters out memoized chunks before
@@ -37,17 +49,27 @@ the engine ever sees them (see ``SandboxRunner.iter_chunk_rows``).
 from __future__ import annotations
 
 import os
-from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import pickle
+import shutil
+import tempfile
+import uuid
+from collections import OrderedDict, deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Protocol, Sized, \
+    runtime_checkable
+
+from repro.relational.table import ColumnarRows
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sandbox.environment import ExecutionContext, SandboxRunner
     from repro.video.chunking import Chunk
 
-#: The output of one chunk's sandboxed execution: schema-coerced, stamped rows.
-ChunkRows = list[dict[str, Any]]
+#: The output of one chunk's sandboxed execution: schema-coerced, stamped
+#: rows — a list of row dicts, or the columnar twin from the batch
+#: row-emission path (iterates and compares exactly like the dict list).
+ChunkRows = list[dict[str, Any]] | ColumnarRows
 
 
 @dataclass
@@ -59,7 +81,7 @@ class ChunkOutcome:
     machine), so the result cache must never store them.
     """
 
-    rows: ChunkRows
+    rows: "list[dict[str, Any]] | ColumnarRows"
     fallback: bool = False
 
 
@@ -87,20 +109,189 @@ def _execute_chunk_thread(runner: "SandboxRunner", chunk: "Chunk",
     return runner.run_chunk_outcome(chunk, context, thread_clock=True)
 
 
-def _execute_chunk_list(runner: "SandboxRunner", chunks: list["Chunk"],
-                        context: "ExecutionContext") -> list[ChunkOutcome]:
-    """Process-pool unit of work: one future per batch of chunks.
-
-    Module-level so process pools can pickle it; batching amortizes the
-    per-future pickling round-trip the way ``chunksize`` did for ``pool.map``.
-    """
-    return [execute_chunk(runner, chunk, context) for chunk in chunks]
-
-
 def _execute_chunk_list_thread(runner: "SandboxRunner", chunks: list["Chunk"],
                                context: "ExecutionContext") -> list[ChunkOutcome]:
     """Thread-pool unit of work over a batch (per-thread CPU-time TIMEOUT)."""
     return [_execute_chunk_thread(runner, chunk, context) for chunk in chunks]
+
+
+#: A compact description of one chunk, shipped to process-pool workers in
+#: place of the chunk object: (video ref, index, interval start, interval
+#: end, mask ref, region ref or None, sample period, metadata or None).
+ChunkSpecMessage = tuple
+
+#: Worker-side cache of loaded broadcast payloads, keyed by payload path.
+#: Bounded so long-lived pools serving many streams do not accumulate scenes.
+_PAYLOAD_CACHE: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+_PAYLOAD_CACHE_LIMIT = 8
+
+
+def _load_payload(path: str) -> dict[str, Any]:
+    """Load (and memoize) one stream's broadcast payload in this process."""
+    payload = _PAYLOAD_CACHE.get(path)
+    if payload is None:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        _PAYLOAD_CACHE[path] = payload
+        while len(_PAYLOAD_CACHE) > _PAYLOAD_CACHE_LIMIT:
+            _PAYLOAD_CACHE.popitem(last=False)
+    else:
+        _PAYLOAD_CACHE.move_to_end(path)
+    return payload
+
+
+def _execute_chunk_specs(path: str, specs: list[ChunkSpecMessage]
+                         ) -> list[ChunkOutcome]:
+    """Process-pool unit of work: rebuild chunks from compact specs.
+
+    The heavy stream constants (runner, context, videos, masks, regions)
+    come from the broadcast payload at ``path``, loaded once per worker per
+    stream; the per-dispatch message is just this function's arguments.
+    """
+    from repro.utils.timebase import TimeInterval
+    from repro.video.chunking import Chunk
+
+    payload = _load_payload(path)
+    runner = payload["runner"]
+    context = payload["context"]
+    objects = payload["objects"]
+    outcomes: list[ChunkOutcome] = []
+    for video_ref, index, start, end, mask_ref, region_ref, sample_period, \
+            metadata in specs:
+        chunk = Chunk(
+            video=objects[video_ref],
+            index=index,
+            interval=TimeInterval(start, end),
+            mask=objects[mask_ref],
+            region=None if region_ref is None else objects[region_ref],
+            sample_period=sample_period,
+            metadata=metadata if metadata is not None else {},
+        )
+        outcomes.append(execute_chunk(runner, chunk, context))
+    return outcomes
+
+
+class _TaskBroadcast:
+    """One stream's out-of-band broadcast of its heavy pickled constants.
+
+    Chunk streams reference a handful of heavy shared objects (the video,
+    the mask, the spatial regions) over and over; this registry assigns each
+    distinct object a small integer ref and persists the whole set — plus
+    the runner and context — to a pickle file any worker can load,
+    whichever future it happens to execute.  When a previously unseen heavy
+    object appears mid-stream (multi-camera maps), a new payload version is
+    written and later dispatches reference it; workers cache payloads per
+    path, so each worker unpickles each version at most once.
+    """
+
+    def __init__(self, runner: "SandboxRunner", context: "ExecutionContext") -> None:
+        self._runner = runner
+        self._context = context
+        self._directory: str | None = None  # created on first payload write
+        #: Heavy shared objects in ref order; also the strong references
+        #: keeping the id()-keyed registry sound.
+        self._objects: list[Any] = []
+        self._refs: dict[int, int] = {}
+        self._version = 0
+        self._path: str | None = None
+        self.broadcasts = 0
+        self.broadcast_bytes = 0
+
+    def _ref_for(self, obj: Any) -> int:
+        key = id(obj)
+        ref = self._refs.get(key)
+        if ref is None:
+            ref = len(self._objects)
+            self._refs[key] = ref
+            self._objects.append(obj)
+            self._path = None  # current payload is stale
+        return ref
+
+    def chunk_spec(self, chunk: "Chunk") -> ChunkSpecMessage:
+        """The compact per-chunk dispatch message."""
+        region = chunk.region
+        return (
+            self._ref_for(chunk.video),
+            chunk.index,
+            chunk.interval.start,
+            chunk.interval.end,
+            self._ref_for(chunk.mask),
+            None if region is None else self._ref_for(region),
+            chunk.sample_period,
+            dict(chunk.metadata) if chunk.metadata else None,
+        )
+
+    def payload_path(self) -> str:
+        """Path of a payload file covering every ref handed out so far.
+
+        Filenames embed a fresh uuid per version: worker-side payload
+        caching keys on the path, and tempdir paths can legally be reused
+        after an earlier stream's cleanup — a colliding path must never
+        serve a stale cached payload.
+        """
+        if self._path is None:
+            if self._directory is None:
+                self._directory = tempfile.mkdtemp(prefix="privid-task-")
+            self._version += 1
+            path = os.path.join(
+                self._directory, f"task-{uuid.uuid4().hex}-v{self._version}.pkl")
+            payload = pickle.dumps(
+                {"runner": self._runner, "context": self._context,
+                 "objects": list(self._objects)},
+                protocol=pickle.HIGHEST_PROTOCOL)
+            with open(path, "wb") as handle:
+                handle.write(payload)
+            self.broadcasts += 1
+            self.broadcast_bytes += len(payload)
+            self._path = path
+        return self._path
+
+    def cleanup(self) -> None:
+        """Remove the payload files (call only after all futures resolved)."""
+        if self._directory is not None:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+
+
+@dataclass
+class DispatchStats:
+    """Per-dispatch IPC accounting of a :class:`ProcessPoolEngine`.
+
+    ``payload_bytes_*`` measure the pickled per-future message (payload path
+    + chunk specs) — the bytes crossing the IPC boundary per dispatch;
+    ``broadcast_bytes`` counts the one-time payload files written per
+    stream.  Used by the benchmarks and the payload-budget regression test.
+    """
+
+    dispatches: int = 0
+    chunks: int = 0
+    payload_bytes_total: int = 0
+    payload_bytes_max: int = 0
+    broadcasts: int = 0
+    broadcast_bytes: int = 0
+
+    def record_dispatch(self, payload_bytes: int, chunks: int) -> None:
+        self.dispatches += 1
+        self.chunks += chunks
+        self.payload_bytes_total += payload_bytes
+        if payload_bytes > self.payload_bytes_max:
+            self.payload_bytes_max = payload_bytes
+
+    @property
+    def payload_bytes_mean(self) -> float:
+        """Mean pickled bytes per dispatch (0.0 before any dispatch)."""
+        return self.payload_bytes_total / self.dispatches if self.dispatches else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "dispatches": self.dispatches,
+            "chunks": self.chunks,
+            "payload_bytes_total": self.payload_bytes_total,
+            "payload_bytes_max": self.payload_bytes_max,
+            "payload_bytes_mean": round(self.payload_bytes_mean, 1),
+            "broadcasts": self.broadcasts,
+            "broadcast_bytes": self.broadcast_bytes,
+        }
 
 
 @runtime_checkable
@@ -110,11 +301,14 @@ class ExecutionEngine(Protocol):
     name: str
 
     def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
-                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+                    context: "ExecutionContext", *,
+                    count_hint: int | None = None) -> Iterator[ChunkOutcome]:
         """Stream outcomes in chunk order, pulling chunks lazily.
 
         At most the engine's in-flight window of chunks may be materialized
         (pulled from ``chunks`` but not yet yielded) at any moment.
+        ``count_hint`` is the expected chunk count when the caller knows it
+        (the executor always does) — engines may use it to size batches.
         """
         ...  # pragma: no cover - protocol
 
@@ -131,7 +325,8 @@ class SerialEngine:
     name: str = field(default="serial", init=False)
 
     def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
-                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
+                    context: "ExecutionContext", *,
+                    count_hint: int | None = None) -> Iterator[ChunkOutcome]:
         for chunk in chunks:
             yield execute_chunk(runner, chunk, context)
 
@@ -154,62 +349,76 @@ def _default_workers() -> int:
 
 
 def _stream_through_pool(pool_factory: Callable[[], Executor],
-                         unit: Callable[..., list[ChunkOutcome]],
+                         submit_batch_fn: Callable[[Executor, list["Chunk"]],
+                                                   "Future[list[ChunkOutcome]]"],
                          runner: "SandboxRunner", chunks: Iterable["Chunk"],
                          context: "ExecutionContext", *,
-                         window: int, batch_size: int = 1) -> Iterator[ChunkOutcome]:
+                         window: int, batch_size: int = 1,
+                         on_finish: Callable[[], None] | None = None
+                         ) -> Iterator[ChunkOutcome]:
     """Ordered streaming map over a (lazily created) executor pool.
 
     Chunks are pulled from the iterable only as in-flight slots free up, so
     at most ``window`` chunks are ever materialized-but-unyielded; outcomes
     are yielded strictly in chunk order (head-of-line completion).  A
     single-chunk stream runs inline without touching the pool, matching the
-    historical short-circuit that keeps tiny queries pool-free.  ``unit``
-    maps ``(runner, [chunks], context)`` to a list of outcomes;
-    ``batch_size`` groups chunks per future to amortize IPC for process
-    pools.
+    historical short-circuit that keeps tiny queries pool-free.
+    ``submit_batch_fn`` turns a batch of chunks into a future resolving to
+    their outcomes; ``batch_size`` groups chunks per future to amortize IPC
+    for process pools.  ``on_finish`` runs once no future is outstanding —
+    on normal exhaustion or on early close — so per-stream resources (e.g.
+    broadcast payload files) can be reclaimed safely.
     """
     iterator = iter(chunks)
-    first = next(iterator, None)
-    if first is None:
-        return
-    second = next(iterator, None)
-    if second is None:
-        yield execute_chunk(runner, first, context)
-        return
-    pool = pool_factory()
-    window = max(window, batch_size)
     pending: deque[Any] = deque()  # futures, each resolving to a list of outcomes
-    in_flight = 0
-    batch: list["Chunk"] = []
-
-    def submit_batch() -> None:
-        nonlocal in_flight
-        if batch:
-            pending.append(pool.submit(unit, runner, list(batch), context))
-            in_flight += len(batch)
-            batch.clear()
-
-    replay: Iterator["Chunk"] = iter((first, second))
-    exhausted = False
-    while True:
-        while not exhausted and in_flight + len(batch) < window:
-            chunk = next(replay, None)
-            if chunk is None:
-                replay = iterator
-                chunk = next(iterator, None)
-            if chunk is None:
-                exhausted = True
-                break
-            batch.append(chunk)
-            if len(batch) >= batch_size:
-                submit_batch()
-        submit_batch()
-        if not pending:
+    try:
+        first = next(iterator, None)
+        if first is None:
             return
-        for outcome in pending.popleft().result():
-            in_flight -= 1
-            yield outcome
+        second = next(iterator, None)
+        if second is None:
+            yield execute_chunk(runner, first, context)
+            return
+        pool = pool_factory()
+        window = max(window, batch_size)
+        in_flight = 0
+        batch: list["Chunk"] = []
+
+        def submit_batch() -> None:
+            nonlocal in_flight
+            if batch:
+                pending.append(submit_batch_fn(pool, list(batch)))
+                in_flight += len(batch)
+                batch.clear()
+
+        replay: Iterator["Chunk"] = iter((first, second))
+        exhausted = False
+        while True:
+            while not exhausted and in_flight + len(batch) < window:
+                chunk = next(replay, None)
+                if chunk is None:
+                    replay = iterator
+                    chunk = next(iterator, None)
+                if chunk is None:
+                    exhausted = True
+                    break
+                batch.append(chunk)
+                if len(batch) >= batch_size:
+                    submit_batch()
+            submit_batch()
+            if not pending:
+                return
+            for outcome in pending.popleft().result():
+                in_flight -= 1
+                yield outcome
+    finally:
+        if pending:
+            # An early close (or an error) can leave futures running that
+            # still need the stream's shared resources; wait them out before
+            # on_finish reclaims anything.
+            wait_futures(list(pending))
+        if on_finish is not None:
+            on_finish()
 
 
 @dataclass
@@ -253,9 +462,13 @@ class ThreadPoolEngine:
         return 2 * (self.max_workers or _default_workers())
 
     def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
-                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
-        return _stream_through_pool(self._ensure_pool, _execute_chunk_list_thread,
-                                    runner, chunks, context, window=self._window())
+                    context: "ExecutionContext", *,
+                    count_hint: int | None = None) -> Iterator[ChunkOutcome]:
+        def submit(pool: Executor, batch: list["Chunk"]) -> "Future[list[ChunkOutcome]]":
+            return pool.submit(_execute_chunk_list_thread, runner, batch, context)
+
+        return _stream_through_pool(self._ensure_pool, submit, runner, chunks,
+                                    context, window=self._window())
 
     def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:
@@ -274,27 +487,46 @@ class ThreadPoolEngine:
         self.shutdown()
 
 
+#: Per-future batch size when a stream's chunk count is unknown (bare
+#: iterators from tests or ad-hoc callers); the executor always passes a
+#: count hint, which takes precedence through the adaptive heuristic.
+_UNKNOWN_COUNT_CHUNKSIZE = 4
+
+#: Upper bound of the adaptive chunksize heuristic — beyond this, larger
+#: batches stop amortizing anything and only add head-of-line latency.
+_MAX_ADAPTIVE_CHUNKSIZE = 32
+
+
 @dataclass
 class ProcessPoolEngine:
     """Processes chunks on a persistent pool of worker processes.
 
-    The runner, chunk, and context are pickled to the workers, so everything
-    they reference must be picklable.  ``chunksize`` batches chunks per IPC
-    round-trip to amortize pickling overhead for large sweeps.
+    Workers never receive pickled chunks: each stream broadcasts its heavy
+    constants (runner, context, video, mask, regions) once through a
+    :class:`_TaskBroadcast` payload file, and every dispatch ships only the
+    payload path plus compact per-chunk specs — a few ints and floats per
+    chunk (``dispatch_stats`` records the actual bytes).  Everything the
+    stream references must still be picklable, exactly as before.
 
-    The pool is created lazily on first use and reused across queries (worker
-    spawn is far too expensive to pay per PROCESS statement); call
-    :meth:`shutdown` to release the worker processes early, or use the
-    engine as a context manager.
+    ``chunksize`` batches chunks per future; the default (None) adapts to
+    the stream: ``max(1, count_hint // (4 * workers))`` capped at 32, so
+    small sweeps are not IPC-bound at one chunk per future while huge sweeps
+    amortize scheduling.  The pool is created lazily on first use and reused
+    across queries (worker spawn is far too expensive to pay per PROCESS
+    statement); call :meth:`shutdown` to release the worker processes early,
+    or use the engine as a context manager.
 
     ``in_flight_window`` bounds the chunks materialized-but-unyielded by
-    :meth:`imap_chunks` (default ``2 x workers``, never below ``chunksize``).
+    :meth:`imap_chunks` (default ``2 x workers x batch size``, so every
+    worker stays busy even with batched futures).
     """
 
     max_workers: int | None = None
-    chunksize: int = 1
+    chunksize: int | None = None
     in_flight_window: int | None = None
     name: str = field(default="process", init=False)
+    dispatch_stats: DispatchStats = field(default_factory=DispatchStats, init=False,
+                                          repr=False, compare=False)
     _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False,
                                               compare=False)
 
@@ -304,18 +536,52 @@ class ProcessPoolEngine:
                 max_workers=self.max_workers or _default_workers())
         return self._pool
 
-    def _window(self) -> int:
+    def _effective_chunksize(self, count_hint: int | None) -> int:
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        if count_hint is None or count_hint <= 0:
+            return _UNKNOWN_COUNT_CHUNKSIZE
+        workers = self.max_workers or _default_workers()
+        return max(1, min(_MAX_ADAPTIVE_CHUNKSIZE, count_hint // (4 * workers)))
+
+    def _window(self, batch_size: int) -> int:
         if self.in_flight_window is not None:
             if self.in_flight_window <= 0:
                 raise ValueError("in_flight_window must be positive")
             return self.in_flight_window
-        return 2 * (self.max_workers or _default_workers())
+        return 2 * (self.max_workers or _default_workers()) * batch_size
+
+    def reset_dispatch_stats(self) -> None:
+        """Zero the per-dispatch IPC counters."""
+        self.dispatch_stats = DispatchStats()
 
     def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
-                    context: "ExecutionContext") -> Iterator[ChunkOutcome]:
-        return _stream_through_pool(self._ensure_pool, _execute_chunk_list,
-                                    runner, chunks, context, window=self._window(),
-                                    batch_size=max(1, self.chunksize))
+                    context: "ExecutionContext", *,
+                    count_hint: int | None = None) -> Iterator[ChunkOutcome]:
+        if count_hint is None and isinstance(chunks, Sized):
+            count_hint = len(chunks)
+        broadcast = _TaskBroadcast(runner, context)
+        stats = self.dispatch_stats
+
+        def submit(pool: Executor, batch: list["Chunk"]) -> "Future[list[ChunkOutcome]]":
+            specs = [broadcast.chunk_spec(chunk) for chunk in batch]
+            # Registering the specs may have discovered new heavy objects;
+            # payload_path() writes a fresh version covering them first.
+            path = broadcast.payload_path()
+            stats.record_dispatch(
+                len(pickle.dumps((path, specs), protocol=pickle.HIGHEST_PROTOCOL)),
+                len(batch))
+            return pool.submit(_execute_chunk_specs, path, specs)
+
+        def finish() -> None:
+            stats.broadcasts += broadcast.broadcasts
+            stats.broadcast_bytes += broadcast.broadcast_bytes
+            broadcast.cleanup()
+
+        batch_size = self._effective_chunksize(count_hint)
+        return _stream_through_pool(self._ensure_pool, submit, runner, chunks,
+                                    context, window=self._window(batch_size),
+                                    batch_size=batch_size, on_finish=finish)
 
     def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
                    context: "ExecutionContext") -> list[ChunkOutcome]:

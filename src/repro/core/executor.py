@@ -275,7 +275,8 @@ class PrividSystem:
                 camera=camera, window=chunk_set.window, policy=chunk_set.policy)
             streams.append((table, runner.iter_chunk_rows(
                 chunk_set.make_chunks(), context,
-                engine=self.engine, cache=self.chunk_cache)))
+                engine=self.engine, cache=self.chunk_cache,
+                count_hint=chunk_set.num_chunks)))
         while streams:
             table, stream = streams.popleft()
             chunk_rows = next(stream, None)

@@ -9,8 +9,8 @@ greedy IoU tracker exposing the same hyperparameters the paper tunes
 (Appendix A).
 """
 
-from repro.cv.detector import Detection, DetectorConfig, SyntheticDetector
-from repro.cv.tracker import IoUTracker, Track, TrackerConfig, track_frames
+from repro.cv.detector import Detection, DetectionBatch, DetectorConfig, SyntheticDetector
+from repro.cv.tracker import IoUTracker, Track, TrackerConfig, TrackView, track_frames
 from repro.cv.duration import (
     DurationEstimate,
     estimate_durations,
@@ -21,10 +21,12 @@ from repro.cv.tuning import TuningResult, tune_tracker
 
 __all__ = [
     "Detection",
+    "DetectionBatch",
     "DetectorConfig",
     "SyntheticDetector",
     "IoUTracker",
     "Track",
+    "TrackView",
     "TrackerConfig",
     "track_frames",
     "DurationEstimate",

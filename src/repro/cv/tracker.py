@@ -21,17 +21,33 @@ detections) or computes the full detection x track IoU matrix with numpy when
 the pair count is large.  Both paths apply the same greedy policy — highest
 confidence first, ties broken towards the later candidate — and produce
 identical associations.
+
+Two tracker cores share that policy:
+
+* the scalar :meth:`IoUTracker.step` consumes one frame's ``Detection`` list
+  at a time and keeps classic ``Track`` objects (the reference twin);
+* the batch :meth:`IoUTracker.step_batch` advances a whole chunk's
+  :class:`~repro.cv.detector.DetectionBatch` with row-indexed columnar track
+  state — track/category ids in preallocated numpy arrays, the matching-hot
+  box/velocity scalars and miss counters in parallel row lists with a
+  bounded velocity window per row — and detection data read from the batch
+  columns, materialising Python objects only at API boundaries
+  (:class:`TrackView` / :meth:`IoUTracker.finalize`).
+
+The two cores apply the identical matching order, arithmetic and tie-breaks,
+and are asserted bit-identical by the parity tests.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from bisect import bisect_right
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.cv.detector import Detection
+from repro.cv.detector import Detection, DetectionBatch
 from repro.video.geometry import BoundingBox
 
 #: Steps whose detections x candidates pair count reaches this size compute
@@ -64,9 +80,13 @@ class TrackerConfig:
             raise ValueError("iou_threshold must be within [0, 1]")
 
 
-@dataclass
+@dataclass(slots=True)
 class Track:
-    """A sequence of detections the tracker believes belong to one object."""
+    """A sequence of detections the tracker believes belong to one object.
+
+    Slotted: tracks are materialised per chunk at the batch-core API
+    boundary, so the per-instance footprint matters.
+    """
 
     track_id: int
     category: str
@@ -99,6 +119,11 @@ class Track:
         if not self.observations:
             return 0.0
         return self.last_timestamp - self.first_timestamp
+
+    @property
+    def first_box(self) -> BoundingBox:
+        """Bounding box of the first matched detection."""
+        return self.observations[0].box
 
     @property
     def last_box(self) -> BoundingBox:
@@ -190,14 +215,549 @@ class Track:
         return self.hits >= min_hits
 
 
+class _BatchTrackerCore:
+    """Columnar twin of the scalar tracker loop.
+
+    Track state is row-indexed and columnar: track/category ids live in
+    preallocated, capacity-doubling numpy arrays, while the matching-hot
+    per-row state — last box, its area, last frame index, the smoothed
+    velocity, and the miss counter — lives in parallel row lists with the
+    velocity window as a bounded ring per row (hit counts are the lengths
+    of the per-row detection-id lists).  Python-scalar rows beat numpy
+    element indexing by ~10x for the sequential greedy loop (typical frames
+    carry 1-3 candidates); wide frames still vectorize, computing the
+    detections x candidates IoU matrix from the same per-frame reference
+    tuples the scalar core builds.
+
+    Detections are read straight from
+    :class:`~repro.cv.detector.DetectionBatch` columns; per-frame matching
+    applies exactly the scalar core's policy (confidence-descending stable
+    order, greedy best-IoU-at-least-threshold with ties to the later
+    candidate, per-category matching, constant-velocity prediction while
+    unmatched) so associations — and therefore tracks — are bit-identical.
+    """
+
+    #: Row-state slots: x, y, width, height, area, last frame index,
+    #: velocity x (None until two observations), velocity y.
+    _X, _Y, _W, _H, _AREA, _FRAME, _VX, _VY = range(8)
+
+    def __init__(self, config: TrackerConfig, next_id: int = 0) -> None:
+        self.config = config
+        self.next_id = next_id
+        self.track_id: list[int] = []
+        self.category_id: list[int] = []
+        #: Matching-hot per-row scalars (see the slot constants above).
+        self.row_state: list[list[Any]] = []
+        #: Per-row consecutive-miss counters (reset on every match).
+        self.misses: list[int] = []
+        #: Per-row velocity window: the last ``Track.VELOCITY_WINDOW``
+        #: observations as (x, y, frame_index) tuples, oldest first.
+        self.rings: list[deque[tuple[float, float, int]]] = []
+        #: Per-track detection ids (offsets into the consumed batches);
+        #: a track's hit count is the length of its list.
+        self.det_indices: list[list[int]] = []
+        self.active: list[int] = []
+        #: Category ids parallel to ``active`` (avoids per-frame rebuilds).
+        self.active_categories: list[int] = []
+        self.finished: list[int] = []
+        self.num_rows = 0
+        self.categories: list[str] = []
+        self._category_ids: dict[str, int] = {}
+        self.batches: list[DetectionBatch] = []
+        self.offsets: list[int] = []
+        self._total_detections = 0
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def _core_category(self, label: str) -> int:
+        identifier = self._category_ids.get(label)
+        if identifier is None:
+            identifier = len(self.categories)
+            self._category_ids[label] = identifier
+            self.categories.append(label)
+        return identifier
+
+    def hit_count(self, row: int) -> int:
+        """Number of matched detections of one track row."""
+        return len(self.det_indices[row])
+
+    def resolve(self, detection_id: int) -> tuple[DetectionBatch, int]:
+        """Map a core-global detection id back to its (batch, local index)."""
+        if len(self.batches) == 1:
+            return self.batches[0], detection_id
+        position = bisect_right(self.offsets, detection_id) - 1
+        return self.batches[position], detection_id - self.offsets[position]
+
+    # ---------------------------------------------------------------- updates
+
+    def _new_track(self, detection_id: int, category: int, x: float, y: float,
+                   width: float, height: float, frame_index: int) -> int:
+        row = self.num_rows
+        self.num_rows += 1
+        self.det_indices.append([detection_id])
+        self.row_state.append([x, y, width, height, width * height,
+                               frame_index, None, 0.0])
+        self.rings.append(deque([(x, y, frame_index)],
+                                maxlen=Track.VELOCITY_WINDOW))
+        self.misses.append(0)
+        self.track_id.append(self.next_id)
+        self.next_id += 1
+        self.category_id.append(category)
+        return row
+
+    def _expire(self) -> None:
+        """Move tracks whose misses exceeded max_age to the finished list.
+
+        Same sweep as the scalar core: the active list is filtered in order,
+        so finished tracks are appended in active-list order.
+        """
+        max_age = self.config.max_age
+        misses = self.misses
+        still_active: list[int] = []
+        still_categories: list[int] = []
+        for row, category in zip(self.active, self.active_categories):
+            if misses[row] > max_age:
+                self.finished.append(row)
+            else:
+                still_active.append(row)
+                still_categories.append(category)
+        self.active = still_active
+        self.active_categories = still_categories
+
+    def _miss_step(self) -> None:
+        """Advance one frame with no matched detections (all candidates miss)."""
+        active = self.active
+        if not active:
+            return
+        max_age = self.config.max_age
+        misses = self.misses
+        expired = False
+        for row in active:
+            count = misses[row] + 1
+            misses[row] = count
+            if count > max_age:
+                expired = True
+        if expired:
+            self._expire()
+
+    # --------------------------------------------------------------- matching
+
+    def step_batch(self, batch: DetectionBatch) -> None:
+        """Advance the tracker over every frame of one detection batch."""
+        self.batches.append(batch)
+        self.offsets.append(self._total_detections)
+        offset = self._total_detections
+        self._total_detections += len(batch)
+        num_frames = batch.num_frames
+        if num_frames == 0:
+            return
+        total = len(batch)
+        config = self.config
+        threshold = config.iou_threshold
+        per_category = config.per_category
+        use_motion = config.use_motion_prediction
+        max_age = config.max_age
+        if total:
+            positions = batch.frame_positions
+            # Frame-major, confidence-descending stable order — the batched
+            # equivalent of the scalar per-step sort.  lexsort is stable, so
+            # fully-tied entries keep storage order, which *is* the scalar
+            # within-frame emission order (DetectionBatch storage contract).
+            order = np.lexsort((-batch.confidences, positions))
+            # boundaries[f] = number of detections in frames before f — the
+            # per-frame slice bounds of the ordered arrays.
+            boundaries = np.zeros(num_frames + 1, dtype=np.int64)
+            np.cumsum(np.bincount(positions, minlength=num_frames),
+                      out=boundaries[1:])
+            boundaries_list = boundaries.tolist()
+            boxes = batch.boxes[order]
+            boxes_list = boxes.tolist()
+            frame_index_list = batch.frame_indices[order].tolist()
+            batch_to_core = [self._core_category(label) for label in batch.categories]
+            if len(batch_to_core) == 1:
+                category_list = batch_to_core * total
+            else:
+                category_list = [batch_to_core[identifier]
+                                 for identifier in batch.category_ids[order].tolist()]
+            order_list = order.tolist()
+            detection_ids = order_list if offset == 0 \
+                else [offset + index for index in order_list]
+        else:
+            boundaries_list = [0] * (num_frames + 1)
+        row_state = self.row_state
+        rings = self.rings
+        det_lists = self.det_indices
+        misses = self.misses
+        start = 0
+        for frame in range(num_frames):
+            end = boundaries_list[frame + 1]
+            if start == end:
+                self._miss_step()
+                continue
+            frame_index = frame_index_list[start]
+            active = self.active
+            num_candidates = len(active)
+            if num_candidates == 0:
+                # Fast path: no candidates — every detection opens a track.
+                for position in range(start, end):
+                    x, y, width, height = boxes_list[position]
+                    active.append(self._new_track(
+                        detection_ids[position], category_list[position],
+                        x, y, width, height, frame_index))
+                    self.active_categories.append(category_list[position])
+                start = end
+                continue
+            if end == start + 1 and num_candidates < VECTOR_MATCH_MIN_PAIRS:
+                # Fast path: one detection this frame — references fuse into
+                # the candidate loop (no reuse possible), no matched flags or
+                # new-track lists are needed, and the greedy policy reduces
+                # to a plain best-IoU scan with the same arithmetic and
+                # later-candidate tie-break as the general loop below.
+                position = start
+                detection_category = category_list[position]
+                det_x1, det_y1, det_width, det_height = boxes_list[position]
+                det_x2 = det_x1 + det_width
+                det_y2 = det_y1 + det_height
+                det_area = det_width * det_height
+                active_categories = self.active_categories
+                best = -1
+                best_iou = threshold
+                for index in range(num_candidates):
+                    if per_category \
+                            and active_categories[index] != detection_category:
+                        continue
+                    state = row_state[active[index]]
+                    x = state[0]
+                    y = state[1]
+                    vx = state[6]
+                    if use_motion and vx is not None:
+                        frames_ahead = frame_index - state[5]
+                        if frames_ahead > 0:
+                            x = x + vx * frames_ahead
+                            y = y + state[7] * frames_ahead
+                    ref_x2 = x + state[2]
+                    ref_y2 = y + state[3]
+                    left = det_x1 if det_x1 > x else x
+                    right = det_x2 if det_x2 < ref_x2 else ref_x2
+                    top = det_y1 if det_y1 > y else y
+                    bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                    if right > left and bottom > top:
+                        intersection = (right - left) * (bottom - top)
+                        union = det_area + state[4] - intersection
+                        iou = intersection / union if union > 0 else 0.0
+                    else:
+                        iou = 0.0
+                    if iou >= best_iou:
+                        best_iou = iou
+                        best = index
+                expired = False
+                if best >= 0:
+                    row = active[best]
+                    ring = rings[row]
+                    ring.append((det_x1, det_y1, frame_index))
+                    state = row_state[row]
+                    if len(ring) >= 2:
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        state[6] = (det_x1 - baseline_x) / frame_gap
+                        state[7] = (det_y1 - baseline_y) / frame_gap
+                    state[0] = det_x1
+                    state[1] = det_y1
+                    state[2] = det_width
+                    state[3] = det_height
+                    state[4] = det_area
+                    state[5] = frame_index
+                    misses[row] = 0
+                    det_lists[row].append(detection_ids[position])
+                    if num_candidates > 1:
+                        for index in range(num_candidates):
+                            if index != best:
+                                other = active[index]
+                                count = misses[other] + 1
+                                misses[other] = count
+                                if count > max_age:
+                                    expired = True
+                else:
+                    new_row = self._new_track(
+                        detection_ids[position], detection_category,
+                        det_x1, det_y1, det_width, det_height, frame_index)
+                    for index in range(num_candidates):
+                        other = active[index]
+                        count = misses[other] + 1
+                        misses[other] = count
+                        if count > max_age:
+                            expired = True
+                    active.append(new_row)
+                    active_categories.append(detection_category)
+                if expired:
+                    self._expire()
+                start = end
+                continue
+            matched = [False] * num_candidates
+            new_rows: list[int] = []
+            new_categories: list[int] = []
+            iou_matrix = None
+            references: list[tuple[float, float, float, float, float]] = []
+            candidate_categories = self.active_categories if per_category else None
+            if num_candidates:
+                # Reference bounds are computed scalar-wise exactly like the
+                # scalar core's _reference_bounds (same arithmetic, same
+                # motion-prediction condition) — the wide path below then
+                # vectorizes only the IoU matrix over them.
+                for row in active:
+                    state = row_state[row]
+                    x = state[0]
+                    y = state[1]
+                    vx = state[6]
+                    if use_motion and vx is not None:
+                        frames_ahead = frame_index - state[5]
+                        if frames_ahead > 0:
+                            x = x + vx * frames_ahead
+                            y = y + state[7] * frames_ahead
+                    references.append((x, y, x + state[2], y + state[3], state[4]))
+                if (end - start) * num_candidates >= VECTOR_MATCH_MIN_PAIRS:
+                    det_x1 = boxes[start:end, 0:1]
+                    det_y1 = boxes[start:end, 1:2]
+                    det_x2 = det_x1 + boxes[start:end, 2:3]
+                    det_y2 = det_y1 + boxes[start:end, 3:4]
+                    det_area = boxes[start:end, 2:3] * boxes[start:end, 3:4]
+                    ref = np.array(references, dtype=np.float64)
+                    left = np.maximum(det_x1, ref[:, 0])
+                    right = np.minimum(det_x2, ref[:, 2])
+                    top = np.maximum(det_y1, ref[:, 1])
+                    bottom = np.minimum(det_y2, ref[:, 3])
+                    width = right - left
+                    height = bottom - top
+                    intersection = np.where((width > 0) & (height > 0),
+                                            width * height, 0.0)
+                    union = det_area + ref[:, 4] - intersection
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        iou_matrix = np.where(union > 0, intersection / union, 0.0)
+            for position in range(start, end):
+                best = -1
+                best_iou = threshold
+                detection_category = category_list[position]
+                det_x1, det_y1, det_width, det_height = boxes_list[position]
+                det_area = det_width * det_height
+                if iou_matrix is not None:
+                    row_ious = iou_matrix[position - start]
+                    for index in range(num_candidates):
+                        if matched[index]:
+                            continue
+                        if candidate_categories is not None \
+                                and candidate_categories[index] != detection_category:
+                            continue
+                        iou = row_ious[index]
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best = index
+                elif num_candidates:
+                    det_x2 = det_x1 + det_width
+                    det_y2 = det_y1 + det_height
+                    for index in range(num_candidates):
+                        if matched[index]:
+                            continue
+                        if candidate_categories is not None \
+                                and candidate_categories[index] != detection_category:
+                            continue
+                        ref_x1, ref_y1, ref_x2, ref_y2, ref_area = references[index]
+                        left = det_x1 if det_x1 > ref_x1 else ref_x1
+                        right = det_x2 if det_x2 < ref_x2 else ref_x2
+                        top = det_y1 if det_y1 > ref_y1 else ref_y1
+                        bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                        if right > left and bottom > top:
+                            intersection = (right - left) * (bottom - top)
+                            union = det_area + ref_area - intersection
+                            iou = intersection / union if union > 0 else 0.0
+                        else:
+                            iou = 0.0
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best = index
+                if best >= 0:
+                    # Inlined observe: the single hottest code path — record
+                    # the matched box, advance the velocity window (baseline
+                    # = oldest ringed observation, frame gap clamped to >= 1,
+                    # same IEEE ops as Track._rebuild_motion_cache), reset
+                    # the miss counter.
+                    row = active[best]
+                    matched[best] = True
+                    ring = rings[row]
+                    ring.append((det_x1, det_y1, frame_index))
+                    state = row_state[row]
+                    if len(ring) >= 2:
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        state[6] = (det_x1 - baseline_x) / frame_gap
+                        state[7] = (det_y1 - baseline_y) / frame_gap
+                    state[0] = det_x1
+                    state[1] = det_y1
+                    state[2] = det_width
+                    state[3] = det_height
+                    state[4] = det_area
+                    state[5] = frame_index
+                    misses[row] = 0
+                    det_lists[row].append(detection_ids[position])
+                else:
+                    new_rows.append(self._new_track(
+                        detection_ids[position], detection_category,
+                        det_x1, det_y1, det_width, det_height,
+                        frame_index))
+                    new_categories.append(detection_category)
+            expired = False
+            for index in range(num_candidates):
+                if not matched[index]:
+                    row = active[index]
+                    count = misses[row] + 1
+                    misses[row] = count
+                    if count > max_age:
+                        expired = True
+            if new_rows:
+                self.active.extend(new_rows)
+                self.active_categories.extend(new_categories)
+            if expired:
+                self._expire()
+            start = end
+
+    # -------------------------------------------------------------- finishing
+
+    def confirmed_rows(self) -> list[int]:
+        """Rows of every confirmed track, in finished-then-active order."""
+        min_hits = self.config.min_hits
+        det_indices = self.det_indices
+        return [row for row in self.finished + self.active
+                if len(det_indices[row]) >= min_hits]
+
+
+
+class TrackView:
+    """Columnar stand-in for a confirmed :class:`Track` (the batch boundary).
+
+    Exposes the track surface the executables consume — endpoints, boxes,
+    hit counts, majority attributes — straight from the batch columns, so a
+    chunk's row emission materialises at most two :class:`BoundingBox`
+    objects per track.  :meth:`to_track` is the full materialisation adapter
+    (used by :meth:`IoUTracker.finalize` and the parity tests).
+    """
+
+    __slots__ = ("_core", "_row")
+
+    def __init__(self, core: _BatchTrackerCore, row: int) -> None:
+        self._core = core
+        self._row = row
+
+    @property
+    def track_id(self) -> int:
+        return self._core.track_id[self._row]
+
+    @property
+    def category(self) -> str:
+        return self._core.categories[self._core.category_id[self._row]]
+
+    @property
+    def hits(self) -> int:
+        """Number of matched detections."""
+        return self._core.hit_count(self._row)
+
+    @property
+    def misses(self) -> int:
+        return self._core.misses[self._row]
+
+    def is_confirmed(self, min_hits: int) -> bool:
+        """True once the track has accumulated at least ``min_hits`` detections."""
+        return self.hits >= min_hits
+
+    def _boundary(self, position: int) -> tuple[DetectionBatch, int]:
+        detection_id = self._core.det_indices[self._row][position]
+        return self._core.resolve(detection_id)
+
+    @property
+    def first_timestamp(self) -> float:
+        """Timestamp of the first matched detection."""
+        batch, index = self._boundary(0)
+        return float(batch.timestamps[index])
+
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the most recent matched detection."""
+        batch, index = self._boundary(-1)
+        return float(batch.timestamps[index])
+
+    @property
+    def duration(self) -> float:
+        """Observed persistence of the track in seconds."""
+        return self.last_timestamp - self.first_timestamp
+
+    @property
+    def first_box(self) -> BoundingBox:
+        """Bounding box of the first matched detection."""
+        batch, index = self._boundary(0)
+        x, y, width, height = batch.boxes[index].tolist()
+        return BoundingBox(x, y, width, height)
+
+    @property
+    def last_box(self) -> BoundingBox:
+        """Bounding box of the most recent matched detection."""
+        batch, index = self._boundary(-1)
+        x, y, width, height = batch.boxes[index].tolist()
+        return BoundingBox(x, y, width, height)
+
+    def attribute_values(self, key: str) -> list[Any]:
+        """All observed values of an attribute across the track."""
+        values: list[Any] = []
+        for detection_id in self._core.det_indices[self._row]:
+            batch, index = self._core.resolve(detection_id)
+            column = batch.attributes.get(key)
+            if column is not None and column[0][index]:
+                values.append(column[1][index])
+        return values
+
+    def majority_attribute(self, key: str, default: Any = None) -> Any:
+        """Most frequently observed value of an attribute (ties broken arbitrarily)."""
+        values = self.attribute_values(key)
+        if not values:
+            return default
+        return Counter(values).most_common(1)[0][0]
+
+    @property
+    def observations(self) -> list[Detection]:
+        """The track's detections, materialised from the batch columns.
+
+        Full materialisation — row emission should prefer the columnar
+        accessors above; this exists for the ``Track`` API surface.
+        """
+        core = self._core
+        observations: list[Detection] = []
+        for detection_id in core.det_indices[self._row]:
+            batch, index = core.resolve(detection_id)
+            observations.append(batch.detection_at(index))
+        return observations
+
+    def to_track(self) -> Track:
+        """Materialise the classic :class:`Track` (observations included)."""
+        return Track(track_id=self.track_id, category=self.category,
+                     observations=self.observations, misses=self.misses)
+
+
 class IoUTracker:
-    """Online greedy IoU tracker over a stream of per-frame detections."""
+    """Online greedy IoU tracker over a stream of per-frame detections.
+
+    A tracker instance runs in one of two modes: scalar (:meth:`step`, one
+    frame's ``Detection`` list at a time) or batch (:meth:`step_batch`, a
+    whole chunk's :class:`~repro.cv.detector.DetectionBatch`).  The modes
+    produce bit-identical tracks but cannot be mixed on one instance.
+    """
 
     def __init__(self, config: TrackerConfig | None = None) -> None:
         self.config = config or TrackerConfig()
         self._active: list[Track] = []
         self._finished: list[Track] = []
         self._next_id = 0
+        self._core: _BatchTrackerCore | None = None
 
     @staticmethod
     def _iou_matrix(ordered: list[Detection],
@@ -225,6 +785,9 @@ class IoUTracker:
 
     def step(self, detections: Sequence[Detection]) -> None:
         """Consume the detections of one frame (frames must arrive in time order)."""
+        if self._core is not None:
+            raise RuntimeError("tracker already advanced in batch mode; "
+                               "scalar step() cannot be mixed with step_batch()")
         config = self.config
         candidates = self._active
         num_candidates = len(candidates)
@@ -323,8 +886,43 @@ class IoUTracker:
                     still_active.append(track)
             self._active = still_active
 
+    def step_batch(self, batch: DetectionBatch) -> None:
+        """Consume a whole chunk's detections at once (the columnar core).
+
+        Bit-identical to calling :meth:`step` with each frame's detection
+        list of ``batch.per_frame_detections()`` in order — including frames
+        with no detections, which age unmatched tracks exactly as empty
+        scalar steps do.
+        """
+        if self._active or self._finished:
+            raise RuntimeError("tracker already advanced in scalar mode; "
+                               "step_batch() cannot be mixed with step()")
+        if self._core is None:
+            self._core = _BatchTrackerCore(self.config, next_id=self._next_id)
+        self._core.step_batch(batch)
+
+    def finalize_views(self) -> list[TrackView]:
+        """Flush the batch core and return every confirmed track as a view.
+
+        The cheap API boundary of the columnar pipeline: row emission reads
+        track endpoints and attribute majorities straight from the batch
+        columns instead of materialised ``Detection`` lists.  Only valid in
+        batch mode (after :meth:`step_batch`); an unused tracker returns [].
+        """
+        core = self._core
+        if core is None:
+            if self._active or self._finished:
+                raise RuntimeError("finalize_views() requires batch mode; "
+                                   "use finalize() after scalar step()")
+            return []
+        self._core = None
+        self._next_id = core.next_id
+        return [TrackView(core, row) for row in core.confirmed_rows()]
+
     def finalize(self) -> list[Track]:
         """Flush remaining active tracks and return every *confirmed* track."""
+        if self._core is not None:
+            return [view.to_track() for view in self.finalize_views()]
         all_tracks = self._finished + self._active
         self._finished = []
         self._active = []

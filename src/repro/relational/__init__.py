@@ -8,7 +8,7 @@ of Fig. 10: the maximum number of rows a (rho, K)-bounded event could
 influence, per-column range constraints, and row-count constraints.
 """
 
-from repro.relational.table import ColumnSpec, DataType, Schema, Table
+from repro.relational.table import ColumnSpec, ColumnarRows, DataType, RowBatch, Schema, Table
 from repro.relational.sensitivity import SensitivityInfo, TableProperties
 from repro.relational.expressions import (
     BinaryOp,
@@ -49,6 +49,8 @@ __all__ = [
     "DataType",
     "Schema",
     "Table",
+    "RowBatch",
+    "ColumnarRows",
     "SensitivityInfo",
     "TableProperties",
     "Expression",

@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import QueryValidationError, UnboundSensitivityError
-from repro.relational.expressions import Expression
+from repro.relational.expressions import Column, Expression, TimeBucket
 from repro.relational.sensitivity import SensitivityInfo
 from repro.relational.table import Table
 
@@ -157,19 +159,82 @@ def _numeric_sensitivity(aggregation: Aggregation, info: SensitivityInfo) -> flo
     raise QueryValidationError(f"unsupported aggregation {function!r}")
 
 
-def _group_rows(table: Table, group: GroupSpec) -> dict[Any, list[dict[str, Any]]]:
-    """Partition the table's rows by group key."""
-    grouped: dict[Any, list[dict[str, Any]]] = {}
-    for row in table.rows:
-        grouped.setdefault(group.key_of(row), []).append(row)
+#: Bucketed chunk values stay exact in float64 only below this magnitude;
+#: larger (or non-finite) inputs fall back to the per-row scalar expression.
+_EXACT_FLOOR_LIMIT = float(2 ** 53)
+
+
+def _evaluate_expression_column(expression: Expression, table: Table) -> list[Any]:
+    """Evaluate one grouping expression over the whole table as a column.
+
+    Bare column references read the column list directly, and chunk-style
+    ``bin()`` bucketing over a clean float64 column vectorizes (``floor``
+    and the width product are exact in float64 below 2**53, so the values
+    match the scalar ``math.floor(v / width) * width`` bit for bit);
+    anything else falls back to the per-row scalar evaluation.
+    """
+    if isinstance(expression, Column):
+        if table.has_column(expression.name):
+            return table.column_values(expression.name)
+        return [None] * len(table)
+    if isinstance(expression, TimeBucket) and isinstance(expression.inner, Column) \
+            and table.has_column(expression.inner.name):
+        column = table.number_column(expression.inner.name)
+        if column is not None and not column.has_missing:
+            scaled = column.array() / expression.width
+            if scaled.size == 0:
+                return []
+            with np.errstate(invalid="ignore"):
+                in_range = np.isfinite(scaled) & (np.abs(scaled) < _EXACT_FLOOR_LIMIT)
+            if in_range.all():
+                return (np.floor(scaled) * expression.width).tolist()
+    return [expression.evaluate(row) for row in table.rows]
+
+
+def _group_keys(table: Table, group: GroupSpec) -> list[Any]:
+    """Per-row group keys, computed column-wise."""
+    columns = [_evaluate_expression_column(expression, table)
+               for _, expression in group.expressions]
+    if len(columns) == 1:
+        return columns[0]
+    return [tuple(values) for values in zip(*columns)]
+
+
+def _group_indices(table: Table, group: GroupSpec) -> dict[Any, list[int]]:
+    """Partition the table's row indices by group key (row order preserved)."""
+    grouped: dict[Any, list[int]] = {}
+    for index, key in enumerate(_group_keys(table, group)):
+        bucket = grouped.get(key)
+        if bucket is None:
+            grouped[key] = [index]
+        else:
+            bucket.append(index)
     return grouped
 
 
-def _values_for(aggregation: Aggregation, rows: Sequence[Mapping[str, Any]]) -> list[Any]:
-    """Column values an aggregation consumes for a set of rows."""
+def _source_column(aggregation: Aggregation, table: Table) -> list[Any] | None:
+    """The full column an aggregation reads, or None for bare COUNT.
+
+    Extracted once per aggregation (not once per group); the fold in
+    :func:`_aggregate_values` stays a sequential scalar sum so results are
+    bit-identical to the dict-row implementation — only the column
+    extraction is array-backed.
+    """
     if aggregation.column is None:
-        return [1.0] * len(rows)
-    return [row.get(aggregation.column) for row in rows]
+        return None
+    if not table.has_column(aggregation.column):
+        return [None] * len(table)
+    return table.column_values(aggregation.column)
+
+
+def _values_for(source: list[Any] | None, indices: list[int] | None,
+                table_size: int) -> list[Any]:
+    """Values of one group (``indices`` None = the whole table)."""
+    if source is None:
+        return [1.0] * (table_size if indices is None else len(indices))
+    if indices is None:
+        return source
+    return [source[index] for index in indices]
 
 
 def _check_group_trust(group: GroupSpec, info: SensitivityInfo) -> None:
@@ -196,14 +261,15 @@ def compute_releases(table: Table, info: SensitivityInfo, aggregation: Aggregati
         if group is None:
             raise QueryValidationError("ARGMAX requires a GROUP BY")
         _check_group_trust(group, info)
-        grouped = _group_rows(table, group)
+        grouped = _group_indices(table, group)
         keys = list(group.expected_keys) if group.expected_keys is not None else list(grouped)
         candidates: dict[Any, float] = {}
         inner_function = "COUNT" if aggregation.column is None else "SUM"
         inner = Aggregation(function=inner_function, column=aggregation.column)
+        source = _source_column(inner, table)
         for key in keys:
-            candidates[key] = _aggregate_values(inner_function,
-                                                _values_for(inner, grouped.get(key, [])))
+            candidates[key] = _aggregate_values(
+                inner_function, _values_for(source, grouped.get(key, []), len(table)))
         sensitivity = _numeric_sensitivity(inner, info)
         return [Release(
             label=aggregation.output_name,
@@ -213,7 +279,9 @@ def compute_releases(table: Table, info: SensitivityInfo, aggregation: Aggregati
         )]
 
     if group is None:
-        raw = _aggregate_values(aggregation.function, _values_for(aggregation, table.rows))
+        raw = _aggregate_values(aggregation.function,
+                                _values_for(_source_column(aggregation, table), None,
+                                            len(table)))
         return [Release(
             label=aggregation.output_name,
             kind=ReleaseKind.NUMERIC,
@@ -222,13 +290,15 @@ def compute_releases(table: Table, info: SensitivityInfo, aggregation: Aggregati
         )]
 
     _check_group_trust(group, info)
-    grouped = _group_rows(table, group)
+    grouped = _group_indices(table, group)
     keys = list(group.expected_keys) if group.expected_keys is not None else sorted(
         grouped, key=lambda key: (str(type(key)), str(key)))
     sensitivity = _numeric_sensitivity(aggregation, info)
+    source = _source_column(aggregation, table)
     releases: list[Release] = []
     for key in keys:
-        raw = _aggregate_values(aggregation.function, _values_for(aggregation, grouped.get(key, [])))
+        raw = _aggregate_values(aggregation.function,
+                                _values_for(source, grouped.get(key, []), len(table)))
         if isinstance(raw, float) and math.isnan(raw):
             raw = 0.0
         releases.append(Release(

@@ -1,4 +1,4 @@
-"""Schemas and intermediate tables.
+"""Schemas and intermediate tables (numpy-column-backed).
 
 The analyst declares the schema of each PROCESS output table (column name,
 data type, default value).  Privid does not trust the executable to honour
@@ -11,6 +11,17 @@ Privid itself appends two *trusted* columns to every intermediate table:
 of the spatial region, or an empty string when spatial splitting is not
 used).  These are trusted because Privid generates them, which is why group-
 by over them does not require explicit keys (Appendix D).
+
+Storage is columnar: a :class:`Table` holds one growable column per name —
+``NUMBER`` columns are float64 arrays with a missing-value mask, everything
+else an object array — and the executables' batch row-emission path moves
+whole column arrays from the sandbox into the table without materialising a
+dict per row (:class:`RowBatch` → :meth:`Schema.coerce_row_batch` →
+:class:`ColumnarRows` → :meth:`Table.extend`).  The scalar row API
+(``append``, ``rows``, per-row dicts) is preserved as an adapter with
+identical semantics: a ``NUMBER`` column degrades to object storage the
+moment a value that is not a float (or None) is appended, so untyped and
+hand-built tables behave exactly like the dict-of-rows implementation did.
 """
 
 from __future__ import annotations
@@ -18,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import SchemaError
 
@@ -34,10 +47,17 @@ class DataType(str, Enum):
     NUMBER = "NUMBER"
 
     def coerce(self, value: Any, default: Any) -> Any:
-        """Cast ``value`` to this type, falling back to ``default`` on failure."""
+        """Cast ``value`` to this type, falling back to ``default`` on failure.
+
+        Booleans are mapped explicitly by both types — ``NUMBER`` to 1.0/0.0
+        and ``STRING`` to ``"true"``/``"false"`` — so the two branches treat
+        them symmetrically (and identically to the vectorized column path).
+        """
         if value is None:
             return default
         if self is DataType.NUMBER:
+            if isinstance(value, bool):
+                return 1.0 if value else 0.0
             try:
                 return float(value)
             except (TypeError, ValueError):
@@ -45,6 +65,49 @@ class DataType(str, Enum):
         if isinstance(value, bool):
             return "true" if value else "false"
         return str(value)
+
+    def coerce_values(self, values: Any, default: Any, count: int) -> np.ndarray:
+        """Vectorized column coercion: ``count`` coerced values as an array.
+
+        Returns a float64 array for ``NUMBER`` and an object array for
+        ``STRING``.  Well-typed inputs (numeric/bool numpy arrays for
+        NUMBER) convert in one cast; anything else falls back to the scalar
+        :meth:`coerce` per element, so the two paths agree value for value.
+        ``values`` shorter than ``count`` is padded with defaults, longer is
+        truncated.
+        """
+        if values is None:
+            length = 0
+        else:
+            try:
+                length = len(values)
+            except TypeError:
+                values = list(values)
+                length = len(values)
+        used = min(length, count)
+        if self is DataType.NUMBER:
+            try:
+                column = np.full(count, default, dtype=np.float64)
+                if used:
+                    window = values[:used] if length > used else values
+                    if isinstance(window, np.ndarray) and window.dtype.kind in "fiub":
+                        column[:used] = window.astype(np.float64, copy=False)
+                    else:
+                        coerce = self.coerce
+                        column[:used] = [coerce(value, default) for value in window]
+                return column
+            except (TypeError, ValueError):
+                # A non-numeric default (or a coercion falling back to one)
+                # cannot live in a float64 column; degrade to object storage
+                # with the scalar coercion per value, exactly like the
+                # dict-row path stored it.
+                pass
+        column = np.full(count, default, dtype=object)
+        if used:
+            coerce = self.coerce
+            for index in range(used):
+                column[index] = coerce(values[index], default)
+        return column
 
 
 @dataclass(frozen=True)
@@ -64,6 +127,95 @@ class ColumnSpec:
         if default is None:
             default = 0.0 if self.dtype is DataType.NUMBER else ""
         object.__setattr__(self, "default", self.dtype.coerce(default, default))
+
+
+class RowBatch:
+    """Columnar output rows of one executable run (the batch emission path).
+
+    Executables may return a ``RowBatch`` instead of a list of row dicts:
+    ``count`` rows described by per-column sequences (lists or numpy
+    arrays).  The sandbox treats it exactly like the equivalent dict rows —
+    schema coercion per column, truncation to ``max_rows``, implicit
+    chunk/region stamping — but without ever materialising a Python dict
+    per row.  Missing columns read as defaults; extraneous columns are
+    dropped, exactly as with dict rows.
+    """
+
+    __slots__ = ("count", "columns")
+
+    def __init__(self, count: int, columns: dict[str, Any] | None = None) -> None:
+        self.count = int(count)
+        self.columns = columns or {}
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        """Yield the uncoerced rows as dicts (test and debugging convenience)."""
+        lists = [(name, _as_value_list(values)) for name, values in self.columns.items()]
+        for index in range(self.count):
+            yield {name: values[index] for name, values in lists}
+
+
+class ColumnarRows(Sequence):
+    """Schema-coerced, stamped rows of one chunk, stored as column arrays.
+
+    Behaves like the list of row dicts it replaces — iteration, indexing,
+    equality and ``repr`` all go through a lazily materialised dict-row
+    view — while :meth:`Table.extend` moves the column arrays straight into
+    the table.
+    """
+
+    __slots__ = ("column_names", "columns", "count", "_materialized")
+
+    def __init__(self, column_names: tuple[str, ...], columns: dict[str, Any],
+                 count: int) -> None:
+        self.column_names = column_names
+        self.columns = columns
+        self.count = int(count)
+        self._materialized: list[dict[str, Any]] | None = None
+
+    def _materialize(self) -> list[dict[str, Any]]:
+        if self._materialized is None:
+            lists = [(name, _as_value_list(self.columns[name]))
+                     for name in self.column_names]
+            self._materialized = [
+                {name: values[index] for name, values in lists}
+                for index in range(self.count)]
+        return self._materialized
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self._materialize()[index]
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._materialize())
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ColumnarRows):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __getstate__(self) -> tuple[Any, ...]:
+        return (self.column_names, self.columns, self.count)
+
+    def __setstate__(self, state: tuple[Any, ...]) -> None:
+        self.column_names, self.columns, self.count = state
+        self._materialized = None
+
+
+def _as_value_list(column: Any) -> list[Any]:
+    """A column as a plain Python list (floats for float64 arrays)."""
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
 
 
 @dataclass(frozen=True)
@@ -112,63 +264,320 @@ class Schema:
                                                    column.default)
         return row
 
+    def coerce_row_batch(self, raw: RowBatch, *, max_rows: int,
+                         chunk_timestamp: float, region: str) -> ColumnarRows:
+        """Vectorized twin of per-row coercion for a :class:`RowBatch`.
+
+        Truncates to ``max_rows``, coerces each declared column as one array
+        (missing columns read as defaults, extraneous ones are dropped) and
+        stamps the trusted implicit ``chunk``/``region`` columns — value for
+        value what ``coerce_row`` plus stamping produces for the equivalent
+        dict rows.
+        """
+        count = max(0, min(int(raw.count), max_rows))
+        columns: dict[str, Any] = {}
+        if count < 16:
+            # Typical chunks emit a handful of rows; scalar coercion into
+            # plain lists beats four numpy allocations per column there.
+            for spec in self.columns:
+                values = raw.columns.get(spec.name)
+                coerce = spec.dtype.coerce
+                default = spec.default
+                if values is None:
+                    columns[spec.name] = [default] * count
+                else:
+                    values = list(values[:count]) if not isinstance(values, list) \
+                        else values[:count]
+                    column = [coerce(value, default) for value in values]
+                    if len(column) < count:
+                        column.extend([default] * (count - len(column)))
+                    columns[spec.name] = column
+            columns[CHUNK_COLUMN] = [chunk_timestamp] * count
+            columns[REGION_COLUMN] = [region] * count
+            return ColumnarRows(self.with_implicit_columns(), columns, count)
+        for spec in self.columns:
+            columns[spec.name] = spec.dtype.coerce_values(
+                raw.columns.get(spec.name), spec.default, count)
+        columns[CHUNK_COLUMN] = np.full(count, chunk_timestamp, dtype=np.float64)
+        columns[REGION_COLUMN] = np.full(count, region, dtype=object)
+        return ColumnarRows(self.with_implicit_columns(), columns, count)
+
     def with_implicit_columns(self) -> tuple[str, ...]:
         """All column names including the Privid-added chunk and region columns."""
         return self.names + IMPLICIT_COLUMNS
 
 
-@dataclass
+class _NumberColumn:
+    """Growable float64 column with a missing-value (None) mask.
+
+    Only exact floats (and None) are stored; any other value signals the
+    table to degrade the column to object storage, preserving the dict-row
+    semantics of storing appended values untouched.
+    """
+
+    __slots__ = ("values", "missing", "size", "has_missing")
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.values = np.zeros(capacity, dtype=np.float64)
+        self.missing = np.zeros(capacity, dtype=bool)
+        self.size = 0
+        self.has_missing = False
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self.values.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        values = np.zeros(capacity, dtype=np.float64)
+        values[: self.size] = self.values[: self.size]
+        missing = np.zeros(capacity, dtype=bool)
+        missing[: self.size] = self.missing[: self.size]
+        self.values = values
+        self.missing = missing
+
+    def try_append(self, value: Any) -> bool:
+        """Append one value; False if it does not fit a float column."""
+        if value is None:
+            self._reserve(1)
+            self.missing[self.size] = True
+            self.values[self.size] = 0.0
+            self.size += 1
+            self.has_missing = True
+            return True
+        if type(value) is float:
+            self._reserve(1)
+            self.values[self.size] = value
+            self.size += 1
+            return True
+        return False
+
+    def extend_array(self, values: np.ndarray) -> None:
+        """Bulk-append a float64 array (the columnar ingestion fast path)."""
+        extra = values.shape[0]
+        self._reserve(extra)
+        self.values[self.size: self.size + extra] = values
+        self.size += extra
+
+    def value_at(self, index: int) -> Any:
+        return None if self.missing[index] else float(self.values[index])
+
+    def value_list(self) -> list[Any]:
+        values = self.values[: self.size].tolist()
+        if self.has_missing:
+            missing = self.missing[: self.size].tolist()
+            return [None if gone else value
+                    for value, gone in zip(values, missing)]
+        return values
+
+    def array(self) -> np.ndarray:
+        """The live float64 values (missing entries hold 0.0)."""
+        return self.values[: self.size]
+
+
+class _ObjectColumn:
+    """Growable object column (STRING and untyped storage)."""
+
+    __slots__ = ("values", "size")
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.values = np.empty(capacity, dtype=object)
+        self.size = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self.values.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        values = np.empty(capacity, dtype=object)
+        values[: self.size] = self.values[: self.size]
+        self.values = values
+
+    @classmethod
+    def from_number_column(cls, column: _NumberColumn) -> "_ObjectColumn":
+        """Degrade a float column to object storage (values preserved)."""
+        replacement = cls(max(16, column.size))
+        replacement.values[: column.size] = column.value_list()
+        replacement.size = column.size
+        return replacement
+
+    def try_append(self, value: Any) -> bool:
+        self._reserve(1)
+        self.values[self.size] = value
+        self.size += 1
+        return True
+
+    def extend_array(self, values: Any) -> None:
+        extra = len(values)
+        self._reserve(extra)
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            # Assign via a list so elements land as Python scalars, not
+            # numpy scalars — dict-row semantics store plain values.
+            values = values.tolist()
+        self.values[self.size: self.size + extra] = values
+        self.size += extra
+
+    def value_at(self, index: int) -> Any:
+        return self.values[index]
+
+    def value_list(self) -> list[Any]:
+        return self.values[: self.size].tolist()
+
+    def array(self) -> np.ndarray:
+        return self.values[: self.size]
+
+
 class Table:
-    """An in-memory table: a list of rows (dicts) plus the columns they share.
+    """An in-memory table: named columns over numpy-backed storage.
 
     Intermediate tables are untrusted: nothing about their contents is used
     for privacy accounting.  They are ordinary containers used only to
     compute the raw (pre-noise) aggregate.
+
+    The construction API is unchanged from the dict-row implementation —
+    ``Table(columns=..., rows=[...], name=...)`` — and ``table.rows`` still
+    yields the list of row dicts (materialised lazily and cached until the
+    next mutation).  Schema-built tables type their ``NUMBER`` columns as
+    float64 arrays; columns of untyped tables, and ``NUMBER`` columns that
+    receive a non-float value, use object storage, so arbitrary appended
+    values round-trip exactly as before.
     """
 
-    columns: tuple[str, ...]
-    rows: list[dict[str, Any]] = field(default_factory=list)
-    name: str = ""
+    def __init__(self, columns: tuple[str, ...] | Sequence[str],
+                 rows: Iterable[dict[str, Any]] | None = None, name: str = "",
+                 dtypes: dict[str, DataType] | None = None) -> None:
+        self.columns = tuple(columns)
+        self.name = name
+        self._dtypes = dict(dtypes or {})
+        self._data: dict[str, _NumberColumn | _ObjectColumn] = {}
+        for column in self.columns:
+            if self._dtypes.get(column) is DataType.NUMBER:
+                self._data[column] = _NumberColumn()
+            else:
+                self._data[column] = _ObjectColumn()
+        self._size = 0
+        self._rows_cache: list[dict[str, Any]] | None = None
+        if rows is not None:
+            self.extend(rows)
 
     @classmethod
     def from_schema(cls, schema: Schema, *, name: str = "") -> "Table":
         """Create an empty table for a PROCESS schema (plus implicit columns)."""
-        return cls(columns=schema.with_implicit_columns(), name=name)
+        dtypes = {column.name: column.dtype for column in schema.columns}
+        dtypes[CHUNK_COLUMN] = DataType.NUMBER
+        dtypes[REGION_COLUMN] = DataType.STRING
+        return cls(columns=schema.with_implicit_columns(), name=name, dtypes=dtypes)
 
     @property
     def num_rows(self) -> int:
         """Number of rows currently in the table."""
-        return len(self.rows)
+        return self._size
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """The rows as dicts (compat adapter; cached until the next mutation)."""
+        if self._rows_cache is None:
+            lists = [(name, self._data[name].value_list()) for name in self.columns]
+            self._rows_cache = [{name: values[index] for name, values in lists}
+                                for index in range(self._size)]
+        return self._rows_cache
 
     def has_column(self, name: str) -> bool:
         """True if the table has the named column."""
-        return name in self.columns
+        return name in self._data
+
+    def _append_value(self, name: str, value: Any) -> None:
+        column = self._data[name]
+        if not column.try_append(value):
+            column = _ObjectColumn.from_number_column(column)  # type: ignore[arg-type]
+            column.try_append(value)
+            self._data[name] = column
 
     def append(self, row: dict[str, Any]) -> None:
         """Append a row (restricted to the table's columns, missing keys -> None)."""
-        self.rows.append({column: row.get(column) for column in self.columns})
+        for name in self.columns:
+            self._append_value(name, row.get(name))
+        self._size += 1
+        self._rows_cache = None
 
-    def extend(self, rows: Iterable[dict[str, Any]]) -> None:
-        """Append many rows."""
+    def extend(self, rows: Iterable[dict[str, Any]] | ColumnarRows) -> None:
+        """Append many rows; column batches move as whole arrays."""
+        if isinstance(rows, ColumnarRows):
+            self.extend_columnar(rows)
+            return
         for row in rows:
-            self.append(row)
+            for name in self.columns:
+                self._append_value(name, row.get(name))
+            self._size += 1
+        self._rows_cache = None
+
+    def extend_columnar(self, rows: ColumnarRows) -> None:
+        """Bulk-append one chunk's :class:`ColumnarRows` (no per-row dicts)."""
+        if rows.count == 0:
+            return
+        for name in self.columns:
+            column = self._data[name]
+            values = rows.columns.get(name)
+            if values is None:
+                for _ in range(rows.count):
+                    self._append_value(name, None)
+                continue
+            if isinstance(column, _NumberColumn) and isinstance(values, np.ndarray) \
+                    and values.dtype == np.float64:
+                column.extend_array(values)
+                continue
+            if isinstance(column, _ObjectColumn):
+                column.extend_array(values)
+                continue
+            # Mixed case: a float column receiving non-float values — go
+            # through the scalar path so degradation rules apply uniformly.
+            for value in _as_value_list(values):
+                self._append_value(name, value)
+        self._size += rows.count
+        self._rows_cache = None
 
     def column_values(self, name: str) -> list[Any]:
         """All values of one column, in row order."""
-        if name not in self.columns:
+        if name not in self._data:
             raise SchemaError(f"table {self.name!r} has no column {name!r}")
-        return [row.get(name) for row in self.rows]
+        return self._data[name].value_list()
+
+    def column_array(self, name: str) -> np.ndarray:
+        """The raw storage array of one column (float64 or object view)."""
+        if name not in self._data:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return self._data[name].array()
+
+    def number_column(self, name: str) -> _NumberColumn | None:
+        """The float64 column backing ``name``, or None if object-typed."""
+        column = self._data.get(name)
+        return column if isinstance(column, _NumberColumn) else None
 
     def select_columns(self, names: Sequence[str], *, table_name: str = "") -> "Table":
         """A new table containing only the named columns."""
-        missing = [name for name in names if name not in self.columns]
+        missing = [name for name in names if name not in self._data]
         if missing:
             raise SchemaError(f"table {self.name!r} has no columns {missing}")
-        rows = [{name: row.get(name) for name in names} for row in self.rows]
-        return Table(columns=tuple(names), rows=rows, name=table_name or self.name)
+        selected = Table(columns=tuple(names), name=table_name or self.name,
+                         dtypes={name: dtype for name, dtype in self._dtypes.items()
+                                 if name in names})
+        columns: dict[str, Any] = {}
+        for name in names:
+            column = self._data[name]
+            if isinstance(column, _NumberColumn) and column.has_missing:
+                # The raw array holds 0.0 in missing slots; go through the
+                # value list so Nones survive the projection.
+                columns[name] = column.value_list()
+            else:
+                columns[name] = column.array()
+        selected.extend_columnar(ColumnarRows(tuple(names), columns, self._size))
+        return selected
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._size

@@ -15,26 +15,52 @@ import copy
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Any
+from typing import Any, Sequence
 
-from repro.cv.tracker import IoUTracker, Track
+from repro.cv.tracker import IoUTracker, Track, TrackView
+from repro.relational.table import RowBatch
 from repro.sandbox.environment import ExecutionContext
 from repro.video.chunking import Chunk
+
+#: Scalar field types whose values a shallow copy shares safely — an
+#: executable whose configuration is made only of these needs no deep copy
+#: per chunk.  Tuples are checked recursively (a tuple can hold a mutable);
+#: frozensets only admit hashable — hence effectively immutable — elements.
+_IMMUTABLE_FIELD_TYPES = (type(None), bool, int, float, str, bytes, frozenset)
+
+
+def _is_immutable_config_value(value: Any) -> bool:
+    """True if sharing ``value`` across executable instances is safe."""
+    if isinstance(value, _IMMUTABLE_FIELD_TYPES):
+        return True
+    if isinstance(value, tuple):
+        return all(_is_immutable_config_value(item) for item in value)
+    return False
+
+#: When True (the default), executables track chunks through the columnar
+#: batch core (`IoUTracker.step_batch` + `TrackView` row emission); False
+#: forces the scalar per-frame twin (`Detection` lists + `Track` objects).
+#: The two paths are bit-identical — the flag exists so parity tests can run
+#: whole queries through both and compare releases exactly.
+USE_BATCH_TRACKER = True
 
 
 class ProcessExecutable(ABC):
     """Interface every PROCESS executable implements.
 
     ``process`` receives one chunk and the chunk-independent context and
-    returns a list of row dictionaries.  Implementations must not keep state
-    across calls (the sandbox runs a fresh instance per chunk to make
-    cross-chunk state ineffective even if attempted).
+    returns its output rows — either a list of row dictionaries or a
+    columnar :class:`~repro.relational.table.RowBatch` (the batch emission
+    path; the sandbox coerces both identically).  Implementations must not
+    keep state across calls (the sandbox runs a fresh instance per chunk to
+    make cross-chunk state ineffective even if attempted).
     """
 
     name: str = "executable"
 
     @abstractmethod
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext
+                ) -> "list[dict[str, Any]] | RowBatch":
         """Produce output rows for one chunk."""
 
     def fresh_instance(self) -> "ProcessExecutable":
@@ -42,10 +68,27 @@ class ProcessExecutable(ABC):
 
         The registered executable acts as a factory: each chunk is processed
         by an instance carrying only the registered configuration, never state
-        accumulated by a previous chunk.  The default deep copy is correct for
-        any executable; implementations with expensive immutable assets (e.g.
-        model weights) may override this to share them across instances.
+        accumulated by a previous chunk.  Dataclass executables whose fields
+        are all immutable values take a shallow copy (a deep copy per chunk
+        costs more than small-chunk processing itself); anything with
+        mutable configuration falls back to the always-correct deep copy.
+        Implementations with expensive immutable assets (e.g. model weights)
+        may override this to share them across instances.
         """
+        shallow = getattr(self, "_fresh_shallow", None)
+        if shallow is None:
+            shallow = is_dataclass(self) and all(
+                _is_immutable_config_value(getattr(self, spec.name))
+                for spec in fields(self))
+            try:
+                # Memoized on the registered instance: its configuration is
+                # fixed once registered (rebinding a field to a mutable value
+                # afterwards is unsupported).
+                object.__setattr__(self, "_fresh_shallow", shallow)
+            except AttributeError:
+                pass
+        if shallow:
+            return copy.copy(self)
         return copy.deepcopy(self)
 
     def config_fingerprint(self) -> Any:
@@ -62,21 +105,30 @@ class ProcessExecutable(ABC):
 
 
 def _track_chunk(chunk: Chunk, context: ExecutionContext, *, categories: set[str] | None = None
-                 ) -> list[Track]:
+                 ) -> Sequence[Track | TrackView]:
     """Detect and track objects within a single chunk (the common preamble).
 
     The chunk renders once as a columnar
-    :class:`~repro.video.video.FrameBatch` and the detector computes every
-    draw for the chunk in vectorized array ops; only the (cheap, stateful)
-    tracker consumes the frames one at a time.
+    :class:`~repro.video.video.FrameBatch`, the detector computes every draw
+    for the chunk in vectorized array ops, and the tracker advances the
+    whole chunk through its batch core — tracks come back as cheap
+    :class:`~repro.cv.tracker.TrackView` columns, with Python objects
+    materialised only for the two boxes an executable actually reads.  With
+    :data:`USE_BATCH_TRACKER` off, the scalar twin (per-frame ``Detection``
+    lists into ``IoUTracker.step``) produces bit-identical ``Track`` objects
+    instead.
     """
     detector = context.detector()
     tracker = IoUTracker(context.tracker_config)
     batch = chunk.frame_batch()
-    for detections in detector.detect_batch(batch, frame_width=chunk.video.width,
-                                            frame_height=chunk.video.height,
-                                            categories=categories):
-        tracker.step(detections)
+    detections = detector.detect_batch(batch, frame_width=chunk.video.width,
+                                       frame_height=chunk.video.height,
+                                       categories=categories)
+    if USE_BATCH_TRACKER:
+        tracker.step_batch(detections)
+        return tracker.finalize_views()
+    for frame_detections in detections.per_frame_detections():
+        tracker.step(frame_detections)
     return tracker.finalize()
 
 
@@ -96,22 +148,28 @@ class EnteringObjectCounter(ProcessExecutable):
     include_first_chunk: bool = True
     name: str = "entering_object_counter"
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
         tracks = _track_chunk(chunk, context, categories={self.category})
         margin = self.entry_margin_frames / context.fps
-        rows: list[dict[str, Any]] = []
+        threshold = chunk.interval.start + margin
+        always = self.include_first_chunk and chunk.index == 0
+        entered_ats: list[float] = []
+        dxs: list[float] = []
+        dys: list[float] = []
         for track in tracks:
-            entered_during_chunk = track.first_timestamp > chunk.interval.start + margin
-            if entered_during_chunk or (self.include_first_chunk and chunk.index == 0):
-                dy = track.last_box.center.y - track.observations[0].box.center.y
-                dx = track.last_box.center.x - track.observations[0].box.center.x
-                rows.append({
-                    "kind": self.category,
-                    "entered_at": track.first_timestamp,
-                    "dx": dx,
-                    "dy": dy,
-                })
-        return rows
+            first_timestamp = track.first_timestamp
+            if first_timestamp > threshold or always:
+                first_center = track.first_box.center
+                last_center = track.last_box.center
+                entered_ats.append(first_timestamp)
+                dxs.append(last_center.x - first_center.x)
+                dys.append(last_center.y - first_center.y)
+        return RowBatch(len(entered_ats), {
+            "kind": [self.category] * len(entered_ats),
+            "entered_at": entered_ats,
+            "dx": dxs,
+            "dy": dys,
+        })
 
 
 @dataclass
@@ -126,21 +184,24 @@ class UniqueVehicleReporter(ProcessExecutable):
     category: str = "car"
     name: str = "unique_vehicle_reporter"
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
         tracks = _track_chunk(chunk, context, categories={self.category, "taxi"})
         meters_per_pixel = float(context.metadata.get("meters_per_pixel", 0.1))
-        rows: list[dict[str, Any]] = []
+        plates: list[Any] = []
+        colors: list[Any] = []
+        speeds: list[Any] = []
         for track in tracks:
-            duration = max(track.duration, 1.0 / context.fps)
-            displacement = track.observations[0].box.center.distance_to(track.last_box.center)
-            estimated_speed = displacement * meters_per_pixel / duration * 3.6
             attribute_speed = track.majority_attribute("speed_kmh")
-            rows.append({
-                "plate": track.majority_attribute("plate", default=""),
-                "color": track.majority_attribute("color", default=""),
-                "speed": attribute_speed if attribute_speed is not None else estimated_speed,
-            })
-        return rows
+            if attribute_speed is None:
+                duration = max(track.duration, 1.0 / context.fps)
+                first_center = track.first_box.center
+                last_center = track.last_box.center
+                displacement = first_center.distance_to(last_center)
+                attribute_speed = displacement * meters_per_pixel / duration * 3.6
+            plates.append(track.majority_attribute("plate", default=""))
+            colors.append(track.majority_attribute("color", default=""))
+            speeds.append(attribute_speed)
+        return RowBatch(len(plates), {"plate": plates, "color": colors, "speed": speeds})
 
 
 @dataclass
@@ -153,20 +214,23 @@ class TreeLeafClassifier(ProcessExecutable):
 
     name: str = "tree_leaf_classifier"
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
         detector = context.detector()
         # single-frame semantics even if the chunk holds more frames
-        per_frame = detector.detect_batch(chunk.frame_batch(max_frames=1),
-                                          frame_width=chunk.video.width,
-                                          frame_height=chunk.video.height,
-                                          categories={"tree"})
-        rows: list[dict[str, Any]] = []
-        for detection in per_frame[0] if per_frame else []:
-            has_leaves = detection.attributes.get("has_leaves")
-            if has_leaves is None:
-                continue
-            rows.append({"has_leaves": 100.0 if has_leaves else 0.0})
-        return rows
+        detections = detector.detect_batch(chunk.frame_batch(max_frames=1),
+                                           frame_width=chunk.video.width,
+                                           frame_height=chunk.video.height,
+                                           categories={"tree"})
+        column = detections.attributes.get("has_leaves")
+        values: list[float] = []
+        if column is not None:
+            present, observed = column
+            for index in present.nonzero()[0].tolist():
+                value = observed[index]
+                if value is None:
+                    continue
+                values.append(100.0 if value else 0.0)
+        return RowBatch(len(values), {"has_leaves": values})
 
 
 @dataclass
@@ -182,20 +246,25 @@ class RedLightObserver(ProcessExecutable):
 
     name: str = "red_light_observer"
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
         detector = context.detector()
+        detections = detector.detect_batch(chunk.frame_batch(),
+                                           frame_width=chunk.video.width,
+                                           frame_height=chunk.video.height,
+                                           categories={"traffic_light"})
+        # Only each frame's *first* detection is consulted, mirroring the
+        # per-frame loop's early break.
         transitions: list[tuple[float, str]] = []
-        per_frame = detector.detect_batch(chunk.frame_batch(),
-                                          frame_width=chunk.video.width,
-                                          frame_height=chunk.video.height,
-                                          categories={"traffic_light"})
-        for detections in per_frame:
-            for detection in detections:
-                state = detection.attributes.get("light_state")
-                if state is not None:
-                    transitions.append((detection.timestamp, str(state)))
-                break
-        rows: list[dict[str, Any]] = []
+        column = detections.attributes.get("light_state")
+        if column is not None:
+            present, observed = column
+            _, first_indices = detections.first_index_per_frame()
+            timestamps = detections.timestamps
+            for index in first_indices.tolist():
+                if present[index]:
+                    transitions.append((float(timestamps[index]),
+                                        str(observed[index])))
+        durations: list[float] = []
         red_started: float | None = None
         saw_green_before = False
         for timestamp, state in transitions:
@@ -205,9 +274,9 @@ class RedLightObserver(ProcessExecutable):
             else:
                 saw_green_before = True
                 if red_started is not None:
-                    rows.append({"red_duration": timestamp - red_started})
+                    durations.append(timestamp - red_started)
                     red_started = None
-        return rows
+        return RowBatch(len(durations), {"red_duration": durations})
 
 
 @dataclass
@@ -226,9 +295,9 @@ class DirectionalCrossingCounter(ProcessExecutable):
     entry_margin_frames: int = 2
     name: str = "directional_crossing_counter"
 
-    def _moves_in_direction(self, track: Track) -> bool:
-        dx = track.last_box.center.x - track.observations[0].box.center.x
-        dy = track.last_box.center.y - track.observations[0].box.center.y
+    def _moves_in_direction(self, track: Track | TrackView) -> bool:
+        dx = track.last_box.center.x - track.first_box.center.x
+        dy = track.last_box.center.y - track.first_box.center.y
         if self.direction == "north":
             return dy <= -self.min_displacement
         if self.direction == "south":
@@ -237,15 +306,19 @@ class DirectionalCrossingCounter(ProcessExecutable):
             return dx >= self.min_displacement
         return dx <= -self.min_displacement
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
         tracks = _track_chunk(chunk, context, categories={self.category})
         margin = self.entry_margin_frames / context.fps
-        rows: list[dict[str, Any]] = []
+        threshold = chunk.interval.start + margin
+        entered_ats: list[float] = []
         for track in tracks:
-            entered = track.first_timestamp > chunk.interval.start + margin or chunk.index == 0
+            entered = track.first_timestamp > threshold or chunk.index == 0
             if entered and self._moves_in_direction(track):
-                rows.append({"matched": 1.0, "entered_at": track.first_timestamp})
-        return rows
+                entered_ats.append(track.first_timestamp)
+        return RowBatch(len(entered_ats), {
+            "matched": [1.0] * len(entered_ats),
+            "entered_at": entered_ats,
+        })
 
 
 @dataclass
@@ -260,17 +333,19 @@ class TaxiSightingReporter(ProcessExecutable):
 
     name: str = "taxi_sighting_reporter"
 
-    def process(self, chunk: Chunk, context: ExecutionContext) -> list[dict[str, Any]]:
-        rows: list[dict[str, Any]] = []
+    def process(self, chunk: Chunk, context: ExecutionContext) -> RowBatch:
+        plates: list[Any] = []
+        visible_seconds: list[float] = []
         for scene_object, overlap in chunk.visible_objects():
             if scene_object.category != "taxi":
                 continue
-            rows.append({
-                "plate": scene_object.attributes.get("plate", ""),
-                "camera": context.camera,
-                "visible_seconds": overlap.duration,
-            })
-        return rows
+            plates.append(scene_object.attributes.get("plate", ""))
+            visible_seconds.append(overlap.duration)
+        return RowBatch(len(plates), {
+            "plate": plates,
+            "camera": [context.camera] * len(plates),
+            "visible_seconds": visible_seconds,
+        })
 
 
 @dataclass

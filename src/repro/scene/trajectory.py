@@ -93,13 +93,23 @@ class LinearTrajectory(Trajectory):
 
     def boxes_at(self, elapsed: np.ndarray) -> np.ndarray:
         elapsed = np.asarray(elapsed, dtype=np.float64)
-        fraction = np.clip(elapsed / self.duration, 0.0, 1.0)
-        out = np.empty((fraction.size, 4), dtype=np.float64)
-        out[:, 0] = self.start.x + (self.end.x - self.start.x) * fraction
-        out[:, 1] = self.start.y + (self.end.y - self.start.y) * fraction
-        out[:, 2] = self.start.width + (self.end.width - self.start.width) * fraction
-        out[:, 3] = self.start.height + (self.end.height - self.start.height) * fraction
-        return out
+        # minimum/maximum instead of np.clip: same values, less dispatch.
+        fraction = np.minimum(np.maximum(elapsed / self.duration, 0.0), 1.0)
+        start, delta = self._interpolation_vectors()
+        # One broadcast multiply-add per batch; elementwise identical to the
+        # per-column `start + (end - start) * fraction` arithmetic.
+        return start + delta * fraction[:, np.newaxis]
+
+    def _interpolation_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (start, end - start) rows backing the batch interpolation."""
+        vectors = getattr(self, "_vectors", None)
+        if vectors is None:
+            start = np.array([self.start.x, self.start.y,
+                              self.start.width, self.start.height])
+            end = np.array([self.end.x, self.end.y, self.end.width, self.end.height])
+            vectors = (start, end - start)
+            object.__setattr__(self, "_vectors", vectors)
+        return vectors
 
     def duration_hint(self) -> float | None:
         return self.duration

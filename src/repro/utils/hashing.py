@@ -74,12 +74,14 @@ def string_token(text: str) -> int:
     return mix64(h)
 
 
+@lru_cache(maxsize=1 << 16)
 def stream_key(seed: int, *tokens: int) -> int:
     """Fold a seed and lane tokens into one stream key.
 
     Every token passes through a full finalisation round, so streams that
     differ in any single token (tag, object, attribute name, false-positive
-    slot) are decorrelated.
+    slot) are decorrelated.  Pure function of its arguments; memoized
+    because the detector re-derives the same few keys for every chunk.
     """
     key = mix64(seed & _MASK64)
     for token in tokens:

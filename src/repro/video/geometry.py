@@ -24,9 +24,13 @@ class Point:
         return math.hypot(self.x - other.x, self.y - other.y)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BoundingBox:
-    """An axis-aligned box described by its top-left corner, width and height."""
+    """An axis-aligned box described by its top-left corner, width and height.
+
+    Slotted: boxes are materialised in bulk at columnar-pipeline API
+    boundaries (detections, track endpoints), so each instance must be cheap.
+    """
 
     x: float
     y: float
@@ -36,6 +40,15 @@ class BoundingBox:
     def __post_init__(self) -> None:
         if self.width < 0 or self.height < 0:
             raise ValueError("bounding box dimensions must be non-negative")
+
+    def __getstate__(self) -> tuple[float, float, float, float]:
+        # Explicit state hooks: default slot-state pickling restores via
+        # setattr, which a frozen dataclass forbids on Python 3.10.
+        return (self.x, self.y, self.width, self.height)
+
+    def __setstate__(self, state: tuple[float, float, float, float]) -> None:
+        for name, value in zip(("x", "y", "width", "height"), state):
+            object.__setattr__(self, name, value)
 
     @property
     def x2(self) -> float:

@@ -149,8 +149,26 @@ def _batch_object(scene_object: SceneObject, timestamps: np.ndarray) -> BatchObj
     """Columnar visibility/boxes for one object, or None if never visible.
 
     Appearances are evaluated in order and earlier appearances win where they
-    overlap, matching the scalar ``SceneObject.box_at`` scan.
+    overlap, matching the scalar ``SceneObject.box_at`` scan.  The dominant
+    single-appearance case skips the scatter buffer: rows where the object
+    is hidden are unspecified by contract, so when every frame is visible
+    the trajectory's batch output is used as the box array directly (the
+    visible rows are elementwise identical either way).
     """
+    appearances = scene_object.appearances
+    if len(appearances) == 1:
+        appearance = appearances[0]
+        mask = appearance.visible_mask(timestamps)
+        if not mask.any():
+            return None
+        if mask.all():
+            rows = appearance.trajectory.boxes_at(
+                timestamps - appearance.interval.start)
+            return BatchObject(scene_object=scene_object, visible=mask, boxes=rows)
+        boxes = np.zeros((timestamps.size, 4), dtype=np.float64)
+        boxes[mask] = appearance.trajectory.boxes_at(
+            timestamps[mask] - appearance.interval.start)
+        return BatchObject(scene_object=scene_object, visible=mask, boxes=boxes)
     visible: np.ndarray | None = None
     boxes: np.ndarray | None = None
     for appearance in scene_object.appearances:

@@ -1,0 +1,416 @@
+"""Columnar post-detection dataflow: parity, equivalence and IPC budgets.
+
+Covers the array-native pipeline past detection:
+
+* the batch tracker core (``IoUTracker.step_batch``) must produce
+  bit-identical tracks to the scalar per-frame twin on **every** scenario
+  scene — same ids, same observation sequences (boxes, confidences,
+  attributes), same majority attributes, same fragmentation under miss gaps;
+* whole queries answered through the batch row-emission path must release
+  exactly the same values as the scalar twin (``USE_BATCH_TRACKER`` off);
+* the numpy-column-backed ``Table`` and the vectorized schema coercion must
+  be value-for-value equivalent to the dict-of-rows reference semantics
+  (property-based);
+* the process engine's spec dispatch must keep per-dispatch IPC payloads
+  within a fixed byte budget regardless of scene size, while producing
+  byte-identical outcomes.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sandbox.executables as executables_module
+from repro.core import ProcessPoolEngine, PrividSystem, SerialEngine
+from repro.core.policy import PrivacyPolicy
+from repro.cv.detector import DetectorConfig, SyntheticDetector
+from repro.cv.tracker import IoUTracker, TrackerConfig
+from repro.query.builder import QueryBuilder
+from repro.relational.table import (
+    CHUNK_COLUMN,
+    REGION_COLUMN,
+    ColumnSpec,
+    ColumnarRows,
+    DataType,
+    RowBatch,
+    Schema,
+    Table,
+)
+from repro.sandbox.environment import ExecutionContext, SandboxRunner
+from repro.scene.objects import Appearance, SceneObject
+from repro.scene.scenarios import SCENARIO_NAMES, build_scenario
+from repro.scene.trajectory import LinearTrajectory
+from repro.utils.timebase import TimeInterval
+from repro.video.chunking import ChunkSpec, split_interval
+from repro.video.geometry import BoundingBox
+from repro.video.video import SyntheticVideo
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+
+def _scenario_video(name):
+    duration_hours = 0.1
+    if name in ("campus", "highway", "urban"):
+        scenario = build_scenario(name, scale=0.2, duration_hours=duration_hours)
+    else:
+        scenario = build_scenario(name, duration_hours=duration_hours)
+    return scenario
+
+
+def _tracks_both_ways(video, detector, tracker_config, *, chunk_duration=30.0,
+                      window=None, categories=None):
+    window = window or TimeInterval(0.0, min(video.duration, 360.0))
+    spec = ChunkSpec(window=window, chunk_duration=chunk_duration)
+    pairs = []
+    for chunk in split_interval(video, spec):
+        detections = detector.detect_batch(chunk.frame_batch(),
+                                           frame_width=video.width,
+                                           frame_height=video.height,
+                                           categories=categories)
+        scalar = IoUTracker(tracker_config)
+        for frame_detections in detections.per_frame_detections():
+            scalar.step(frame_detections)
+        batched = IoUTracker(tracker_config)
+        batched.step_batch(detections)
+        pairs.append((scalar.finalize(), batched.finalize()))
+    return pairs
+
+
+class TestTrackerParityAcrossScenes:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_scalar_and_batch_tracks_identical_on_scenario(self, name):
+        """Every scenario scene: same tracks bit for bit, both cores."""
+        scenario = _scenario_video(name)
+        video = scenario.video
+        detector = SyntheticDetector(scenario.detector_config, seed=3)
+        total_tracks = 0
+        for scalar_tracks, batch_tracks in _tracks_both_ways(
+                video, detector, scenario.tracker_config):
+            # Track.__eq__ compares ids, categories, miss counters and the
+            # full observation sequences (timestamps, frame indices, boxes,
+            # confidences, attributes) — exact equality is the contract.
+            assert scalar_tracks == batch_tracks
+            total_tracks += len(scalar_tracks)
+            for scalar_track, batch_track in zip(scalar_tracks, batch_tracks):
+                for key in ("color", "plate", "speed_kmh", "light_state",
+                            "has_leaves"):
+                    assert scalar_track.majority_attribute(key) \
+                        == batch_track.majority_attribute(key)
+        assert total_tracks > 0 or name == "uav"  # sparse scenes may be empty
+
+    def test_fragmentation_identical_under_miss_gaps(self):
+        """High miss rates fragment tracks; both cores fragment identically."""
+        video = make_simple_video(objects=[
+            make_crossing_object(f"walker-{index}", start=10.0 * index,
+                                 duration=80.0, x=200.0 + 90.0 * index)
+            for index in range(5)
+        ], duration=240.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.55,
+                                                    position_jitter=4.0), seed=11)
+        config = TrackerConfig(max_age=1, min_hits=1, use_motion_prediction=False)
+        fragments_scalar = fragments_batch = 0
+        for scalar_tracks, batch_tracks in _tracks_both_ways(
+                video, detector, config, window=TimeInterval(0.0, 240.0)):
+            assert scalar_tracks == batch_tracks
+            fragments_scalar += len(scalar_tracks)
+            fragments_batch += len(batch_tracks)
+        assert fragments_scalar == fragments_batch
+        # The miss gaps must actually have fragmented the 5 ground-truth
+        # walkers, otherwise this test exercises nothing.
+        assert fragments_scalar > 5
+
+    def test_track_views_match_materialised_tracks(self):
+        video = make_simple_video(objects=[
+            make_crossing_object("walker-1", start=20.0, duration=60.0,
+                                 attributes={"color": "RED", "plate": "XYZ"}),
+        ], duration=120.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.2), seed=5)
+        spec = ChunkSpec(window=TimeInterval(0.0, 120.0), chunk_duration=60.0)
+        for chunk in split_interval(video, spec):
+            detections = detector.detect_batch(chunk.frame_batch(),
+                                               frame_width=video.width,
+                                               frame_height=video.height)
+            tracker = IoUTracker(TrackerConfig(min_hits=1))
+            tracker.step_batch(detections)
+            for view in tracker.finalize_views():
+                track = view.to_track()
+                assert view.track_id == track.track_id
+                assert view.category == track.category
+                assert view.hits == track.hits
+                assert view.first_timestamp == track.first_timestamp
+                assert view.last_timestamp == track.last_timestamp
+                assert view.duration == track.duration
+                assert view.first_box == track.first_box
+                assert view.last_box == track.last_box
+                assert view.attribute_values("color") \
+                    == track.attribute_values("color")
+                assert view.majority_attribute("plate") \
+                    == track.majority_attribute("plate")
+
+    def test_mixing_modes_is_rejected(self):
+        detector = SyntheticDetector(DetectorConfig(), seed=1)
+        video = make_simple_video(objects=[
+            make_crossing_object("w", start=0.0, duration=30.0)], duration=60.0)
+        chunk = split_interval(video, ChunkSpec(window=TimeInterval(0.0, 30.0),
+                                                chunk_duration=30.0))[0]
+        detections = detector.detect_batch(chunk.frame_batch())
+        tracker = IoUTracker()
+        tracker.step_batch(detections)
+        with pytest.raises(RuntimeError):
+            tracker.step([])
+        tracker = IoUTracker()
+        tracker.step(detections.per_frame_detections()[0])
+        with pytest.raises(RuntimeError):
+            tracker.step_batch(detections)
+
+
+class TestQueryReleaseParity:
+    def _count_query(self, duration):
+        return (QueryBuilder("parity")
+                .split("cam", begin=0.0, end=duration, chunk_duration=30.0,
+                       into="chunks")
+                .process("chunks", executable="count_entering_people.py", max_rows=5,
+                         schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)],
+                         into="people")
+                .select_count(table="people", bucket_seconds=120.0, epsilon=1.0)
+                .build())
+
+    @pytest.mark.parametrize("name", ["campus", "urban"])
+    def test_batch_and_scalar_paths_release_identical_values(self, name, monkeypatch):
+        scenario = _scenario_video(name)
+        video = scenario.video
+
+        def run():
+            system = PrividSystem(seed=77)
+            system.register_camera("cam", video,
+                                   policy=PrivacyPolicy(rho=60.0, k_segments=2),
+                                   epsilon_budget=100.0,
+                                   detector_config=scenario.detector_config,
+                                   tracker_config=scenario.tracker_config)
+            result = system.execute(self._count_query(video.duration),
+                                    charge_budget=False)
+            return result.raw_series_unsafe()
+
+        monkeypatch.setattr(executables_module, "USE_BATCH_TRACKER", True)
+        batch_releases = run()
+        monkeypatch.setattr(executables_module, "USE_BATCH_TRACKER", False)
+        scalar_releases = run()
+        assert batch_releases == scalar_releases
+        assert any(value != 0.0 for _, value in batch_releases)
+
+
+def _reference_coerced_rows(schema, raw_rows, max_rows, chunk_timestamp, region):
+    """The dict-of-rows sandbox semantics the columnar path must reproduce."""
+    rows = []
+    for raw in list(raw_rows)[:max_rows]:
+        row = schema.coerce_row(raw)
+        row[CHUNK_COLUMN] = chunk_timestamp
+        row[REGION_COLUMN] = region
+        rows.append(row)
+    return rows
+
+
+_VALUES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+
+
+class TestColumnarTableEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_coerce_row_batch_matches_dict_row_coercion(self, data):
+        names = data.draw(st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            min_size=1, max_size=3, unique=True))
+        specs = tuple(
+            ColumnSpec(name,
+                       data.draw(st.sampled_from([DataType.NUMBER, DataType.STRING])),
+                       data.draw(st.one_of(st.floats(allow_nan=False,
+                                                     allow_infinity=False),
+                                           st.text(max_size=4), st.none())))
+            for name in names)
+        schema = Schema(columns=specs)
+        count = data.draw(st.integers(min_value=0, max_value=6))
+        max_rows = data.draw(st.integers(min_value=1, max_value=8))
+        columns = {name: [data.draw(_VALUES) for _ in range(count)]
+                   for name in names}
+        raw_rows = [{name: columns[name][index] for name in names}
+                    for index in range(count)]
+        batch = RowBatch(count, dict(columns))
+        columnar = schema.coerce_row_batch(batch, max_rows=max_rows,
+                                           chunk_timestamp=30.0, region="r1")
+        reference = _reference_coerced_rows(schema, raw_rows, max_rows, 30.0, "r1")
+        assert list(columnar) == reference
+        assert len(columnar) == len(reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_table_round_trips_arbitrary_rows_like_dict_storage(self, data):
+        names = data.draw(st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4,
+            unique=True))
+        rows = [{name: data.draw(_VALUES) for name in names}
+                for _ in range(data.draw(st.integers(min_value=0, max_value=8)))]
+        table = Table(columns=tuple(names), rows=[dict(row) for row in rows])
+        assert len(table) == len(rows)
+        assert table.rows == rows
+        assert list(table) == rows
+        for name in names:
+            assert table.column_values(name) == [row[name] for row in rows]
+        subset = names[: max(1, len(names) - 1)]
+        projected = table.select_columns(subset)
+        assert projected.rows == [{name: row[name] for name in subset}
+                                  for row in rows]
+
+    def test_schema_table_number_columns_are_float64_backed(self):
+        schema = Schema(columns=(ColumnSpec("value", DataType.NUMBER, 0.0),
+                                 ColumnSpec("label", DataType.STRING, "")))
+        table = Table.from_schema(schema, name="t")
+        table.extend(schema.coerce_row_batch(
+            RowBatch(3, {"value": [1.5, 2.5, None], "label": ["x", None, "y"]}),
+            max_rows=16, chunk_timestamp=0.0, region=""))
+        column = table.number_column("value")
+        assert column is not None
+        assert column.array().dtype == np.float64
+        # None coerced to the declared default before storage.
+        assert table.column_values("value") == [1.5, 2.5, 0.0]
+        assert table.column_values("label") == ["x", "", "y"]
+        assert table.number_column("label") is None
+
+    def test_number_column_degrades_on_non_float_append(self):
+        schema = Schema(columns=(ColumnSpec("value", DataType.NUMBER, 0.0),))
+        table = Table.from_schema(schema)
+        table.append({"value": 1.0, "chunk": 0.0, "region": ""})
+        table.append({"value": "rogue", "chunk": 0.0, "region": ""})
+        assert table.column_values("value") == [1.0, "rogue"]
+
+    def test_columnar_rows_compare_and_pickle_like_dict_rows(self):
+        rows = ColumnarRows(("a", "b"), {"a": np.array([1.0, 2.0]),
+                                         "b": ["x", "y"]}, 2)
+        as_dicts = [{"a": 1.0, "b": "x"}, {"a": 2.0, "b": "y"}]
+        assert rows == as_dicts
+        assert list(rows) == as_dicts
+        assert repr(rows) == repr(as_dicts)
+        restored = pickle.loads(pickle.dumps(rows))
+        assert restored == as_dicts
+
+
+class TestMalformedRowBatchFallback:
+    def test_malformed_row_batch_degrades_to_fallback_rows(self):
+        """A garbage RowBatch must behave like any other garbage output."""
+
+        class BrokenBatchExecutable(executables_module.ProcessExecutable):
+            name = "broken_batch"
+
+            def process(self, chunk, context):
+                return RowBatch(3, {"dy": 5})  # scalar where a column belongs
+
+        schema = Schema(columns=(ColumnSpec("dy", DataType.NUMBER, 0.0),))
+        runner = SandboxRunner(BrokenBatchExecutable(), schema, max_rows=5,
+                               timeout_seconds=30.0)
+        video = make_simple_video(objects=[], duration=60.0)
+        chunk = split_interval(video, ChunkSpec(window=TimeInterval(0.0, 30.0),
+                                                chunk_duration=30.0))[0]
+        outcome = runner.run_chunk_outcome(
+            chunk, ExecutionContext(camera="cam", fps=video.fps))
+        assert outcome.fallback
+        assert outcome.rows == [{"dy": 0.0, CHUNK_COLUMN: 0.0, REGION_COLUMN: ""}]
+
+
+class TestBooleanCoercionSymmetry:
+    def test_number_and_string_bool_coercion_are_symmetric(self):
+        assert DataType.NUMBER.coerce(True, 0.0) == 1.0
+        assert DataType.NUMBER.coerce(False, 0.0) == 0.0
+        assert DataType.STRING.coerce(True, "") == "true"
+        assert DataType.STRING.coerce(False, "") == "false"
+
+    def test_vectorized_bool_columns_match_scalar_coercion(self):
+        flags = np.array([True, False, True])
+        numbers = DataType.NUMBER.coerce_values(flags, 0.0, 3)
+        assert numbers.tolist() == [1.0, 0.0, 1.0]
+        strings = DataType.STRING.coerce_values([True, False, None], "?", 3)
+        assert strings.tolist() == ["true", "false", "?"]
+
+
+def _heavy_video(num_walkers: int = 500) -> SyntheticVideo:
+    video = SyntheticVideo(name="heavy", fps=2.0, width=1280.0, height=720.0,
+                           duration=240.0)
+    video.add_objects([
+        SceneObject(
+            object_id=f"walker-{index}",
+            category="person",
+            appearances=[Appearance(
+                interval=TimeInterval(float(index % 200), float(index % 200) + 40.0),
+                trajectory=LinearTrajectory(
+                    start=BoundingBox(50.0 + index % 1000, 650.0, 30.0, 60.0),
+                    end=BoundingBox(50.0 + index % 1000, 10.0, 30.0, 60.0),
+                    duration=40.0),
+            )],
+            attributes={"color": "RED", "plate": f"P{index:05d}"},
+        )
+        for index in range(num_walkers)
+    ])
+    return video
+
+
+PERSON_SCHEMA = Schema(columns=(ColumnSpec("kind", DataType.STRING, ""),
+                                ColumnSpec("dy", DataType.NUMBER, 0.0)))
+
+#: Per-dispatch pickled payload ceiling for the process engine: a payload
+#: path plus a few ints/floats per chunk — scene size must not leak in.
+DISPATCH_PAYLOAD_BUDGET_BYTES = 4096
+
+
+class TestProcessEngineSpecDispatch:
+    def test_per_dispatch_payload_stays_under_budget(self):
+        video = _heavy_video()
+        assert len(pickle.dumps(video)) > 100_000  # the scene itself is heavy
+        spec = ChunkSpec(window=TimeInterval(0.0, 240.0), chunk_duration=30.0)
+        chunks = split_interval(video, spec)
+        runner = SandboxRunner(
+            executables_module.EnteringObjectCounter(),
+            PERSON_SCHEMA, max_rows=50, timeout_seconds=30.0)
+        context = ExecutionContext(camera="cam", fps=video.fps)
+        serial = SerialEngine().map_chunks(runner, chunks, context)
+        with ProcessPoolEngine(max_workers=2) as engine:
+            outcomes = engine.map_chunks(runner, chunks, context)
+            stats = engine.dispatch_stats
+        assert [outcome.rows for outcome in outcomes] \
+            == [outcome.rows for outcome in serial]
+        assert stats.dispatches >= 2
+        assert stats.payload_bytes_max < DISPATCH_PAYLOAD_BUDGET_BYTES, \
+            f"per-dispatch payload {stats.payload_bytes_max}B exceeds budget"
+        # The heavy constants went out exactly once, through the broadcast.
+        assert stats.broadcasts == 1
+        assert stats.broadcast_bytes > 100_000
+
+    def test_mixed_video_stream_versions_the_broadcast(self):
+        video_a = _heavy_video(40)
+        video_b = _heavy_video(30)
+        spec = ChunkSpec(window=TimeInterval(0.0, 120.0), chunk_duration=30.0)
+        chunks = split_interval(video_a, spec) + split_interval(video_b, spec)
+        runner = SandboxRunner(
+            executables_module.EnteringObjectCounter(),
+            PERSON_SCHEMA, max_rows=50, timeout_seconds=30.0)
+        context = ExecutionContext(camera="cam", fps=video_a.fps)
+        serial = SerialEngine().map_chunks(runner, chunks, context)
+        with ProcessPoolEngine(max_workers=2, chunksize=3) as engine:
+            outcomes = engine.map_chunks(runner, chunks, context)
+        assert [outcome.rows for outcome in outcomes] \
+            == [outcome.rows for outcome in serial]
+
+    def test_adaptive_chunksize_heuristic(self):
+        engine = ProcessPoolEngine(max_workers=4)
+        assert engine._effective_chunksize(None) == 4
+        assert engine._effective_chunksize(8) == 1
+        assert engine._effective_chunksize(60) == 3
+        assert engine._effective_chunksize(160) == 10
+        assert engine._effective_chunksize(10**6) == 32
+        fixed = ProcessPoolEngine(max_workers=4, chunksize=7)
+        assert fixed._effective_chunksize(10**6) == 7

@@ -111,7 +111,8 @@ class TestFrameBatchParity:
             batch = chunk.frame_batch()
             batched = detector.detect_batch(batch, frame_width=video.width,
                                             frame_height=video.height)
-            for per_frame, frame in zip(batched, chunk.frames()):
+            for per_frame, frame in zip(batched.per_frame_detections(),
+                                        chunk.frames()):
                 scalar = detector.detect_frame(frame, frame_width=video.width,
                                                frame_height=video.height)
                 _detections_equal(per_frame, scalar)
@@ -125,7 +126,8 @@ class TestFrameBatchParity:
             chunk = chunk.with_region(region)
             batched = detector.detect_batch(chunk.frame_batch(), frame_width=video.width,
                                             frame_height=video.height)
-            for per_frame, frame in zip(batched, chunk.frames()):
+            for per_frame, frame in zip(batched.per_frame_detections(),
+                                        chunk.frames()):
                 _detections_equal(per_frame, detector.detect_frame(
                     frame, frame_width=video.width, frame_height=video.height))
 
@@ -138,7 +140,8 @@ class TestFrameBatchParity:
                                          categories={"person"})
         unfiltered = detector.detect_batch(chunk.frame_batch(), frame_width=video.width,
                                            frame_height=video.height)
-        for narrow, wide in zip(filtered, unfiltered):
+        for narrow, wide in zip(filtered.per_frame_detections(),
+                                unfiltered.per_frame_detections()):
             _detections_equal(narrow, [det for det in wide if det.category == "person"])
 
     def test_track_chunk_matches_legacy_loop(self):

@@ -131,7 +131,11 @@ class TestStreamingEngines:
     @pytest.mark.parametrize("engine,window", [
         (ThreadPoolEngine(max_workers=2), 4),
         (ThreadPoolEngine(max_workers=2, in_flight_window=3), 3),
-        (ProcessPoolEngine(max_workers=2, chunksize=2), 4),
+        # The process engine's default window scales with the per-future
+        # batch size (2 x workers x chunksize) so batching never idles
+        # workers; an explicit in_flight_window is honoured exactly.
+        (ProcessPoolEngine(max_workers=2, chunksize=2), 8),
+        (ProcessPoolEngine(max_workers=2, chunksize=2, in_flight_window=4), 4),
     ])
     def test_in_flight_window_bounds_materialized_chunks(self, engine, window):
         video = _walker_video(num_walkers=3)
