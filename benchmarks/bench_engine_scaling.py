@@ -16,7 +16,8 @@ hot path stage by stage (render the FrameBatch, detect, track, emit rows
 into the Table, aggregate), emitting a machine-readable
 ``BENCH_pipeline.json`` (path overridable via ``BENCH_PIPELINE_JSON``) with
 chunk throughput, frames/sec, per-stage timings, the process engine's
-per-dispatch IPC payload bytes, and the batch-vs-streaming columns, which CI
+per-dispatch IPC payload bytes, the sharded engine's per-shard dispatch
+bytes (``sharded_dispatch``), and the batch-vs-streaming columns, which CI
 uploads as an artifact (the perf-smoke job runs this file, so a streaming
 regression shows up there).  Before overwriting an existing JSON record the
 benchmark diffs the fresh chunk throughput against it and prints a
@@ -42,6 +43,7 @@ from repro.core import (
     PrividSystem,
     ProcessPoolEngine,
     SerialEngine,
+    ShardedEngine,
     ThreadPoolEngine,
     TieredChunkCache,
 )
@@ -300,6 +302,7 @@ def test_engine_scaling_and_cache_speedup(benchmark):
             ("serial", SerialEngine(), None),
             ("thread:4", ThreadPoolEngine(max_workers=4), None),
             ("process:4", ProcessPoolEngine(max_workers=4), None),  # adaptive chunksize
+            ("sharded:2", ShardedEngine(num_shards=2), None),
             ("serial+cache", SerialEngine(), ChunkResultCache()),
             ("serial+tiered", SerialEngine(), TieredChunkCache(disk=tiered_dir)),
         ]
@@ -321,6 +324,14 @@ def test_engine_scaling_and_cache_speedup(benchmark):
                 # size must never leak into per-dispatch IPC.
                 assert engine.dispatch_stats.payload_bytes_max < 4096, \
                     "process-engine dispatch payload exceeded its byte budget"
+            if isinstance(engine, ShardedEngine):
+                # Per-shard dispatch bytes: the JSON task frames that crossed
+                # each shard's pipe.  The same byte budget binds — coordinator
+                # messages are the payload path plus compact specs.
+                extras["sharded_dispatch"] = engine.dispatch_stats_dict()
+                engine.shutdown()
+                assert engine.dispatch_stats.payload_bytes_max < 4096, \
+                    "sharded-engine dispatch payload exceeded its byte budget"
             rows.append({
                 "engine": label,
                 "sweep_s": round(elapsed, 3),

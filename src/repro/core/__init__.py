@@ -10,6 +10,7 @@ from repro.core.cache import (
     DiskChunkStore,
     TieredChunkCache,
     create_cache,
+    shared_spec,
 )
 from repro.core.engine import (
     ChunkOutcome,
@@ -18,7 +19,10 @@ from repro.core.engine import (
     SerialEngine,
     ThreadPoolEngine,
     create_engine,
+    engine_kinds,
+    register_engine,
 )
+from repro.core.remote import ShardedEngine
 from repro.core.degradation import (
     detection_probability_bound,
     effective_epsilon,
@@ -40,11 +44,15 @@ __all__ = [
     "DiskChunkStore",
     "TieredChunkCache",
     "create_cache",
+    "shared_spec",
     "ExecutionEngine",
     "SerialEngine",
     "ThreadPoolEngine",
     "ProcessPoolEngine",
+    "ShardedEngine",
     "create_engine",
+    "engine_kinds",
+    "register_engine",
     "detection_probability_bound",
     "effective_epsilon",
     "degradation_curve",

@@ -7,17 +7,24 @@ parallel: no chunk's output can depend on another chunk's, so the engine that
 schedules chunk work is free to reorder, batch, or distribute it, as long as
 the concatenated rows come back in chunk order.
 
-Three engines are provided:
+Engines are selected through a registry of named factories
+(:func:`register_engine` / :func:`create_engine`, spec strings like
+``thread:8``).  Four kinds ship with the library:
 
-* :class:`SerialEngine` — one chunk at a time (the default, and the reference
-  behaviour every other engine must reproduce bit for bit);
-* :class:`ThreadPoolEngine` — a shared thread pool, useful when executables
-  release the GIL or block on I/O;
-* :class:`ProcessPoolEngine` — a process pool for CPU-bound executables; the
-  unit of work must be picklable.  All bundled scenes qualify — dynamic
-  attributes are declarative :mod:`repro.scene.schedules` objects — but a
-  scene hand-built with closure-valued dynamic attributes is not, and should
-  use the thread or serial engines.
+* :class:`SerialEngine` (``serial``) — one chunk at a time (the default, and
+  the reference behaviour every other engine must reproduce bit for bit);
+* :class:`ThreadPoolEngine` (``thread[:N]``) — a shared thread pool, useful
+  when executables release the GIL or block on I/O;
+* :class:`ProcessPoolEngine` (``process[:N]``) — a process pool for CPU-bound
+  executables; the unit of work must be picklable.  All bundled scenes
+  qualify — dynamic attributes are declarative :mod:`repro.scene.schedules`
+  objects — but a scene hand-built with closure-valued dynamic attributes is
+  not, and should use the thread or serial engines.
+* :class:`repro.core.remote.ShardedEngine` (``sharded[:N]``) — a coordinator
+  that partitions the chunk stream across N executor shard subprocesses
+  speaking a length-prefixed JSON protocol (the single-host stand-in for a
+  multi-host deployment), with heartbeat-driven failure detection and
+  at-most-once result application.
 
 Every engine exposes two entry points: :meth:`~ExecutionEngine.imap_chunks`,
 an *ordered streaming map* that pulls chunks lazily from an iterable and
@@ -78,11 +85,17 @@ class ChunkOutcome:
 
     ``fallback`` marks the schema-default rows substituted on a crash or a
     timeout; those can be transient (a wall-clock overrun on a loaded
-    machine), so the result cache must never store them.
+    machine), so the result cache must never store them.  ``stored`` marks
+    rows an engine already persisted in the shared tier of the caller's
+    chunk store (sharded shards write through — see
+    :meth:`repro.core.remote.ShardedEngine.share_store`), so the caller
+    should only promote them into its memory tier instead of writing the
+    same entry to disk again.
     """
 
     rows: "list[dict[str, Any]] | ColumnarRows"
     fallback: bool = False
+    stored: bool = False
 
 
 def execute_chunk(runner: "SandboxRunner", chunk: "Chunk",
@@ -140,6 +153,28 @@ def _load_payload(path: str) -> dict[str, Any]:
     return payload
 
 
+def chunk_from_spec(objects: list[Any], spec: ChunkSpecMessage) -> "Chunk":
+    """Rebuild one chunk from its compact spec against the broadcast objects.
+
+    The single decoder of the :data:`ChunkSpecMessage` wire format, shared
+    by the process-pool worker below and the sharded shard worker
+    (:mod:`repro.core.remote`) — the two must never diverge.
+    """
+    from repro.utils.timebase import TimeInterval
+    from repro.video.chunking import Chunk
+
+    video_ref, index, start, end, mask_ref, region_ref, sample_period, metadata = spec
+    return Chunk(
+        video=objects[video_ref],
+        index=index,
+        interval=TimeInterval(start, end),
+        mask=objects[mask_ref],
+        region=None if region_ref is None else objects[region_ref],
+        sample_period=sample_period,
+        metadata=metadata if metadata is not None else {},
+    )
+
+
 def _execute_chunk_specs(path: str, specs: list[ChunkSpecMessage]
                          ) -> list[ChunkOutcome]:
     """Process-pool unit of work: rebuild chunks from compact specs.
@@ -148,27 +183,12 @@ def _execute_chunk_specs(path: str, specs: list[ChunkSpecMessage]
     come from the broadcast payload at ``path``, loaded once per worker per
     stream; the per-dispatch message is just this function's arguments.
     """
-    from repro.utils.timebase import TimeInterval
-    from repro.video.chunking import Chunk
-
     payload = _load_payload(path)
     runner = payload["runner"]
     context = payload["context"]
     objects = payload["objects"]
-    outcomes: list[ChunkOutcome] = []
-    for video_ref, index, start, end, mask_ref, region_ref, sample_period, \
-            metadata in specs:
-        chunk = Chunk(
-            video=objects[video_ref],
-            index=index,
-            interval=TimeInterval(start, end),
-            mask=objects[mask_ref],
-            region=None if region_ref is None else objects[region_ref],
-            sample_period=sample_period,
-            metadata=metadata if metadata is not None else {},
-        )
-        outcomes.append(execute_chunk(runner, chunk, context))
-    return outcomes
+    return [execute_chunk(runner, chunk_from_spec(objects, spec), context)
+            for spec in specs]
 
 
 class _TaskBroadcast:
@@ -600,19 +620,74 @@ class ProcessPoolEngine:
         self.shutdown()
 
 
+#: Factory signature of a registered engine kind: receives the parsed
+#: ``:N`` worker count (or None when the spec had no suffix) and returns a
+#: ready engine instance.
+EngineFactory = Callable[[int | None], ExecutionEngine]
+
+_ENGINE_FACTORIES: dict[str, EngineFactory] = {}
+
+
+def register_engine(kind: str, factory: EngineFactory, *, replace: bool = False) -> None:
+    """Register an engine kind under the name spec strings select it by.
+
+    ``create_engine(f"{kind}[:N]")`` will call ``factory(N)`` (``N`` is None
+    when the spec has no worker suffix).  The registry is how new execution
+    backends plug in behind the engine seam without the executor knowing
+    them — :class:`repro.core.remote.ShardedEngine` registers as
+    ``"sharded"`` this way, and deployments can add their own.
+    """
+    key = kind.strip().lower()
+    if not key:
+        raise ValueError("engine kind must be a non-empty string")
+    if ":" in key:
+        raise ValueError(f"engine kind {kind!r} must not contain ':'")
+    if key in _ENGINE_FACTORIES and not replace:
+        raise ValueError(f"engine kind {kind!r} is already registered")
+    _ENGINE_FACTORIES[key] = factory
+
+
+def engine_kinds() -> tuple[str, ...]:
+    """The registered engine kinds, sorted (the valid spec-string prefixes)."""
+    return tuple(sorted(_ENGINE_FACTORIES))
+
+
+def _make_serial(workers: int | None) -> ExecutionEngine:
+    if workers is not None:
+        raise ValueError("the serial engine takes no worker count")
+    return SerialEngine()
+
+
+def _make_sharded(workers: int | None) -> ExecutionEngine:
+    # Imported lazily: remote builds on this module, so the registry entry
+    # must not import it at load time.
+    from repro.core.remote import ShardedEngine
+
+    return ShardedEngine(num_shards=workers)
+
+
+register_engine("serial", _make_serial)
+register_engine("thread", lambda workers: ThreadPoolEngine(max_workers=workers))
+register_engine("process", lambda workers: ProcessPoolEngine(max_workers=workers))
+register_engine("sharded", _make_sharded)
+
+
 def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:
-    """Build an engine from a spec string (``serial``, ``thread[:N]``, ``process[:N]``).
+    """Build an engine from a spec string (``serial``, ``thread[:N]``,
+    ``process[:N]``, ``sharded[:N]``, or any :func:`register_engine` kind).
 
     Passing an engine instance returns it unchanged; ``None`` or an empty
     string yields the default :class:`SerialEngine`.  The optional ``:N``
-    suffix fixes the worker count (e.g. ``thread:8``).
+    suffix fixes the worker (or shard) count (e.g. ``thread:8``,
+    ``sharded:4``).  This is the value of the ``engine=`` argument of
+    ``PrividSystem`` and of the ``PRIVID_ENGINE`` benchmark knob.
     """
     if spec is None:
         return SerialEngine()
     if not isinstance(spec, str):
         return spec
     text = spec.strip().lower()
-    if text in ("", "serial"):
+    if text == "":
         return SerialEngine()
     kind, _, workers_text = text.partition(":")
     workers: int | None = None
@@ -623,9 +698,8 @@ def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:
             raise ValueError(f"invalid engine worker count in spec {spec!r}") from exc
         if workers <= 0:
             raise ValueError(f"engine worker count must be positive in spec {spec!r}")
-    if kind == "thread":
-        return ThreadPoolEngine(max_workers=workers)
-    if kind == "process":
-        return ProcessPoolEngine(max_workers=workers)
-    raise ValueError(f"unknown execution engine {spec!r}; "
-                     "expected 'serial', 'thread[:N]' or 'process[:N]'")
+    factory = _ENGINE_FACTORIES.get(kind)
+    if factory is None:
+        expected = ", ".join(f"'{name}[:N]'" for name in engine_kinds())
+        raise ValueError(f"unknown execution engine {spec!r}; expected {expected}")
+    return factory(workers)

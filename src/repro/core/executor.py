@@ -98,7 +98,9 @@ class PrividSystem:
         self.registry = registry if registry is not None else default_registry()
         self.cameras: dict[str, CameraRegistration] = {}
         #: Engine scheduling the independent per-chunk executions; accepts an
-        #: instance or a spec string ('serial', 'thread[:N]', 'process[:N]').
+        #: instance or a spec string ('serial', 'thread[:N]', 'process[:N]',
+        #: 'sharded[:N]', or any kind added via
+        #: :func:`repro.core.engine.register_engine`).
         self.engine: ExecutionEngine = create_engine(engine)
         #: True when the engine was built here from a spec string — those
         #: pools belong to this system, so :meth:`close` shuts them down.
@@ -107,6 +109,19 @@ class PrividSystem:
         #: store instance or a spec string ('off', 'memory', 'disk:PATH',
         #: 'tiered:PATH').
         self.chunk_cache = create_cache(cache)
+        # A distributed engine shares the store's cross-process tier with its
+        # executor shards, so shard-side executions consult and extend the
+        # same warm entries the coordinator sees (no-op for local engines,
+        # which reach the store directly through ``iter_chunk_rows``).  Only
+        # an engine built here is wired up: a caller-provided instance may be
+        # shared between systems with different stores (same reasoning as
+        # :meth:`close`), and repointing it would silently divert another
+        # system's write-through — such callers invoke ``share_store``
+        # themselves.
+        if self._owns_engine and self.chunk_cache is not None:
+            share = getattr(self.engine, "share_store", None)
+            if share is not None:
+                share(self.chunk_cache)
 
     # ------------------------------------------------------------------ setup
 
@@ -172,6 +187,25 @@ class PrividSystem:
         if self.chunk_cache is None:
             return {"enabled": False}
         return {"enabled": True, **self.chunk_cache.stats_dict()}
+
+    def engine_stats(self) -> dict[str, Any]:
+        """Engine identity and dispatch accounting, always a dict.
+
+        ``{"engine": NAME}`` plus, for engines that ship work over an IPC
+        boundary, a ``dispatch`` section: the process engine's per-future
+        payload bytes, or the sharded engine's engine-wide counters with a
+        ``per_shard`` breakdown (the numbers behind the ``sharded`` sweep in
+        ``BENCH_pipeline.json``).
+        """
+        stats: dict[str, Any] = {"engine": getattr(self.engine, "name", "unknown")}
+        stats_dict = getattr(self.engine, "dispatch_stats_dict", None)
+        if stats_dict is not None:
+            stats["dispatch"] = stats_dict()
+        else:
+            dispatch = getattr(self.engine, "dispatch_stats", None)
+            if dispatch is not None:
+                stats["dispatch"] = dispatch.as_dict()
+        return stats
 
     def close(self) -> None:
         """Release execution resources this system created.

@@ -1,0 +1,828 @@
+"""Sharded multi-host chunk execution behind the engine seam.
+
+Privid chunks are independent units of work (Appendix B), so the streaming
+engine contract of :mod:`repro.core.engine` — ``imap_chunks`` over an ordered
+chunk stream — is exactly the seam a *distributed* executor plugs into.  This
+module provides :class:`ShardedEngine`: a coordinator that partitions a
+query's chunk stream across N executor *shards* and merges ordered results
+back through the same contract, so ``PrividSystem(engine="sharded:4")``
+behaves byte-for-byte like ``engine="serial"`` (the hashing determinism
+contract makes chunk results order- and placement-independent; see
+``docs/architecture.md``).
+
+Each shard is a subprocess running this module's worker entrypoint
+(``python -m repro.core.remote``) and speaking a small length-prefixed JSON
+protocol over its stdin/stdout pipes.  A subprocess-over-pipes shard is the
+single-host stand-in for a remote host: the protocol is byte-oriented and
+JSON-typed precisely so the transport could be swapped for a TCP socket
+without touching either endpoint.
+
+Wire protocol
+=============
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object (:func:`encode_frame` /
+:func:`read_frame`).  Messages are typed by their ``"type"`` key:
+
+Coordinator -> shard:
+
+``{"type": "task", "seq": S, "payload": PATH, "specs": [SPEC, ...]}``
+    Execute a batch of chunks.  ``seq`` is a coordinator-unique task id,
+    ``payload`` the path of the stream's :class:`~repro.core.engine._TaskBroadcast`
+    pickle file holding the heavy shared constants (runner, context, videos,
+    masks, regions), and each ``SPEC`` a compact per-chunk message —
+    ``[video_ref, index, start, end, mask_ref, region_ref, sample_period,
+    metadata]`` — exactly the spec-dispatch scheme the process engine uses,
+    so per-task IPC stays at a few ints and floats per chunk.  Because
+    specs travel as JSON (the process engine pickles its), per-chunk
+    ``metadata`` must be JSON-safe and loses tuple-ness in transit
+    (tuples arrive as lists); library-built chunk streams never set
+    metadata, but metadata-sensitive third-party streams should use the
+    process engine or stick to JSON-native types.
+``{"type": "store", "spec": "disk:PATH" | "tiered:PATH"}``
+    Adopt a shard-local view of the shared chunk result store (see
+    :func:`repro.core.cache.shared_spec`): subsequent tasks consult it
+    before executing and write successful results through to it, which is
+    what lets shards on different hosts share warm entries over common
+    storage — and preserves completed work if the coordinator dies.
+``{"type": "ping", "token": T}``
+    Heartbeat probe; the shard echoes the token back as a ``pong``.
+``{"type": "shutdown"}``
+    Exit the worker loop (EOF on stdin has the same effect).
+
+Shard -> coordinator:
+
+``{"type": "result", "seq": S, "outcomes": [{"rows": [...], "fallback": F,
+"cached": C, "stored": W}, ...]}``
+    One outcome per spec of task ``S``, in spec order.  Rows are the
+    schema-coerced row dicts (JSON-safe by construction — the on-disk store
+    serializes the very same shape); ``fallback`` marks crash/timeout
+    default rows, ``cached`` marks rows served from the shard-local store,
+    and ``stored`` marks rows that already live in the shared store (served
+    from it or written through), so the coordinator's cache layer only
+    promotes them into its memory tier instead of re-writing the disk
+    entry.
+``{"type": "pong", "token": T}``
+    Heartbeat reply.
+``{"type": "error", "seq": S, "message": TEXT}``
+    Task ``S`` failed at the protocol level (e.g. an unreadable payload
+    file).  Executable crashes never surface here — the sandbox converts
+    those to fallback rows inside a normal ``result``.
+
+Fault tolerance
+===============
+
+The coordinator applies results *at most once*: a task is retired the moment
+its first ``result`` frame arrives, and any later frame for the same ``seq``
+(a reassigned task whose original shard turned out to be merely slow) is
+dropped.  Workers answer pings from a dedicated read loop while tasks
+execute on a separate thread, so a *busy* shard never reads as *dead*:
+silence past ``heartbeat_timeout`` while holding work genuinely means
+frozen or gone, and such a shard is killed and its pending tasks
+redispatched to the survivors, each task at most ``max_task_retries`` times
+(exhaustion is routed to the stream that owns the task, never raised into
+an unrelated stream that happened to be pumping).  Results stay
+byte-identical because chunk outputs are deterministic functions of the
+chunk, never of placement.  Dead shards are replaced at the start of the
+next stream, not mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import warnings
+from collections import deque
+from itertools import chain
+from typing import TYPE_CHECKING, Any, BinaryIO, Iterable, Iterator, Sized
+
+import repro
+from repro.core.engine import (
+    ChunkOutcome,
+    ChunkSpecMessage,
+    DispatchStats,
+    _default_workers,
+    _load_payload,
+    _TaskBroadcast,
+    chunk_from_spec,
+    execute_chunk,
+)
+from repro.errors import RemoteShardError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import ChunkStore
+    from repro.sandbox.environment import ExecutionContext, SandboxRunner
+    from repro.video.chunking import Chunk
+
+# --------------------------------------------------------------------- frames
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame body; a corrupt length prefix must never
+#: make a reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message to its length-prefixed wire form."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RemoteShardError(
+            f"protocol frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or None on a clean/torn EOF."""
+    data = b""
+    while len(data) < count:
+        piece = stream.read(count - len(data))
+        if not piece:
+            return None
+        data += piece
+    return data
+
+
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one length-prefixed JSON frame; None on EOF (or a torn stream)."""
+    header = _read_exact(stream, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RemoteShardError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    body = _read_exact(stream, length)
+    if body is None:
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+def write_frame(stream: BinaryIO, message: dict[str, Any]) -> int:
+    """Write one frame and flush; returns the number of bytes written."""
+    data = encode_frame(message)
+    stream.write(data)
+    stream.flush()
+    return len(data)
+
+
+# --------------------------------------------------------------- shard worker
+
+
+def _handle_task(message: dict[str, Any], store: "ChunkStore | None") -> dict[str, Any]:
+    """Execute one task frame and build its result frame.
+
+    Mirrors the engine-side unit of work (``execute_chunk``) with one
+    addition: when the coordinator shipped a shared-store spec, the shard
+    checks the store before executing and writes successful results through,
+    so shards over common storage serve and extend the same warm set.
+    """
+    from repro.core.cache import chunk_key
+
+    payload = _load_payload(message["payload"])
+    runner = payload["runner"]
+    context = payload["context"]
+    objects = payload["objects"]
+    outcomes: list[dict[str, Any]] = []
+    for spec in message["specs"]:
+        chunk = chunk_from_spec(objects, spec)
+        rows = None
+        key = None
+        if store is not None:
+            key = chunk_key(runner, chunk, context)
+            rows = store.get(key)
+        if rows is not None:
+            outcomes.append({"rows": [dict(row) for row in rows],
+                             "fallback": False, "cached": True, "stored": True})
+            continue
+        outcome = execute_chunk(runner, chunk, context)
+        stored = store is not None and key is not None and not outcome.fallback
+        if stored:
+            store.put(key, outcome.rows)
+        outcomes.append({"rows": [dict(row) for row in outcome.rows],
+                         "fallback": outcome.fallback, "cached": False,
+                         "stored": stored})
+    return {"type": "result", "seq": message["seq"], "outcomes": outcomes}
+
+
+def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
+    """The shard worker loop: read frames, execute tasks, write frames.
+
+    Runs until ``shutdown`` or EOF.  Tasks execute on a separate thread so
+    the read loop keeps answering heartbeat pings while a long batch runs —
+    a busy shard must look *busy*, not *dead*, or the coordinator would
+    kill healthy workers whenever one task outlives ``heartbeat_timeout``.
+    Task failures are reported as ``error`` frames and the loop keeps
+    serving — a bad payload path must not take the whole shard down with
+    it.  Unknown message types are ignored so older workers tolerate newer
+    coordinators.
+    """
+    write_lock = threading.Lock()
+    tasks: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+    state: dict[str, "ChunkStore | None"] = {"store": None}
+
+    def send(message: dict[str, Any]) -> None:
+        with write_lock:
+            write_frame(stdout, message)
+
+    def execute_loop() -> None:
+        while True:
+            message = tasks.get()
+            if message is None:
+                return
+            try:
+                reply = _handle_task(message, state["store"])
+            except Exception:
+                reply = {"type": "error", "seq": message.get("seq"),
+                         "message": traceback.format_exc(limit=20)}
+            try:
+                send(reply)
+            except Exception:
+                # The reply itself could not be serialized or written (e.g.
+                # a result frame over MAX_FRAME_BYTES).  Report it as a task
+                # error so the coordinator can retry/fail the seq; if even
+                # that fails the pipe is gone — exit so the coordinator sees
+                # EOF and reassigns, rather than hanging behind a read loop
+                # that keeps answering pings.
+                try:
+                    send({"type": "error", "seq": message.get("seq"),
+                          "message": "shard could not send its result frame:\n"
+                                     + traceback.format_exc(limit=5)})
+                except Exception:
+                    os._exit(1)
+
+    executor = threading.Thread(target=execute_loop, name="privid-shard-executor",
+                                daemon=True)
+    executor.start()
+    try:
+        while True:
+            message = read_frame(stdin)
+            if message is None:
+                return
+            kind = message.get("type")
+            if kind == "shutdown":
+                return
+            if kind == "ping":
+                send({"type": "pong", "token": message.get("token")})
+            elif kind == "store":
+                from repro.core.cache import create_cache
+
+                try:
+                    state["store"] = create_cache(message.get("spec"))
+                except (ValueError, OSError):
+                    # The shard still works without the shared store — it
+                    # just recomputes — but the coordinator must hear about
+                    # the misconfiguration rather than silently losing the
+                    # warm-sharing property.
+                    state["store"] = None
+                    send({"type": "error", "seq": None,
+                          "message": "shard could not open shared store "
+                                     f"{message.get('spec')!r}:\n"
+                                     + traceback.format_exc(limit=5)})
+            elif kind == "task":
+                tasks.put(message)
+    finally:
+        tasks.put(None)
+        executor.join(timeout=5.0)
+
+
+def main() -> None:
+    """Entrypoint of ``python -m repro.core.remote`` (one shard worker).
+
+    The protocol owns fd 1, so the original stdout is duplicated for frames
+    and fd 1 is redirected to stderr — an executable that prints can never
+    corrupt the frame stream.
+    """
+    protocol_out = os.fdopen(os.dup(1), "wb")
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+    serve(sys.stdin.buffer, protocol_out)
+
+
+# --------------------------------------------------------------- coordinator
+
+
+class _ShardTask:
+    """One dispatched task: a spec batch awaiting its result."""
+
+    __slots__ = ("seq", "specs", "payload_path", "num_chunks", "shard_id", "attempts")
+
+    def __init__(self, seq: int, specs: list[ChunkSpecMessage], payload_path: str,
+                 num_chunks: int) -> None:
+        self.seq = seq
+        self.specs = specs
+        self.payload_path = payload_path
+        self.num_chunks = num_chunks
+        self.shard_id: int | None = None
+        self.attempts = 0
+
+
+class _Shard:
+    """One executor shard: the worker subprocess plus its reader thread.
+
+    The reader thread decodes frames off the shard's stdout into the
+    engine-wide inbox queue as ``(shard_id, message)`` pairs, pushing
+    ``(shard_id, None)`` once on EOF so the coordinator observes death in
+    the same mailbox as results.  Sending happens only from the coordinator
+    thread, so writes need no lock.
+    """
+
+    def __init__(self, shard_id: int, inbox: "queue.Queue[tuple[int, Any]]",
+                 stats: DispatchStats) -> None:
+        self.id = shard_id
+        self.stats = stats
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+        # -c rather than -m: runpy would re-execute a module the
+        # repro.core package __init__ already imported (and warn about it).
+        self.process = subprocess.Popen(
+            [sys.executable, "-c", "from repro.core.remote import main; main()"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env)
+        self.pending: dict[int, _ShardTask] = {}
+        self.last_seen = time.monotonic()
+        self.alive = True
+        #: False until the first frame arrives: a worker importing its
+        #: dependencies cannot answer pings yet, so silence before the
+        #: first frame is judged against the (longer) startup grace.
+        self.started = False
+        self._reader = threading.Thread(target=self._read_loop, args=(inbox,),
+                                        name=f"privid-shard-{shard_id}-reader",
+                                        daemon=True)
+        self._reader.start()
+
+    def _read_loop(self, inbox: "queue.Queue[tuple[int, Any]]") -> None:
+        stream = self.process.stdout
+        assert stream is not None
+        try:
+            while True:
+                message = read_frame(stream)
+                if message is None:
+                    break
+                inbox.put((self.id, message))
+        except Exception:
+            pass
+        inbox.put((self.id, None))
+
+    def send(self, message: dict[str, Any]) -> int:
+        """Write one frame to the shard; returns the frame's wire bytes."""
+        stdin = self.process.stdin
+        assert stdin is not None
+        return write_frame(stdin, message)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit, escalating to kill after ``timeout``."""
+        self.alive = False
+        try:
+            self.send({"type": "shutdown"})
+            assert self.process.stdin is not None
+            self.process.stdin.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+        self._reader.join(timeout=1.0)
+
+
+#: Adaptive per-task batch cap: batches amortize framing, but every chunk in
+#: a batch shares its task's fate on reassignment, so sharded batches stay
+#: smaller than the process engine's.
+_MAX_SHARDED_CHUNKSIZE = 8
+
+
+class ShardedEngine:
+    """Partitions chunk streams across N shard subprocesses (``sharded:N``).
+
+    Implements the :class:`~repro.core.engine.ExecutionEngine` protocol: an
+    ordered streaming ``imap_chunks`` with a bounded in-flight window.  Work
+    is dispatched to the least-loaded live shard as compact spec batches
+    (the heavy stream constants travel once per stream via a
+    :class:`~repro.core.engine._TaskBroadcast` payload file every shard can
+    read); results are merged back in dispatch order, so consumers cannot
+    tell it from the serial engine.
+
+    Shards are spawned lazily on first use and persist across queries, like
+    the pool engines; :meth:`shutdown` (or the context manager form)
+    terminates them.  Dead shards are replaced at the start of the next
+    stream.  ``heartbeat_interval`` / ``heartbeat_timeout`` bound how long a
+    silent shard holding work survives before its tasks are reassigned —
+    workers answer pings while executing, so only a frozen or vanished
+    shard ever reads as silent, and a shard that has not yet produced its
+    first frame (still importing its dependencies) is judged against the
+    longer ``startup_grace``; ``max_task_retries`` bounds redispatches per
+    task before *the stream that owns the task* fails with
+    :class:`~repro.errors.RemoteShardError`.
+
+    ``chunksize`` fixes the per-task spec batch (default: adaptive,
+    ``count_hint // (4 * shards)`` capped at 8 — smaller than the process
+    engine's cap because a whole batch is redispatched when its shard dies);
+    ``in_flight_window`` bounds chunks materialized-but-unyielded (default
+    ``2 x shards x chunksize``).
+
+    The engine is driven from one coordinator thread but supports several
+    *interleaved* streams (the executor round-robins PROCESS statements):
+    task/result bookkeeping is engine-wide, keyed by a monotonically unique
+    ``seq``, so frames arriving while another stream's generator is being
+    pumped are parked until their owner looks them up.
+    """
+
+    def __init__(self, num_shards: int | None = None, *,
+                 chunksize: int | None = None,
+                 in_flight_window: int | None = None,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_timeout: float = 10.0,
+                 startup_grace: float = 60.0,
+                 max_task_retries: int = 3) -> None:
+        self.num_shards = num_shards if num_shards is not None else _default_workers()
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        if in_flight_window is not None and in_flight_window <= 0:
+            raise ValueError("in_flight_window must be positive")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= 0 or startup_grace <= 0:
+            raise ValueError("heartbeat intervals must be positive")
+        self.name = "sharded"
+        self.chunksize = chunksize
+        self.in_flight_window = in_flight_window
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.startup_grace = startup_grace
+        self.max_task_retries = max_task_retries
+        #: Engine-wide IPC accounting (every task frame sent to any shard).
+        self.dispatch_stats = DispatchStats()
+        self._shard_stats: dict[int, DispatchStats] = {}
+        self._shards: dict[int, _Shard] = {}
+        self._inbox: "queue.Queue[tuple[int, Any]]" = queue.Queue()
+        self._next_shard_id = 0
+        self._next_seq = 0
+        self._next_ping = 0
+        self._tasks: dict[int, _ShardTask] = {}
+        self._ready: dict[int, list[ChunkOutcome]] = {}
+        #: seq -> failure reason for tasks that exhausted their retries; the
+        #: stream that owns the seq raises when it reaches it, so a failure
+        #: never propagates into whichever stream happened to be pumping.
+        self._failed: dict[int, str] = {}
+        self._store_spec: str | None = None
+
+    # ------------------------------------------------------------- shard pool
+
+    def _spawn_shard(self) -> _Shard:
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        stats = self._shard_stats.setdefault(shard_id, DispatchStats())
+        shard = _Shard(shard_id, self._inbox, stats)
+        self._shards[shard_id] = shard
+        if self._store_spec:
+            try:
+                shard.send({"type": "store", "spec": self._store_spec})
+            except OSError:
+                self._mark_dead(shard)
+        return shard
+
+    def _ensure_shards(self) -> None:
+        """Top the pool back up to ``num_shards`` live workers (stream start)."""
+        # Fold in death notices that arrived between streams: a shard killed
+        # after the previous stream finished has an EOF sitting in the inbox
+        # (and a poll()-able exit) but may still be flagged alive.
+        while True:
+            try:
+                shard_id, message = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            self._handle_message(shard_id, message)
+        for shard in list(self._shards.values()):
+            if shard.alive and shard.process.poll() is not None:
+                self._mark_dead(shard, kill=False)
+        for shard_id in [sid for sid, shard in self._shards.items() if not shard.alive]:
+            del self._shards[shard_id]
+        while sum(1 for shard in self._shards.values() if shard.alive) < self.num_shards:
+            self._spawn_shard()
+
+    def _live_shards(self) -> list[_Shard]:
+        return [shard for shard in self._shards.values() if shard.alive]
+
+    def share_store(self, store: "ChunkStore | str | None") -> None:
+        """Point every shard at the shareable tier of a chunk result store.
+
+        Accepts a store instance (reduced via
+        :func:`repro.core.cache.shared_spec` to its cross-process portion —
+        the disk directory; a pure in-memory cache reduces to nothing and is
+        ignored) or a spec string.  ``PrividSystem`` calls this
+        automatically for engines it built from a spec string, so
+        ``PrividSystem(engine="sharded:4", cache="tiered:PATH")`` gives
+        every shard a local LRU over the same warm directory; an engine
+        *instance* handed to several systems is shared property, so those
+        callers pick the store to share themselves.
+        """
+        if store is None or isinstance(store, str):
+            spec = store or None
+        else:
+            from repro.core.cache import shared_spec
+
+            spec = shared_spec(store)
+        self._store_spec = spec
+        if spec:
+            for shard in self._live_shards():
+                try:
+                    shard.send({"type": "store", "spec": spec})
+                except OSError:
+                    self._mark_dead(shard)
+
+    # ------------------------------------------------------------ dispatching
+
+    def _dispatch(self, task: _ShardTask, *, exclude: int | None = None) -> None:
+        """Send a task to the least-loaded live shard (skipping ``exclude``)."""
+        while True:
+            candidates = [shard for shard in self._live_shards()
+                          if shard.id != exclude]
+            if not candidates:
+                candidates = self._live_shards()  # only the excluded one left
+            if not candidates:
+                raise RemoteShardError(
+                    f"no live shards remain to run task {task.seq} "
+                    f"(attempt {task.attempts + 1})")
+            shard = min(candidates, key=lambda entry: (len(entry.pending), entry.id))
+            message = {"type": "task", "seq": task.seq,
+                       "payload": task.payload_path, "specs": task.specs}
+            try:
+                sent = shard.send(message)
+            except OSError:
+                self._mark_dead(shard)
+                continue
+            task.shard_id = shard.id
+            shard.pending[task.seq] = task
+            self._tasks[task.seq] = task
+            shard.stats.record_dispatch(sent, task.num_chunks)
+            self.dispatch_stats.record_dispatch(sent, task.num_chunks)
+            return
+
+    def _fail(self, task: _ShardTask, reason: str) -> None:
+        """Retire a task as permanently failed (its owner raises on pickup)."""
+        self._tasks.pop(task.seq, None)
+        for shard in self._shards.values():
+            shard.pending.pop(task.seq, None)
+        self._failed[task.seq] = reason
+
+    def _retry(self, task: _ShardTask, *, exclude: int | None, reason: str) -> None:
+        task.attempts += 1
+        if task.attempts > self.max_task_retries:
+            self._fail(task, f"task {task.seq} failed {task.attempts} times; "
+                             f"last shard {task.shard_id}: {reason}")
+            return
+        try:
+            self._dispatch(task, exclude=exclude)
+        except RemoteShardError as exc:
+            # No shard left to run it on: fail this task (and let the loop
+            # in _mark_dead keep redispatching or failing the rest) rather
+            # than raising into an arbitrary pumping stream.
+            self._fail(task, str(exc))
+
+    def _mark_dead(self, shard: _Shard, *, kill: bool = True) -> None:
+        """Retire a shard and redispatch every task it still held."""
+        if not shard.alive:
+            return
+        shard.alive = False
+        if kill:
+            try:
+                shard.process.kill()
+            except OSError:
+                pass
+        orphans = list(shard.pending.values())
+        shard.pending.clear()
+        for task in orphans:
+            # The dead shard may have completed some of these without the
+            # result reaching us; redispatching is safe because the first
+            # result to arrive retires the seq and later ones are dropped.
+            self._retry(task, exclude=shard.id, reason="shard died")
+
+    # ------------------------------------------------------------- event loop
+
+    def _handle_message(self, shard_id: int, message: Any) -> None:
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            return
+        if message is None:  # reader saw EOF: the worker exited or was killed
+            if shard.alive:
+                self._mark_dead(shard, kill=True)
+            return
+        shard.last_seen = time.monotonic()
+        shard.started = True
+        kind = message.get("type")
+        if kind == "result":
+            seq = message.get("seq")
+            task = self._tasks.pop(seq, None)
+            if task is None:
+                return  # stale duplicate of a reassigned task: at-most-once
+            for entry in self._shards.values():
+                entry.pending.pop(seq, None)
+            self._ready[seq] = [
+                ChunkOutcome(rows=outcome["rows"], fallback=bool(outcome["fallback"]),
+                             stored=bool(outcome.get("stored")))
+                for outcome in message["outcomes"]]
+        elif kind == "error":
+            seq = message.get("seq")
+            if seq is None:
+                # A shard-level complaint not tied to a task (e.g. it could
+                # not open the shared store and will recompute instead of
+                # sharing warm entries): surface it, don't swallow it.
+                warnings.warn(f"shard {shard_id}: "
+                              f"{str(message.get('message', '')).strip()}",
+                              RuntimeWarning, stacklevel=2)
+                return
+            task = self._tasks.get(seq)
+            # Only the task's *current* owner may fail it: a stale error
+            # from a previous owner (which died right after sending, with
+            # the task already redispatched) must not burn a retry or
+            # double-dispatch while the new owner's result is in flight.
+            if task is not None and task.shard_id == shard_id:
+                for entry in self._shards.values():
+                    entry.pending.pop(seq, None)
+                self._retry(task, exclude=shard_id,
+                            reason=str(message.get("message", "")).strip())
+        # "pong" (and unknown types) only needed the last_seen refresh above.
+
+    def _heartbeat(self) -> None:
+        """Probe silent shards; declare the unresponsive ones dead."""
+        now = time.monotonic()
+        for shard in list(self._shards.values()):
+            if not shard.alive:
+                continue
+            if shard.process.poll() is not None:
+                self._mark_dead(shard, kill=False)
+                continue
+            silent = now - shard.last_seen
+            limit = self.heartbeat_timeout if shard.started \
+                else max(self.heartbeat_timeout, self.startup_grace)
+            if shard.pending and silent > limit:
+                self._mark_dead(shard)
+            elif silent > self.heartbeat_interval:
+                self._next_ping += 1
+                try:
+                    shard.send({"type": "ping", "token": self._next_ping})
+                except OSError:
+                    self._mark_dead(shard)
+
+    def _pump(self) -> None:
+        """Process the next inbox message, or run a heartbeat pass on silence."""
+        try:
+            shard_id, message = self._inbox.get(timeout=self.heartbeat_interval)
+        except queue.Empty:
+            self._heartbeat()
+            return
+        self._handle_message(shard_id, message)
+
+    # ----------------------------------------------------------- engine proto
+
+    def _effective_chunksize(self, count_hint: int | None) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        if count_hint is None or count_hint <= 0:
+            return 1
+        return max(1, min(_MAX_SHARDED_CHUNKSIZE,
+                          count_hint // (4 * self.num_shards)))
+
+    def _window(self, batch_size: int) -> int:
+        if self.in_flight_window is not None:
+            return max(self.in_flight_window, batch_size)
+        return 2 * self.num_shards * batch_size
+
+    def imap_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                    context: "ExecutionContext", *,
+                    count_hint: int | None = None) -> Iterator[ChunkOutcome]:
+        """Stream outcomes in chunk order across the shard pool.
+
+        Identical contract to every other engine's ``imap_chunks``; see the
+        class docstring for scheduling and fault-tolerance behaviour.
+        """
+        if count_hint is None and isinstance(chunks, Sized):
+            count_hint = len(chunks)
+        return self._imap(runner, iter(chunks), context, count_hint)
+
+    def _imap(self, runner: "SandboxRunner", iterator: Iterator["Chunk"],
+              context: "ExecutionContext", count_hint: int | None
+              ) -> Iterator[ChunkOutcome]:
+        first = next(iterator, None)
+        if first is None:
+            return
+        second = next(iterator, None)
+        if second is None:
+            # Single-chunk streams run inline, like every pool engine.
+            yield execute_chunk(runner, first, context)
+            return
+        self._ensure_shards()
+        broadcast = _TaskBroadcast(runner, context)
+        batch_size = self._effective_chunksize(count_hint)
+        window = self._window(batch_size)
+        stream = chain((first, second), iterator)
+        dispatched: deque[int] = deque()  # this stream's seqs, in yield order
+        mine: set[int] = set()
+        in_flight = 0  # chunks dispatched but not yet yielded
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and in_flight < window:
+                    batch: list["Chunk"] = []
+                    while len(batch) < batch_size:
+                        chunk = next(stream, None)
+                        if chunk is None:
+                            exhausted = True
+                            break
+                        batch.append(chunk)
+                    if not batch:
+                        break
+                    specs = [broadcast.chunk_spec(chunk) for chunk in batch]
+                    # Registering specs may have discovered new heavy
+                    # objects; payload_path() writes a covering version.
+                    path = broadcast.payload_path()
+                    seq = self._next_seq
+                    self._next_seq += 1
+                    task = _ShardTask(seq, specs, path, len(batch))
+                    self._dispatch(task)
+                    dispatched.append(seq)
+                    mine.add(seq)
+                    in_flight += len(batch)
+                while dispatched and dispatched[0] in self._ready:
+                    seq = dispatched.popleft()
+                    mine.discard(seq)
+                    outcomes = self._ready.pop(seq)
+                    in_flight -= len(outcomes)
+                    yield from outcomes
+                if dispatched and dispatched[0] in self._failed:
+                    raise RemoteShardError(self._failed.pop(dispatched[0]))
+                if not dispatched:
+                    if exhausted:
+                        return
+                    continue  # window drained by yields; refill before waiting
+                if dispatched[0] not in self._ready:
+                    self._pump()
+        finally:
+            # On early close, drop this stream's bookkeeping; late results
+            # and errors for these seqs are ignored as stale.
+            for seq in mine:
+                self._ready.pop(seq, None)
+                self._failed.pop(seq, None)
+                self._tasks.pop(seq, None)
+                for shard in self._shards.values():
+                    shard.pending.pop(seq, None)
+            self.dispatch_stats.broadcasts += broadcast.broadcasts
+            self.dispatch_stats.broadcast_bytes += broadcast.broadcast_bytes
+            broadcast.cleanup()
+
+    def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
+                   context: "ExecutionContext") -> list[ChunkOutcome]:
+        """Run every chunk through the shard pool, in chunk order (batch)."""
+        return list(self.imap_chunks(runner, chunks, context))
+
+    # -------------------------------------------------------------- lifecycle
+
+    def reset_dispatch_stats(self) -> None:
+        """Zero the engine-wide and per-shard IPC counters."""
+        self.dispatch_stats = DispatchStats()
+        self._shard_stats = {shard_id: DispatchStats()
+                             for shard_id in self._shard_stats}
+        for shard in self._shards.values():
+            shard.stats = self._shard_stats.setdefault(shard.id, DispatchStats())
+
+    def dispatch_stats_dict(self) -> dict[str, Any]:
+        """Engine-wide dispatch counters plus a ``per_shard`` breakdown.
+
+        Per-shard entries survive shard death and replacement, so the dict
+        records where every byte of a sweep actually went (the
+        ``sharded_dispatch`` section of ``BENCH_pipeline.json``).
+        """
+        return {**self.dispatch_stats.as_dict(),
+                "per_shard": {str(shard_id): stats.as_dict()
+                              for shard_id, stats in sorted(self._shard_stats.items())
+                              if stats.dispatches or stats.chunks}}
+
+    def shutdown(self) -> None:
+        """Terminate every shard worker (the pool respawns on next use)."""
+        for shard in self._shards.values():
+            shard.close()
+        self._shards.clear()
+        while True:
+            try:
+                self._inbox.get_nowait()
+            except queue.Empty:
+                break
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    main()

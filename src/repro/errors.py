@@ -73,6 +73,15 @@ class UnknownExecutableError(PrividError):
     """A PROCESS statement referenced an executable that is not registered."""
 
 
+class RemoteShardError(PrividError):
+    """Sharded execution could not complete a task.
+
+    Raised by :class:`repro.core.remote.ShardedEngine` when a task exhausts
+    its retry budget or no live shard remains to run it; individual shard
+    deaths are handled transparently by reassignment and never surface here.
+    """
+
+
 class UnknownCameraError(PrividError):
     """A SPLIT statement referenced a camera that is not registered."""
 

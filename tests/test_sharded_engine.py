@@ -1,0 +1,487 @@
+"""Tests for sharded multi-host chunk execution (`repro.core.remote`).
+
+The contract under test: ``ShardedEngine`` partitions a chunk stream across
+N executor shard subprocesses and merges ordered results back through the
+``imap_chunks`` seam, byte-identical to the serial engine — including when a
+shard is killed or goes silent mid-sweep (its work is reassigned, and
+at-most-once result application drops the duplicates a slow-but-alive shard
+may still deliver).
+"""
+
+import io
+import json
+import os
+import signal
+import struct
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import (
+    DiskChunkStore,
+    PrividSystem,
+    SerialEngine,
+    ShardedEngine,
+    create_engine,
+    engine_kinds,
+    register_engine,
+    shared_spec,
+)
+from repro.core.cache import ChunkResultCache, TieredChunkCache
+from repro.core.engine import DispatchStats, SerialEngine as _Serial
+from repro.core.policy import PrivacyPolicy
+from repro.core.remote import (
+    MAX_FRAME_BYTES,
+    _ShardTask,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.errors import RemoteShardError
+from repro.query.builder import QueryBuilder
+from repro.sandbox.environment import ExecutionContext, SandboxRunner
+from repro.sandbox.executables import EnteringObjectCounter, SlowExecutable
+from repro.scene.scenarios import SCENARIO_NAMES, build_scenario
+from repro.evaluation.runner import register_scenario_camera, scenario_policy_map
+from repro.relational.table import ColumnSpec, DataType, Schema
+from repro.utils.timebase import TimeInterval
+from repro.video.chunking import ChunkSpec, count_chunks, iter_chunks
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+PERSON_SCHEMA = Schema(columns=(ColumnSpec("kind", DataType.STRING, ""),
+                                ColumnSpec("dy", DataType.NUMBER, 0.0)))
+
+
+def _walker_video(num_walkers: int = 6, duration: float = 600.0):
+    objects = [make_crossing_object(f"w{i}", start=20.0 + 80.0 * i, duration=35.0,
+                                    x=450.0 + 40.0 * i)
+               for i in range(num_walkers)]
+    return make_simple_video(duration=duration, objects=objects)
+
+
+def _runner() -> SandboxRunner:
+    return SandboxRunner(EnteringObjectCounter(category="person"), PERSON_SCHEMA,
+                         max_rows=5, timeout_seconds=5.0)
+
+
+def _context(video) -> ExecutionContext:
+    return ExecutionContext(camera=video.name, fps=video.fps)
+
+
+def _rows_of(outcomes) -> list:
+    """Normalize outcome rows (ColumnarRows or dict lists) for comparison."""
+    return [[dict(row) for row in outcome.rows] for outcome in outcomes]
+
+
+def _count_query(window: float = 600.0, chunk: float = 60.0):
+    return (QueryBuilder("sharded")
+            .split("cam", begin=0, end=window, chunk_duration=chunk, into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)], into="t")
+            .select_count(table="t", bucket_seconds=120.0, epsilon=1.0)
+            .build())
+
+
+def _build_system(video, *, engine=None, cache=None, seed: int = 5) -> PrividSystem:
+    system = PrividSystem(seed=seed, engine=engine, cache=cache)
+    system.register_camera("cam", video, policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                           epsilon_budget=100.0)
+    return system
+
+
+class TestWireProtocol:
+    def test_frame_roundtrip(self):
+        message = {"type": "task", "seq": 7, "payload": "/tmp/p.pkl",
+                   "specs": [[0, 3, 0.0, 30.0, 1, None, None, None]]}
+        stream = io.BytesIO(encode_frame(message))
+        assert read_frame(stream) == {"type": "task", "seq": 7,
+                                      "payload": "/tmp/p.pkl",
+                                      "specs": [[0, 3, 0.0, 30.0, 1, None, None, None]]}
+        assert read_frame(stream) is None  # clean EOF after the frame
+
+    def test_write_frame_reports_wire_bytes(self):
+        stream = io.BytesIO()
+        sent = write_frame(stream, {"type": "ping", "token": 1})
+        assert sent == len(stream.getvalue()) == 4 + len(
+            json.dumps({"type": "ping", "token": 1}, separators=(",", ":")))
+
+    def test_torn_frames_read_as_eof(self):
+        whole = encode_frame({"type": "pong", "token": 2})
+        assert read_frame(io.BytesIO(whole[:2])) is None      # torn header
+        assert read_frame(io.BytesIO(whole[:-1])) is None     # torn body
+        assert read_frame(io.BytesIO(b"")) is None            # empty stream
+
+    def test_oversized_length_prefix_rejected(self):
+        corrupt = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(RemoteShardError):
+            read_frame(io.BytesIO(corrupt + b"x"))
+
+    def test_float_values_roundtrip_exactly(self):
+        values = [0.1, 1e-17, 12345.6789, 2.0 ** -40, 600.0]
+        frame = encode_frame({"type": "result", "rows": values})
+        assert read_frame(io.BytesIO(frame))["rows"] == values
+
+
+class TestEngineRegistry:
+    def test_sharded_spec_strings(self):
+        engine = create_engine("sharded:4")
+        assert isinstance(engine, ShardedEngine) and engine.num_shards == 4
+        default = create_engine("sharded")
+        assert isinstance(default, ShardedEngine) and default.num_shards >= 2
+        assert "sharded" in engine_kinds()
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError, match="sharded"):
+            create_engine("bogus:2")  # error message lists registered kinds
+        with pytest.raises(ValueError):
+            create_engine("sharded:0")
+        with pytest.raises(ValueError):
+            create_engine("serial:2")  # serial takes no worker count
+
+    def test_register_engine_duplicate_and_custom(self):
+        with pytest.raises(ValueError):
+            register_engine("serial", lambda workers: SerialEngine())
+        register_engine("test-custom", lambda workers: SerialEngine())
+        try:
+            assert isinstance(create_engine("test-custom"), SerialEngine)
+            register_engine("test-custom", lambda workers: SerialEngine(),
+                            replace=True)
+        finally:
+            from repro.core.engine import _ENGINE_FACTORIES
+            _ENGINE_FACTORIES.pop("test-custom", None)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEngine(0)
+        with pytest.raises(ValueError):
+            ShardedEngine(2, chunksize=0)
+        with pytest.raises(ValueError):
+            ShardedEngine(2, in_flight_window=-1)
+        with pytest.raises(ValueError):
+            ShardedEngine(2, heartbeat_interval=0.0)
+
+
+class TestShardedStreaming:
+    def test_imap_matches_serial_byte_for_byte(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        with ShardedEngine(2) as engine:
+            sharded = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                                  context))
+        assert repr(sharded) == repr(reference)
+
+    def test_single_chunk_runs_inline_without_shards(self):
+        video = _walker_video(num_walkers=1, duration=60.0)
+        single = iter_chunks(video, ChunkSpec(window=TimeInterval(0, 60),
+                                              chunk_duration=60.0))
+        with ShardedEngine(2) as engine:
+            outcomes = list(engine.imap_chunks(_runner(), single, _context(video)))
+            assert len(outcomes) == 1
+            assert engine._shards == {}  # never spawned a worker
+            assert list(engine.imap_chunks(_runner(), iter(()), _context(video))) == []
+
+    def test_in_flight_window_bounds_materialized_chunks(self):
+        video = _walker_video(num_walkers=3)
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=30.0)
+        runner, context = _runner(), _context(video)
+        state = {"pulled": 0, "consumed": 0, "peak": 0}
+
+        def instrumented():
+            for chunk in iter_chunks(video, spec):
+                state["pulled"] += 1
+                state["peak"] = max(state["peak"],
+                                    state["pulled"] - state["consumed"])
+                yield chunk
+
+        with ShardedEngine(2, chunksize=2, in_flight_window=4) as engine:
+            for _ in engine.imap_chunks(runner, instrumented(), context):
+                state["consumed"] += 1
+        assert state["pulled"] == count_chunks(video, spec) == 20
+        assert state["peak"] <= 4
+
+    def test_interleaved_streams_share_the_shard_pool(self):
+        # The executor round-robins PROCESS statements through one engine;
+        # frames arriving while the "wrong" stream pumps must be parked for
+        # their owner, not dropped.
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        with ShardedEngine(2) as engine:
+            first = engine.imap_chunks(runner, iter_chunks(video, spec), context)
+            second = engine.imap_chunks(runner, iter_chunks(video, spec), context)
+            collected = {"a": [], "b": []}
+            streams = [("a", first), ("b", second)]
+            while streams:
+                label, stream = streams.pop(0)
+                outcome = next(stream, None)
+                if outcome is None:
+                    continue
+                collected[label].append(outcome)
+                streams.append((label, stream))
+        assert repr(_rows_of(collected["a"])) == repr(reference)
+        assert repr(_rows_of(collected["b"])) == repr(reference)
+
+    def test_per_shard_dispatch_bytes_recorded(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        with ShardedEngine(2, chunksize=1) as engine:
+            list(engine.imap_chunks(_runner(), iter_chunks(video, spec),
+                                    _context(video)))
+            stats = engine.dispatch_stats_dict()
+        assert stats["dispatches"] == stats["chunks"] == 10
+        assert stats["broadcasts"] == 1 and stats["broadcast_bytes"] > 0
+        # Per-dispatch messages are the payload path plus a few numbers —
+        # scene size must never leak into them (same budget as the process
+        # engine's spec dispatch).
+        assert 0 < stats["payload_bytes_max"] < 4096
+        per_shard = stats["per_shard"]
+        assert len(per_shard) == 2
+        assert sum(entry["chunks"] for entry in per_shard.values()) == 10
+        assert all(entry["payload_bytes_total"] > 0 for entry in per_shard.values())
+
+
+class TestShardedSystemParity:
+    def test_query_byte_identical_to_serial(self):
+        video = _walker_video()
+        query = _count_query()
+        reference = _build_system(video).execute(query)
+        with _build_system(video, engine="sharded:4") as system:
+            result = system.execute(query)
+            stats = system.engine_stats()
+        assert result.raw_series_unsafe() == reference.raw_series_unsafe()
+        assert result.series() == reference.series()
+        assert stats["engine"] == "sharded"
+        assert stats["dispatch"]["chunks"] == 10
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_scenario_scene_byte_identical_to_serial(self, name, sharded_pool):
+        """Every scenario scene: sharded releases == serial releases, exactly."""
+        if name in ("campus", "highway", "urban"):
+            scenario = build_scenario(name, scale=0.2, duration_hours=0.1)
+        else:
+            scenario = build_scenario(name, duration_hours=0.1)
+        policy_map = scenario_policy_map(scenario, k_segments=1)
+        window = min(scenario.video.duration, 360.0)
+        query = (QueryBuilder(f"sharded-{name}")
+                 .split(scenario.name, begin=0, end=window,
+                        chunk_duration=30.0, mask="owner", into="chunks")
+                 .process("chunks", executable="count_entering_people.py",
+                          max_rows=5,
+                          schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)],
+                          into="t")
+                 .select_count(table="t", bucket_seconds=120.0, epsilon=1.0)
+                 .build())
+        results = {}
+        for label, engine in (("serial", None), ("sharded", sharded_pool)):
+            system = PrividSystem(seed=11, engine=engine)
+            register_scenario_camera(system, scenario, policy_map=policy_map,
+                                     epsilon_budget=100.0, sample_period=1.0)
+            results[label] = system.execute(query, charge_budget=False)
+        assert repr(results["sharded"].raw_series_unsafe()) \
+            == repr(results["serial"].raw_series_unsafe())
+        assert repr(results["sharded"].series()) == repr(results["serial"].series())
+
+
+@pytest.fixture(scope="module")
+def sharded_pool():
+    """One persistent sharded engine reused across the scenario sweep."""
+    with ShardedEngine(2) as engine:
+        yield engine
+
+
+class TestFaultInjection:
+    def test_shard_killed_mid_sweep_is_byte_identical(self):
+        video = _walker_video(num_walkers=8, duration=1200.0)
+        spec = ChunkSpec(window=TimeInterval(0, 1200), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        with ShardedEngine(3, chunksize=1) as engine:
+            outcomes = []
+            stream = engine.imap_chunks(runner, iter_chunks(video, spec), context)
+            outcomes.append(next(stream))
+            # Kill a shard that still holds assigned work if one exists
+            # (otherwise any live shard): the stream must finish regardless.
+            victim = next((shard for shard in engine._live_shards() if shard.pending),
+                          engine._live_shards()[0])
+            victim.process.kill()
+            outcomes.extend(stream)
+        assert repr(_rows_of(outcomes)) == repr(reference)
+        assert len(outcomes) == 20
+
+    def test_unresponsive_shard_times_out_and_work_is_reassigned(self):
+        video = _walker_video(num_walkers=8, duration=1200.0)
+        spec = ChunkSpec(window=TimeInterval(0, 1200), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        # The victim is frozen before it ever speaks, so it is judged
+        # against startup_grace; the survivor is protected by the same
+        # grace while it imports, then by answering pings.
+        engine = ShardedEngine(2, chunksize=2, heartbeat_interval=0.05,
+                               heartbeat_timeout=0.3, startup_grace=2.0)
+        stopped = {}
+
+        def instrumented():
+            for chunk in iter_chunks(video, spec):
+                if chunk.index == 3 and not stopped:
+                    # By the fourth pull at least one task is dispatched but
+                    # the worker (still starting up) cannot have answered;
+                    # SIGSTOP freezes it mid-assignment.
+                    victim = next(shard for shard in engine._live_shards()
+                                  if shard.pending)
+                    os.kill(victim.process.pid, signal.SIGSTOP)
+                    stopped["id"] = victim.id
+                yield chunk
+
+        with engine:
+            outcomes = list(engine.imap_chunks(runner, instrumented(), context))
+            assert repr(_rows_of(outcomes)) == repr(reference)
+            # The frozen shard was declared dead and its chunks redispatched.
+            assert stopped["id"] not in {shard.id for shard in engine._live_shards()}
+            assert engine.dispatch_stats.chunks > 20
+
+    def test_busy_shard_answers_heartbeats_and_is_not_killed(self):
+        # A task that outlives heartbeat_timeout must read as *busy*, not
+        # *dead*: the worker answers pings from its read loop while the
+        # task executes on a separate thread, so nothing is killed and
+        # nothing is redispatched.
+        video = _walker_video(num_walkers=2, duration=360.0)
+        spec = ChunkSpec(window=TimeInterval(0, 360), chunk_duration=60.0)
+        schema = Schema(columns=(ColumnSpec("value", DataType.NUMBER, 0.0),))
+        runner = SandboxRunner(SlowExecutable(simulated_runtime=0.0, real_sleep=0.4),
+                               schema, max_rows=5, timeout_seconds=30.0)
+        with ShardedEngine(2, chunksize=1, heartbeat_interval=0.05,
+                           heartbeat_timeout=0.2) as engine:
+            outcomes = list(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                               _context(video)))
+            assert len(outcomes) == 6
+            assert not any(outcome.fallback for outcome in outcomes)
+            assert len(engine._live_shards()) == 2   # nobody was declared dead
+            assert engine.dispatch_stats.chunks == 6  # nothing was redispatched
+
+    def test_dead_shards_are_replaced_on_the_next_stream(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        with ShardedEngine(2) as engine:
+            first = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                                context))
+            for shard in engine._live_shards():
+                shard.process.kill()
+            for shard in engine._shards.values():
+                shard.process.wait()
+            second = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                                 context))
+            assert repr(second) == repr(first)
+            assert len(engine._live_shards()) == 2
+
+    def test_all_shards_lost_raises_remote_shard_error(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        engine = ShardedEngine(2, max_task_retries=1)
+
+        def killing():
+            for chunk in iter_chunks(video, spec):
+                for shard in engine._live_shards():
+                    shard.process.kill()
+                yield chunk
+
+        with engine, pytest.raises(RemoteShardError):
+            list(engine.imap_chunks(runner, killing(), context))
+
+    def test_result_application_is_at_most_once(self):
+        # Pure coordinator-state test: the first result frame for a seq is
+        # applied, any later frame for the same seq (a reassigned task whose
+        # original shard was merely slow) is dropped.
+        engine = ShardedEngine(2)
+        shard = SimpleNamespace(id=0, alive=True, pending={}, last_seen=0.0,
+                                stats=DispatchStats(), process=None)
+        engine._shards[0] = shard
+        task = _ShardTask(seq=9, specs=[[0, 0, 0.0, 30.0, 1, None, None, None]],
+                          payload_path="unused", num_chunks=1)
+        engine._tasks[9] = task
+        shard.pending[9] = task
+        first = {"type": "result", "seq": 9,
+                 "outcomes": [{"rows": [{"kind": "a", "dy": 1.0}], "fallback": False,
+                               "cached": False}]}
+        duplicate = {"type": "result", "seq": 9,
+                     "outcomes": [{"rows": [{"kind": "b", "dy": 2.0}],
+                                   "fallback": False, "cached": False}]}
+        engine._handle_message(0, first)
+        engine._handle_message(0, duplicate)
+        assert [dict(row) for row in engine._ready[9][0].rows] \
+            == [{"kind": "a", "dy": 1.0}]
+        assert engine._tasks == {} and shard.pending == {}
+        # A result for a seq nobody is waiting on is ignored outright.
+        engine._handle_message(0, {"type": "result", "seq": 99, "outcomes": []})
+        assert 99 not in engine._ready
+
+
+class TestSharedStore:
+    def test_shared_spec_reduces_stores_to_their_disk_portion(self, tmp_path):
+        disk = DiskChunkStore(tmp_path / "d")
+        tiered = TieredChunkCache(disk=tmp_path / "t")
+        assert shared_spec(disk) == f"disk:{tmp_path / 'd'}"
+        assert shared_spec(tiered) == f"tiered:{tmp_path / 't'}"
+        assert shared_spec(ChunkResultCache()) is None
+        assert shared_spec(None) is None
+
+    def test_shards_write_through_to_the_shared_store(self, tmp_path):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        store_dir = tmp_path / "shared"
+        with ShardedEngine(2) as engine:
+            engine.share_store(DiskChunkStore(store_dir))
+            first = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                                context))
+            # Every successful chunk result landed in the shared directory.
+            assert len(DiskChunkStore(store_dir)) == 10
+            # A second sweep is served from the store, byte-identically.
+            second = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                                 context))
+        assert repr(second) == repr(first)
+
+    def test_system_wires_its_store_into_a_sharded_engine(self, tmp_path):
+        video = _walker_video()
+        store_dir = tmp_path / "store"
+        reference = _build_system(video, cache="memory").execute(_count_query())
+        with _build_system(video, engine="sharded:2",
+                           cache=f"tiered:{store_dir}") as system:
+            assert system.engine._store_spec == f"tiered:{store_dir}"
+            result = system.execute(_count_query())
+            stats = system.cache_stats()
+        assert result.raw_series_unsafe() == reference.raw_series_unsafe()
+        assert stats["misses"] == 10  # coordinator-side lookups all missed cold
+        # The shards wrote every entry through; the coordinator only
+        # promoted the rows into its memory tier (no second disk write),
+        # yet the shared directory holds the full result set.
+        assert stats["disk"]["writes"] == 0
+        assert stats["memory"]["entries"] == 10
+        assert len(DiskChunkStore(store_dir)) == 10
+
+    def test_caller_owned_engine_store_is_not_repointed(self, tmp_path):
+        # An engine instance may be shared between systems with different
+        # stores; only spec-string-built engines are auto-wired (the same
+        # ownership rule close() follows), so a system must never divert a
+        # caller-owned engine's write-through to its own directory.
+        with ShardedEngine(2) as engine:
+            engine.share_store(f"disk:{tmp_path / 'mine'}")
+            system = _build_system(_walker_video(num_walkers=2), engine=engine,
+                                   cache=f"tiered:{tmp_path / 'other'}")
+            assert engine._store_spec == f"disk:{tmp_path / 'mine'}"
+            system.close()
+
+    def test_memory_only_cache_is_not_shared(self):
+        with ShardedEngine(2) as engine:
+            engine.share_store(ChunkResultCache())
+            assert engine._store_spec is None

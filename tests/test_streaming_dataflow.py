@@ -351,6 +351,87 @@ class TestTieredStore:
         assert stats["hits"] == 2 and stats["misses"] == 0
 
 
+class TestHitClassification:
+    """Cache hits are classified in the outer loop of ``iter_chunk_rows``."""
+
+    class _ForbiddenEngine:
+        """An engine that fails the test if it is ever asked to execute."""
+
+        name = "forbidden"
+
+        def imap_chunks(self, runner, chunks, context, *, count_hint=None):
+            for _ in chunks:
+                raise AssertionError("the engine was driven on an all-warm window")
+                yield  # pragma: no cover - marks this as a generator
+
+    def _warm_setup(self, num_chunks=10):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 60.0 * num_chunks),
+                         chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        cache = ChunkResultCache()
+        expected = list(runner.iter_chunk_rows(iter_chunks(video, spec), context,
+                                               cache=cache))
+        assert cache.stats.misses == num_chunks
+        return video, spec, runner, context, cache, expected
+
+    def test_all_warm_window_yields_first_row_after_one_lookup(self):
+        # The ROADMAP "streaming refinement": time-to-first-row on a fully
+        # warm store must scale with one chunk's lookup, not with the engine
+        # window (or, before the fix, the whole hit run).
+        video, spec, runner, context, cache, expected = self._warm_setup()
+        state = {"pulled": 0}
+
+        def instrumented():
+            for chunk in iter_chunks(video, spec):
+                state["pulled"] += 1
+                yield chunk
+
+        stream = runner.iter_chunk_rows(instrumented(), context,
+                                        engine=self._ForbiddenEngine(),
+                                        cache=cache)
+        first = next(stream)
+        assert state["pulled"] == 1  # exactly one chunk classified
+        assert repr(first) == repr(expected[0])
+        rest = list(stream)
+        assert repr([first] + rest) == repr(expected)
+
+    def test_only_genuine_misses_reach_the_engine(self):
+        video, spec, runner, context, cache, expected = self._warm_setup()
+        # Evict three entries: exactly those chunks must reach the engine.
+        keys = [cache.key_for(runner, chunk, context)
+                for chunk in iter_chunks(video, spec)]
+        for index in (2, 3, 7):
+            cache._entries.pop(keys[index])
+        executed = []
+
+        class CountingEngine(SerialEngine):
+            def imap_chunks(self, engine_runner, chunks, engine_context, *,
+                            count_hint=None):
+                def traced():
+                    for chunk in chunks:
+                        executed.append(chunk.index)
+                        yield chunk
+                return super().imap_chunks(engine_runner, traced(), engine_context,
+                                           count_hint=count_hint)
+
+        rows = list(runner.iter_chunk_rows(iter_chunks(video, spec), context,
+                                           engine=CountingEngine(), cache=cache))
+        assert executed == [2, 3, 7]
+        assert repr(rows) == repr(expected)
+
+    def test_interleaved_hits_and_misses_stay_in_chunk_order(self):
+        video, spec, runner, context, cache, expected = self._warm_setup()
+        keys = [cache.key_for(runner, chunk, context)
+                for chunk in iter_chunks(video, spec)]
+        for index in (0, 4, 5, 9):  # misses at the head, middle and tail
+            cache._entries.pop(keys[index])
+        rows = list(runner.iter_chunk_rows(iter_chunks(video, spec), context,
+                                           cache=cache))
+        assert repr(rows) == repr(expected)
+        assert cache.stats.misses == 10 + 4  # warmup misses + the evicted four
+
+
 class TestSystemLifecycle:
     def test_close_shuts_down_spec_string_engine(self):
         system = _build_system(_walker_video(num_walkers=2), engine="thread:2")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Check that documentation links resolve.
+
+Scans the repo-root markdown files and ``docs/*.md`` for markdown links and
+verifies that every *relative* target exists — including ``#anchor``
+fragments, which must match a heading (GitHub slugification) in the target
+file.  External ``http(s)://`` links are not fetched (CI must not depend on
+the network); ``mailto:`` links are skipped.
+
+Exit status 0 when every link resolves, 1 otherwise (with one line per
+broken link).  Run from anywhere: paths are resolved against the repo root.
+
+Usage: ``python tools/check_docs.py``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — tolerates titles after a space.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks, removed before link extraction.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+#: Inline code spans, removed before link extraction.
+_CODE = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Every heading anchor of a markdown file (duplicate suffixes included)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING.finditer(path.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
+
+
+def iter_links(path: Path):
+    text = _CODE.sub("", _FENCE.sub("", path.read_text(encoding="utf-8")))
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                          f"-> {target} (no such path)")
+            continue
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                errors.append(f"{path.relative_to(REPO_ROOT)}: anchor link "
+                              f"-> {target} targets a non-markdown path")
+            elif anchor not in heading_slugs(resolved):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken anchor "
+                              f"-> {target} (no heading '#{anchor}')")
+    return errors
+
+
+def main() -> int:
+    documents = sorted(REPO_ROOT.glob("*.md")) + sorted((REPO_ROOT / "docs").glob("*.md"))
+    if not documents:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    links = 0
+    for document in documents:
+        links += sum(1 for _ in iter_links(document))
+        errors.extend(check_file(document))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_docs: {len(documents)} files, {links} links, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
