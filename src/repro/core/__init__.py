@@ -2,7 +2,7 @@
 
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
 from repro.core.noise import LaplaceMechanism
-from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.budget import BudgetRequest, FrameBudgetLedger, ServiceLedger
 from repro.core.cache import (
     CacheStats,
     ChunkResultCache,
@@ -22,7 +22,7 @@ from repro.core.engine import (
     engine_kinds,
     register_engine,
 )
-from repro.core.remote import ShardedEngine
+from repro.core.remote import PipeTransport, ShardedEngine, ShardTransport, TcpTransport
 from repro.core.degradation import (
     detection_probability_bound,
     effective_epsilon,
@@ -37,6 +37,7 @@ __all__ = [
     "LaplaceMechanism",
     "FrameBudgetLedger",
     "BudgetRequest",
+    "ServiceLedger",
     "CacheStats",
     "ChunkOutcome",
     "ChunkResultCache",
@@ -50,6 +51,9 @@ __all__ = [
     "ThreadPoolEngine",
     "ProcessPoolEngine",
     "ShardedEngine",
+    "ShardTransport",
+    "PipeTransport",
+    "TcpTransport",
     "create_engine",
     "engine_kinds",
     "register_engine",

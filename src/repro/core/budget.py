@@ -11,13 +11,25 @@ from disjoint budgets (Appendix E.2, Case 2).
 Storing a value per frame would not scale to year-long videos, so the ledger
 tracks *charged intervals* instead and answers "minimum remaining budget over
 an interval" by sweeping the charge boundaries.
+
+Two grains of accounting live here:
+
+* :class:`FrameBudgetLedger` — one camera's charges.  Check and charge are
+  atomic under a per-ledger lock, so concurrent queries cannot both pass the
+  admission check and then both charge past the budget.
+* :class:`ServiceLedger` — the per-camera ledger registry a long-lived
+  :class:`~repro.service.QueryService` shares across every query it runs.
+  Its :meth:`~ServiceLedger.admit_many` makes *multi-camera* admission
+  all-or-nothing under one cross-camera lock (check every camera, then
+  charge every camera, with no interleaving window).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
-from repro.errors import BudgetExceededError, PolicyError
+from repro.errors import BudgetExceededError, PolicyError, UnknownCameraError
 from repro.utils.timebase import TimeInterval
 
 
@@ -35,10 +47,17 @@ class BudgetRequest:
 
 @dataclass
 class FrameBudgetLedger:
-    """Tracks per-frame budget consumption for one camera."""
+    """Tracks per-frame budget consumption for one camera.
+
+    Thread-safe: readers and :meth:`admit` serialize on a per-ledger lock,
+    and admit's check-then-charge is one atomic step — two concurrent
+    queries racing for the last epsilon of a frame see exactly one winner.
+    """
 
     total_epsilon: float
     charges: list[tuple[TimeInterval, float]] = field(default_factory=list)
+    _lock: threading.RLock = field(default_factory=threading.RLock, init=False,
+                                   repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.total_epsilon <= 0:
@@ -75,9 +94,10 @@ class FrameBudgetLedger:
 
     def consumed_over(self, interval: TimeInterval) -> float:
         """Maximum epsilon consumed by any frame in ``interval``."""
-        if interval.duration <= 0:
-            return self._consumed_at(interval.start)
-        return max(self._consumed_at(point) for point in self._breakpoints(interval))
+        with self._lock:
+            if interval.duration <= 0:
+                return self._consumed_at(interval.start)
+            return max(self._consumed_at(point) for point in self._breakpoints(interval))
 
     def remaining_over(self, interval: TimeInterval) -> float:
         """Minimum remaining budget across frames in ``interval``."""
@@ -85,7 +105,22 @@ class FrameBudgetLedger:
 
     def remaining_at(self, timestamp: float) -> float:
         """Remaining budget of the frame at ``timestamp``."""
-        return self.total_epsilon - self._consumed_at(timestamp)
+        with self._lock:
+            return self.total_epsilon - self._consumed_at(timestamp)
+
+    def max_consumed(self) -> float:
+        """Highest epsilon consumed by any frame (0.0 on a fresh ledger).
+
+        Consumption only changes at charge boundaries, and the maximum of a
+        sum of half-open intervals is attained at some interval's start, so
+        sweeping the charge starts suffices.  Feeds the service-level budget
+        snapshot (``total - max_consumed`` = worst-frame remaining).
+        """
+        with self._lock:
+            if not self.charges:
+                return 0.0
+            return max(self._consumed_at(interval.start)
+                       for interval, _ in self.charges)
 
     def admit(self, requests: list[BudgetRequest], *, margin: float, charge: bool = True) -> None:
         """Admit (and by default charge) a query's releases, or raise untouched.
@@ -98,24 +133,121 @@ class FrameBudgetLedger:
         """
         if not requests:
             return
-        pending = [(request.interval, request.epsilon) for request in requests]
-        span = pending[0][0].expand(margin)
-        for interval, _ in pending[1:]:
-            span = span.union_span(interval.expand(margin))
-        for point in self._breakpoints(span, pending, expand_extra_by=margin):
-            consumed = self._consumed_at(point, pending, expand_extra_by=margin)
-            if consumed > self.total_epsilon + 1e-12:
-                raise BudgetExceededError(
-                    f"insufficient privacy budget at t={point:.1f}s: "
-                    f"required {consumed:.4f} exceeds total {self.total_epsilon:.4f}",
-                    interval=span,
-                    requested=consumed,
-                    available=self.total_epsilon,
-                )
-        if charge:
-            for request in requests:
-                self.charges.append((request.interval, request.epsilon))
+        with self._lock:
+            pending = [(request.interval, request.epsilon) for request in requests]
+            span = pending[0][0].expand(margin)
+            for interval, _ in pending[1:]:
+                span = span.union_span(interval.expand(margin))
+            for point in self._breakpoints(span, pending, expand_extra_by=margin):
+                consumed = self._consumed_at(point, pending, expand_extra_by=margin)
+                if consumed > self.total_epsilon + 1e-12:
+                    raise BudgetExceededError(
+                        f"insufficient privacy budget at t={point:.1f}s: "
+                        f"required {consumed:.4f} exceeds total {self.total_epsilon:.4f}",
+                        interval=span,
+                        requested=consumed,
+                        available=self.total_epsilon,
+                    )
+            if charge:
+                for request in requests:
+                    self.charges.append((request.interval, request.epsilon))
 
     def reset(self) -> None:
         """Forget all charges (used by tests and what-if analyses)."""
-        self.charges.clear()
+        with self._lock:
+            self.charges.clear()
+
+
+class ServiceLedger:
+    """Per-camera budget ledgers shared across every query of a deployment.
+
+    One instance backs one deployment's accounting: every
+    :class:`~repro.core.executor.PrividSystem` holds a ServiceLedger
+    (private by default, preserving the historical one-system-one-ledger
+    behaviour), and a :class:`~repro.service.QueryService` passes *the same
+    instance* to every per-query system so concurrent queries against the
+    same camera contend on one budget.
+
+    Thread-safety is layered: each :class:`FrameBudgetLedger` already makes
+    its own check-and-charge atomic, and :meth:`admit_many` additionally
+    holds a cross-camera lock around the whole check-all-then-charge-all
+    sequence, keeping multi-camera admission all-or-nothing even when
+    queries race (without it, two queries could interleave their per-camera
+    charges such that each passes its check but a camera ends up
+    over-charged, or a denied query leaves partial charges behind).
+    """
+
+    def __init__(self) -> None:
+        self._ledgers: dict[str, FrameBudgetLedger] = {}
+        self._lock = threading.RLock()
+
+    def register(self, camera: str, total_epsilon: float) -> FrameBudgetLedger:
+        """Get or create the ledger of ``camera`` (idempotent).
+
+        Re-registering with a different ``total_epsilon`` is a
+        :class:`~repro.errors.PolicyError`: the budget is the *camera's*
+        property, and a second query must not silently re-budget frames
+        other queries already drew from.
+        """
+        with self._lock:
+            ledger = self._ledgers.get(camera)
+            if ledger is None:
+                ledger = FrameBudgetLedger(total_epsilon=total_epsilon)
+                self._ledgers[camera] = ledger
+            elif abs(ledger.total_epsilon - total_epsilon) > 1e-12:
+                raise PolicyError(
+                    f"camera {camera!r} is already budgeted at "
+                    f"{ledger.total_epsilon} epsilon/frame; cannot re-register "
+                    f"it at {total_epsilon}")
+            return ledger
+
+    def ledger(self, camera: str) -> FrameBudgetLedger:
+        """The ledger of a registered camera."""
+        with self._lock:
+            if camera not in self._ledgers:
+                raise UnknownCameraError(
+                    f"no budget ledger for camera {camera!r}; "
+                    f"registered: {sorted(self._ledgers)}")
+            return self._ledgers[camera]
+
+    def cameras(self) -> tuple[str, ...]:
+        """Names of every camera with a ledger, sorted."""
+        with self._lock:
+            return tuple(sorted(self._ledgers))
+
+    def admit_many(self, requests_by_camera: dict[str, list[BudgetRequest]],
+                   margins: dict[str, float], *, charge: bool = True) -> None:
+        """Atomically admit one query's demands across all its cameras.
+
+        Checks every camera first (``charge=False`` passes), then charges
+        every camera, all under the cross-camera lock — the all-or-nothing
+        admission of Algorithm 1, made race-free.  Raises
+        :class:`~repro.errors.BudgetExceededError` leaving every ledger
+        untouched if any camera lacks budget.
+        """
+        with self._lock:
+            for camera, requests in requests_by_camera.items():
+                self.ledger(camera).admit(
+                    requests, margin=margins.get(camera, 0.0), charge=False)
+            if not charge:
+                return
+            for camera, requests in requests_by_camera.items():
+                self.ledger(camera).admit(
+                    requests, margin=margins.get(camera, 0.0), charge=True)
+
+    def remaining_over(self, camera: str, interval: TimeInterval) -> float:
+        """Minimum remaining budget of ``camera`` over ``interval``."""
+        return self.ledger(camera).remaining_over(interval)
+
+    def snapshot(self) -> dict[str, dict[str, float | int]]:
+        """Point-in-time budget accounting per camera (for service stats).
+
+        ``remaining_min`` is the worst frame's remaining epsilon — the
+        number that gates the most-contended query.
+        """
+        with self._lock:
+            ledgers = dict(self._ledgers)
+        return {camera: {"total_epsilon": ledger.total_epsilon,
+                         "remaining_min": ledger.total_epsilon - ledger.max_consumed(),
+                         "charges": len(ledger.charges)}
+                for camera, ledger in sorted(ledgers.items())}

@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
@@ -180,6 +181,9 @@ class ChunkResultCache:
     their tables without corrupting cached entries.  ``max_entries`` bounds
     memory; eviction is true LRU — a ``get`` refreshes the entry's recency
     (move-to-end), so a hot key survives any number of cold inserts.
+    Thread-safe: a service deployment shares one memory tier across
+    concurrent query threads, and LRU reordering during a concurrent insert
+    would otherwise corrupt the OrderedDict.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
@@ -187,10 +191,12 @@ class ChunkResultCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: OrderedDict[str, tuple[dict[str, Any], ...]] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key_for(self, runner: "SandboxRunner", chunk: "Chunk",
                 context: "ExecutionContext") -> str:
@@ -199,21 +205,24 @@ class ChunkResultCache:
 
     def get(self, key: str) -> ChunkRows | None:
         """Rows cached under ``key`` (a fresh copy), or None on a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
         return [dict(row) for row in entry]
 
     def put(self, key: str, rows: ChunkRows) -> None:
         """Store the rows of one chunk execution under ``key``."""
-        self._entries[key] = tuple(dict(row) for row in rows)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        entry = tuple(dict(row) for row in rows)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def promote(self, key: str, rows: ChunkRows) -> None:
         """Adopt rows already persisted elsewhere (this *is* the hot tier)."""
@@ -221,15 +230,18 @@ class ChunkResultCache:
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``reset_stats`` for those)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
-        self.stats = CacheStats()
+        with self._lock:
+            self.stats = CacheStats()
 
     def stats_dict(self) -> dict[str, Any]:
         """Counters plus the live entry count, for ``PrividSystem.cache_stats``."""
-        return {**self.stats.as_dict(), "entries": len(self._entries)}
+        with self._lock:
+            return {**self.stats.as_dict(), "entries": len(self._entries)}
 
 
 #: On-disk entry format version; bump on any change to the serialization so

@@ -59,6 +59,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import uuid
 from collections import OrderedDict, deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -90,12 +91,16 @@ class ChunkOutcome:
     chunk store (sharded shards write through — see
     :meth:`repro.core.remote.ShardedEngine.share_store`), so the caller
     should only promote them into its memory tier instead of writing the
-    same entry to disk again.
+    same entry to disk again.  ``cache_hit`` marks rows a shard served from
+    its local view of the shared store without executing at all
+    (coordinator-cold / disk-warm keys) — an observability flag that never
+    changes the rows.
     """
 
     rows: "list[dict[str, Any]] | ColumnarRows"
     fallback: bool = False
     stored: bool = False
+    cache_hit: bool = False
 
 
 def execute_chunk(runner: "SandboxRunner", chunk: "Chunk",
@@ -468,11 +473,17 @@ class ThreadPoolEngine:
     name: str = field(default="thread", init=False)
     _pool: ThreadPoolExecutor | None = field(default=None, init=False, repr=False,
                                              compare=False)
+    _pool_lock: threading.Lock = field(default_factory=threading.Lock, init=False,
+                                       repr=False, compare=False)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers or _default_workers())
-        return self._pool
+        # Locked: a service-layer engine is driven by concurrent query
+        # threads, and two first-users must not each build a pool.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers or _default_workers())
+            return self._pool
 
     def _window(self) -> int:
         if self.in_flight_window is not None:
@@ -549,12 +560,15 @@ class ProcessPoolEngine:
                                           repr=False, compare=False)
     _pool: ProcessPoolExecutor | None = field(default=None, init=False, repr=False,
                                               compare=False)
+    _pool_lock: threading.Lock = field(default_factory=threading.Lock, init=False,
+                                       repr=False, compare=False)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers or _default_workers())
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers or _default_workers())
+            return self._pool
 
     def _effective_chunksize(self, count_hint: int | None) -> int:
         if self.chunksize is not None:
@@ -621,21 +635,32 @@ class ProcessPoolEngine:
 
 
 #: Factory signature of a registered engine kind: receives the parsed
-#: ``:N`` worker count (or None when the spec had no suffix) and returns a
-#: ready engine instance.
-EngineFactory = Callable[[int | None], ExecutionEngine]
+#: ``:N`` worker count, the raw suffix string when it is not an integer
+#: (transport addresses like ``sharded:hostA:9101,hostB:9101``), or None
+#: when the spec had no suffix — and returns a ready engine instance.
+EngineFactory = Callable[[int | str | None], ExecutionEngine]
 
 _ENGINE_FACTORIES: dict[str, EngineFactory] = {}
+
+
+def _int_worker_count(kind: str, workers: int | str | None) -> int | None:
+    """Reject non-integer spec suffixes for kinds that only take ``:N``."""
+    if isinstance(workers, str):
+        raise ValueError(
+            f"invalid engine worker count {workers!r} in a {kind!r} spec")
+    return workers
 
 
 def register_engine(kind: str, factory: EngineFactory, *, replace: bool = False) -> None:
     """Register an engine kind under the name spec strings select it by.
 
     ``create_engine(f"{kind}[:N]")`` will call ``factory(N)`` (``N`` is None
-    when the spec has no worker suffix).  The registry is how new execution
-    backends plug in behind the engine seam without the executor knowing
-    them — :class:`repro.core.remote.ShardedEngine` registers as
-    ``"sharded"`` this way, and deployments can add their own.
+    when the spec has no worker suffix; a suffix that is not an integer is
+    passed through as the raw string, so kinds like ``sharded`` can accept
+    transport addresses).  The registry is how new execution backends plug
+    in behind the engine seam without the executor knowing them —
+    :class:`repro.core.remote.ShardedEngine` registers as ``"sharded"``
+    this way, and deployments can add their own.
     """
     key = kind.strip().lower()
     if not key:
@@ -652,34 +677,40 @@ def engine_kinds() -> tuple[str, ...]:
     return tuple(sorted(_ENGINE_FACTORIES))
 
 
-def _make_serial(workers: int | None) -> ExecutionEngine:
-    if workers is not None:
+def _make_serial(workers: int | str | None) -> ExecutionEngine:
+    if _int_worker_count("serial", workers) is not None:
         raise ValueError("the serial engine takes no worker count")
     return SerialEngine()
 
 
-def _make_sharded(workers: int | None) -> ExecutionEngine:
+def _make_sharded(workers: int | str | None) -> ExecutionEngine:
     # Imported lazily: remote builds on this module, so the registry entry
     # must not import it at load time.
-    from repro.core.remote import ShardedEngine
+    from repro.core.remote import sharded_engine_from_spec
 
-    return ShardedEngine(num_shards=workers)
+    return sharded_engine_from_spec(workers)
 
 
 register_engine("serial", _make_serial)
-register_engine("thread", lambda workers: ThreadPoolEngine(max_workers=workers))
-register_engine("process", lambda workers: ProcessPoolEngine(max_workers=workers))
+register_engine("thread", lambda workers: ThreadPoolEngine(
+    max_workers=_int_worker_count("thread", workers)))
+register_engine("process", lambda workers: ProcessPoolEngine(
+    max_workers=_int_worker_count("process", workers)))
 register_engine("sharded", _make_sharded)
 
 
 def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:
     """Build an engine from a spec string (``serial``, ``thread[:N]``,
-    ``process[:N]``, ``sharded[:N]``, or any :func:`register_engine` kind).
+    ``process[:N]``, ``sharded[:N]``, ``sharded:tcp[:N]``,
+    ``sharded:HOST:PORT[,HOST:PORT...]``, or any :func:`register_engine`
+    kind).
 
     Passing an engine instance returns it unchanged; ``None`` or an empty
     string yields the default :class:`SerialEngine`.  The optional ``:N``
     suffix fixes the worker (or shard) count (e.g. ``thread:8``,
-    ``sharded:4``).  This is the value of the ``engine=`` argument of
+    ``sharded:4``); a non-integer suffix is handed to the kind's factory
+    verbatim, which is how the sharded engine's TCP transport specs ride
+    the same seam.  This is the value of the ``engine=`` argument of
     ``PrividSystem`` and of the ``PRIVID_ENGINE`` benchmark knob.
     """
     if spec is None:
@@ -690,13 +721,13 @@ def create_engine(spec: str | ExecutionEngine | None) -> ExecutionEngine:
     if text == "":
         return SerialEngine()
     kind, _, workers_text = text.partition(":")
-    workers: int | None = None
+    workers: int | str | None = None
     if workers_text:
         try:
             workers = int(workers_text)
-        except ValueError as exc:
-            raise ValueError(f"invalid engine worker count in spec {spec!r}") from exc
-        if workers <= 0:
+        except ValueError:
+            workers = workers_text  # transport suffix; the factory decides
+        if isinstance(workers, int) and workers <= 0:
             raise ValueError(f"engine worker count must be positive in spec {spec!r}")
     factory = _ENGINE_FACTORIES.get(kind)
     if factory is None:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterator
 
-from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.budget import BudgetRequest, FrameBudgetLedger, ServiceLedger
 from repro.core.cache import ChunkStore, create_cache
 from repro.core.engine import ExecutionEngine, create_engine
 from repro.core.noise import LaplaceMechanism
@@ -87,16 +87,56 @@ class _TableSource:
     policy: PrivacyPolicy
 
 
+def _requests_span(requests: list[BudgetRequest]) -> TimeInterval:
+    """Smallest interval covering every request (for post-charge reporting)."""
+    span = requests[0].interval
+    for request in requests[1:]:
+        span = span.union_span(request.interval)
+    return span
+
+
+def engine_stats_dict(engine: ExecutionEngine) -> dict[str, Any]:
+    """Engine identity and dispatch accounting, always a dict.
+
+    Shared by :meth:`PrividSystem.engine_stats` and
+    :meth:`repro.service.QueryService.stats`, so a deployment reports the
+    same shape whichever layer is asked.
+    """
+    stats: dict[str, Any] = {"engine": getattr(engine, "name", "unknown")}
+    stats_dict = getattr(engine, "dispatch_stats_dict", None)
+    if stats_dict is not None:
+        stats["dispatch"] = stats_dict()
+    else:
+        dispatch = getattr(engine, "dispatch_stats", None)
+        if dispatch is not None:
+            stats["dispatch"] = dispatch.as_dict()
+    return stats
+
+
+def cache_stats_dict(cache: ChunkStore | None) -> dict[str, Any]:
+    """Chunk-store counters, always a dict (``{"enabled": False}`` when off)."""
+    if cache is None:
+        return {"enabled": False}
+    return {"enabled": True, **cache.stats_dict()}
+
+
 class PrividSystem:
     """A deployment of Privid over a set of registered cameras."""
 
     def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None,
                  engine: ExecutionEngine | str | None = None,
-                 cache: ChunkStore | str | None = None) -> None:
+                 cache: ChunkStore | str | None = None,
+                 ledger: ServiceLedger | None = None) -> None:
         self.random = RandomSource(seed, path="privid")
         self.mechanism = LaplaceMechanism(self.random)
         self.registry = registry if registry is not None else default_registry()
         self.cameras: dict[str, CameraRegistration] = {}
+        #: Per-camera budget accounting.  Private per system by default (the
+        #: historical behaviour); a :class:`~repro.service.QueryService`
+        #: passes one shared :class:`~repro.core.budget.ServiceLedger` to
+        #: every per-query system so concurrent queries draw from the same
+        #: budgets.
+        self.ledger = ledger if ledger is not None else ServiceLedger()
         #: Engine scheduling the independent per-chunk executions; accepts an
         #: instance or a spec string ('serial', 'thread[:N]', 'process[:N]',
         #: 'sharded[:N]', or any kind added via
@@ -151,7 +191,10 @@ class PrividSystem:
             name=name,
             video=video,
             policy_map=policy_map,
-            ledger=FrameBudgetLedger(total_epsilon=epsilon_budget),
+            # Get-or-create on the (possibly shared) service ledger: under a
+            # QueryService, the second system registering this camera binds
+            # to the same FrameBudgetLedger the first one created.
+            ledger=self.ledger.register(name, epsilon_budget),
             region_schemes=dict(region_schemes or {}),
             detector_config=detector_config or DetectorConfig(),
             tracker_config=tracker_config or TrackerConfig(),
@@ -184,9 +227,7 @@ class PrividSystem:
         True alongside the store's flat hit/miss counters, and a tiered
         store additionally reports per-tier ``memory`` / ``disk`` sub-stats.
         """
-        if self.chunk_cache is None:
-            return {"enabled": False}
-        return {"enabled": True, **self.chunk_cache.stats_dict()}
+        return cache_stats_dict(self.chunk_cache)
 
     def engine_stats(self) -> dict[str, Any]:
         """Engine identity and dispatch accounting, always a dict.
@@ -197,15 +238,7 @@ class PrividSystem:
         ``per_shard`` breakdown (the numbers behind the ``sharded`` sweep in
         ``BENCH_pipeline.json``).
         """
-        stats: dict[str, Any] = {"engine": getattr(self.engine, "name", "unknown")}
-        stats_dict = getattr(self.engine, "dispatch_stats_dict", None)
-        if stats_dict is not None:
-            stats["dispatch"] = stats_dict()
-        else:
-            dispatch = getattr(self.engine, "dispatch_stats", None)
-            if dispatch is not None:
-                stats["dispatch"] = dispatch.as_dict()
-        return stats
+        return engine_stats_dict(self.engine)
 
     def close(self) -> None:
         """Release execution resources this system created.
@@ -422,15 +455,20 @@ class PrividSystem:
                     margin = max(margins.get(source.camera.name, 0.0), source.policy.rho)
                     margins[source.camera.name] = margin
 
+        budget_remaining: dict[str, float] | None = None
         if charge_budget:
-            for camera_name, requests in requests_by_camera.items():
-                self.camera(camera_name).ledger.admit(
-                    requests, margin=margins.get(camera_name, 0.0), charge=False)
-            for camera_name, requests in requests_by_camera.items():
-                self.camera(camera_name).ledger.admit(
-                    requests, margin=margins.get(camera_name, 0.0), charge=True)
+            # All-or-nothing multi-camera admission, atomic under the
+            # (possibly service-shared) ledger's cross-camera lock: check
+            # every camera, then charge every camera, with no window for a
+            # concurrent query to interleave.
+            self.ledger.admit_many(requests_by_camera, margins)
+            budget_remaining = {
+                camera_name: self.camera(camera_name).ledger.remaining_over(
+                    _requests_span(requests))
+                for camera_name, requests in sorted(requests_by_camera.items())}
 
-        result = QueryResult(query_name=query.name)
+        result = QueryResult(query_name=query.name,
+                             budget_remaining=budget_remaining)
         for select, releases, group, bucket, table_sources, epsilon in prepared:
             for release in releases:
                 source_intervals = self._source_intervals(release, group, bucket, table_sources)
@@ -493,7 +531,9 @@ class PrividSystem:
         """
         fresh = QueryResult(query_name=result.query_name,
                             epsilon_consumed=result.epsilon_consumed,
-                            metadata=dict(result.metadata))
+                            metadata=dict(result.metadata),
+                            budget_remaining=dict(result.budget_remaining)
+                            if result.budget_remaining else None)
         for release in result.releases:
             if release.kind == ReleaseKind.ARGMAX.value:
                 if release.candidates:

@@ -10,12 +10,24 @@ behaves byte-for-byte like ``engine="serial"`` (the hashing determinism
 contract makes chunk results order- and placement-independent; see
 ``docs/architecture.md``).
 
-Each shard is a subprocess running this module's worker entrypoint
-(``python -m repro.core.remote``) and speaking a small length-prefixed JSON
-protocol over its stdin/stdout pipes.  A subprocess-over-pipes shard is the
-single-host stand-in for a remote host: the protocol is byte-oriented and
-JSON-typed precisely so the transport could be swapped for a TCP socket
-without touching either endpoint.
+Each shard speaks a small length-prefixed JSON protocol over a
+:class:`ShardTransport` — the byte-stream seam between the coordinator and
+one executor worker.  Two transports ship:
+
+* :class:`PipeTransport` — a subprocess running this module's worker
+  entrypoint (``python -m repro.core.remote``), framed over its stdin/stdout
+  pipes.  The single-host default: shards live and die with the coordinator.
+* :class:`TcpTransport` — a socket connection to a shard *daemon*
+  (``python -m repro.core.remote --listen HOST:PORT``), so shards genuinely
+  live on other hosts.  ``ShardedEngine.connect(["hostA:9101", ...])`` (spec
+  string ``sharded:hostA:9101,hostB:9101``) attaches to already-running
+  daemons; ``ShardedEngine.local_tcp(N)`` (spec ``sharded:tcp[:N]``) spawns
+  N localhost daemons and connects to them — the same wire path as a real
+  multi-host deployment, self-contained enough for tests and CI.
+
+The protocol is byte-oriented and JSON-typed precisely so the two transports
+are interchangeable: neither endpoint can tell pipes from sockets, and every
+frame format below is identical on both.
 
 Wire protocol
 =============
@@ -53,15 +65,16 @@ Coordinator -> shard:
 Shard -> coordinator:
 
 ``{"type": "result", "seq": S, "outcomes": [{"rows": [...], "fallback": F,
-"cached": C, "stored": W}, ...]}``
+"cache_hit": C, "stored": W}, ...]}``
     One outcome per spec of task ``S``, in spec order.  Rows are the
     schema-coerced row dicts (JSON-safe by construction — the on-disk store
     serializes the very same shape); ``fallback`` marks crash/timeout
-    default rows, ``cached`` marks rows served from the shard-local store,
-    and ``stored`` marks rows that already live in the shared store (served
-    from it or written through), so the coordinator's cache layer only
-    promotes them into its memory tier instead of re-writing the disk
-    entry.
+    default rows, ``cache_hit`` marks rows the shard served from its local
+    view of the shared store *without executing* (the coordinator counts
+    these as ``shard_cache_hits``), and ``stored`` marks rows that already
+    live in the shared store (served from it or written through), so the
+    coordinator's cache layer only promotes them into its memory tier
+    instead of re-writing the disk entry.
 ``{"type": "pong", "token": T}``
     Heartbeat reply.
 ``{"type": "error", "seq": S, "message": TEXT}``
@@ -89,9 +102,11 @@ next stream, not mid-stream.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import queue
+import socket
 import struct
 import subprocess
 import sys
@@ -101,7 +116,8 @@ import traceback
 import warnings
 from collections import deque
 from itertools import chain
-from typing import TYPE_CHECKING, Any, BinaryIO, Iterable, Iterator, Sized
+from typing import TYPE_CHECKING, Any, BinaryIO, Callable, Iterable, Iterator, \
+    Protocol, Sized, runtime_checkable
 
 import repro
 from repro.core.engine import (
@@ -172,6 +188,237 @@ def write_frame(stream: BinaryIO, message: dict[str, Any]) -> int:
     return len(data)
 
 
+# ----------------------------------------------------------------- transports
+
+
+def _worker_env() -> dict[str, str]:
+    """Environment for a spawned worker: this library importable on PYTHONPATH."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+    return env
+
+
+#: Command line of a worker process.  -c rather than -m: runpy would
+#: re-execute a module the repro.core package __init__ already imported
+#: (and warn about it).  Extra arguments are forwarded to :func:`main`.
+_WORKER_COMMAND = [sys.executable, "-c",
+                   "from repro.core.remote import main; main()"]
+
+
+@runtime_checkable
+class ShardTransport(Protocol):
+    """The byte-stream seam between the coordinator and one shard worker.
+
+    A transport moves whole protocol frames in both directions and answers
+    liveness questions about its far end; everything above it — dispatch,
+    heartbeats, reassignment, at-most-once application — is
+    transport-agnostic.  ``read`` blocks until a frame arrives and returns
+    None on a clean or torn EOF (worker exit, socket disconnect); ``write``
+    raises :class:`OSError` when the far end is gone.  ``process`` is the
+    worker subprocess when this transport owns one (pipe workers, locally
+    spawned TCP daemons) and None for a connection to a foreign daemon.
+    """
+
+    description: str
+    process: subprocess.Popen | None
+
+    def read(self) -> dict[str, Any] | None:
+        """Blocking read of one frame; None once the stream is finished."""
+        ...  # pragma: no cover - protocol
+
+    def write(self, message: dict[str, Any]) -> int:
+        """Send one frame; returns its wire bytes, raises OSError when dead."""
+        ...  # pragma: no cover - protocol
+
+    def is_alive(self) -> bool:
+        """Cheap non-blocking liveness probe (no I/O beyond a process poll)."""
+        ...  # pragma: no cover - protocol
+
+    def kill(self) -> None:
+        """Force-terminate the far end (or at least this connection to it)."""
+        ...  # pragma: no cover - protocol
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: ask the worker to exit, escalate after timeout."""
+        ...  # pragma: no cover - protocol
+
+
+class PipeTransport:
+    """A shard worker subprocess framed over its stdin/stdout pipes.
+
+    The original (and default) transport: the worker runs this module's
+    pipe-mode entrypoint, lives exactly as long as the coordinator wants it
+    to, and is killed outright when declared dead.  Behaviour-preserving
+    with respect to the pre-seam engine: same command line, same
+    environment, same shutdown escalation.
+    """
+
+    def __init__(self) -> None:
+        self.process: subprocess.Popen = subprocess.Popen(
+            _WORKER_COMMAND, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=_worker_env())
+        self.description = f"pipe:pid={self.process.pid}"
+
+    def read(self) -> dict[str, Any] | None:
+        stream = self.process.stdout
+        assert stream is not None
+        return read_frame(stream)
+
+    def write(self, message: dict[str, Any]) -> int:
+        stdin = self.process.stdin
+        assert stdin is not None
+        return write_frame(stdin, message)
+
+    def is_alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except OSError:
+            pass
+
+    def close(self, timeout: float = 5.0) -> None:
+        try:
+            self.write({"type": "shutdown"})
+            assert self.process.stdin is not None
+            self.process.stdin.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+class TcpTransport:
+    """A socket connection to a shard daemon (``--listen`` mode).
+
+    The multi-host transport: the daemon may be on any reachable host, and
+    several coordinators may hold connections to it at once (it serves each
+    connection independently).  ``kill`` severs this connection — which the
+    daemon survives, unless this transport spawned it locally and therefore
+    owns the process.  Socket errors on read surface as EOF, so a vanished
+    daemon looks exactly like an exited pipe worker to the layers above.
+    """
+
+    def __init__(self, host: str, port: int, *, connect_timeout: float = 10.0,
+                 process: subprocess.Popen | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.process = process
+        self.description = f"tcp://{host}:{port}"
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=connect_timeout)
+        except OSError:
+            # A connection that never opened must not leave a daemon this
+            # factory already spawned running forever.
+            if process is not None:
+                try:
+                    process.kill()
+                except OSError:
+                    pass
+            raise
+        self._sock.settimeout(None)
+        self._rfile: BinaryIO = self._sock.makefile("rb")
+        self._wfile: BinaryIO = self._sock.makefile("wb")
+
+    def read(self) -> dict[str, Any] | None:
+        try:
+            return read_frame(self._rfile)
+        except (OSError, ValueError):
+            # A reset or locally closed socket reads as EOF: the coordinator
+            # handles both through the same death path.
+            return None
+
+    def write(self, message: dict[str, Any]) -> int:
+        if self._closed:
+            raise OSError("transport is closed")
+        return write_frame(self._wfile, message)
+
+    def is_alive(self) -> bool:
+        if self._closed:
+            return False
+        if self.process is not None and self.process.poll() is not None:
+            return False
+        return True
+
+    def _teardown(self) -> None:
+        self._closed = True
+        for close in (self._wfile.close, self._rfile.close, self._sock.close):
+            try:
+                close()
+            except OSError:
+                pass
+
+    def kill(self) -> None:
+        self._teardown()
+        if self.process is not None:
+            try:
+                self.process.kill()
+            except OSError:
+                pass
+
+    def close(self, timeout: float = 5.0) -> None:
+        try:
+            self.write({"type": "shutdown"})
+        except (OSError, ValueError):
+            pass
+        self._teardown()
+        if self.process is not None:
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+#: Marker line a daemon prints on stdout once its listening socket is bound;
+#: the local-TCP factory parses the host and port off it (port 0 requests).
+_LISTENING_MARKER = "PRIVID-SHARD-LISTENING"
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (port required; host defaults to all interfaces)."""
+    host, separator, port_text = text.strip().rpartition(":")
+    if not separator:
+        raise ValueError(f"shard address {text!r} is not of the form HOST:PORT")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid port in shard address {text!r}") from exc
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in shard address {text!r}")
+    return host or "0.0.0.0", port
+
+
+def spawn_local_daemon(host: str = "127.0.0.1") -> TcpTransport:
+    """Spawn a shard daemon on an ephemeral localhost port and connect to it.
+
+    The transport of ``sharded:tcp[:N]``: every byte crosses a real socket
+    (exercising the exact multi-host wire path) while lifecycle stays as
+    self-contained as the pipe transport — the daemon is owned by the
+    returned transport and dies with it.
+    """
+    process = subprocess.Popen(_WORKER_COMMAND + ["--listen", f"{host}:0"],
+                               stdout=subprocess.PIPE, env=_worker_env())
+    assert process.stdout is not None
+    line = process.stdout.readline().decode("utf-8", "replace").split()
+    if len(line) != 3 or line[0] != _LISTENING_MARKER:
+        try:
+            process.kill()
+        except OSError:
+            pass
+        raise RemoteShardError(
+            "shard daemon failed to start (no listening announcement)")
+    return TcpTransport(line[1], int(line[2]), process=process)
+
+
 # --------------------------------------------------------------- shard worker
 
 
@@ -198,15 +445,18 @@ def _handle_task(message: dict[str, Any], store: "ChunkStore | None") -> dict[st
             key = chunk_key(runner, chunk, context)
             rows = store.get(key)
         if rows is not None:
+            # Shard-side cache classification: a coordinator-cold but
+            # disk-warm key skips the execute entirely — the shard's local
+            # view of the shared tier already holds the rows.
             outcomes.append({"rows": [dict(row) for row in rows],
-                             "fallback": False, "cached": True, "stored": True})
+                             "fallback": False, "cache_hit": True, "stored": True})
             continue
         outcome = execute_chunk(runner, chunk, context)
         stored = store is not None and key is not None and not outcome.fallback
         if stored:
             store.put(key, outcome.rows)
         outcomes.append({"rows": [dict(row) for row in outcome.rows],
-                         "fallback": outcome.fallback, "cached": False,
+                         "fallback": outcome.fallback, "cache_hit": False,
                          "stored": stored})
     return {"type": "result", "seq": message["seq"], "outcomes": outcomes}
 
@@ -292,13 +542,67 @@ def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
         executor.join(timeout=5.0)
 
 
-def main() -> None:
+def _serve_connection(connection: socket.socket) -> None:
+    """Serve one coordinator connection of a TCP daemon until it ends."""
+    rfile = connection.makefile("rb")
+    wfile = connection.makefile("wb")
+    try:
+        serve(rfile, wfile)
+    except OSError:
+        pass
+    finally:
+        for close in (wfile.close, rfile.close, connection.close):
+            try:
+                close()
+            except OSError:
+                pass
+
+
+def listen(address: str) -> None:
+    """Daemon mode: accept coordinator connections and serve each one.
+
+    Binds ``HOST:PORT`` (port 0 picks an ephemeral port), announces the
+    bound address on stdout as ``PRIVID-SHARD-LISTENING HOST PORT``, then
+    serves every accepted connection on its own thread — a long-lived shard
+    host several coordinators can attach to concurrently, each getting an
+    independent worker loop.  Runs until the process is terminated.
+    """
+    host, port = parse_address(address)
+    server = socket.create_server((host, port))
+    bound = server.getsockname()
+    print(f"{_LISTENING_MARKER} {bound[0]} {bound[1]}", flush=True)
+    try:
+        while True:
+            connection, _ = server.accept()
+            threading.Thread(target=_serve_connection, args=(connection,),
+                             name="privid-shard-connection", daemon=True).start()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.close()
+
+
+def main(argv: list[str] | None = None) -> None:
     """Entrypoint of ``python -m repro.core.remote`` (one shard worker).
 
-    The protocol owns fd 1, so the original stdout is duplicated for frames
-    and fd 1 is redirected to stderr — an executable that prints can never
-    corrupt the frame stream.
+    Without arguments, runs the pipe-mode worker: the protocol owns fd 1, so
+    the original stdout is duplicated for frames and fd 1 is redirected to
+    stderr — an executable that prints can never corrupt the frame stream.
+    With ``--listen HOST:PORT``, runs the TCP daemon instead (socket frames
+    need no fd juggling; prints go to the daemon's own stdout/stderr).
     """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.remote",
+        description="Privid executor shard worker (pipe mode) or daemon "
+                    "(--listen mode).")
+    parser.add_argument("--listen", metavar="HOST:PORT", default=None,
+                        help="run as a TCP shard daemon bound to HOST:PORT "
+                             "(port 0 picks an ephemeral port, announced on "
+                             "stdout) instead of a stdin/stdout pipe worker")
+    args = parser.parse_args(argv)
+    if args.listen is not None:
+        listen(args.listen)
+        return
     protocol_out = os.fdopen(os.dup(1), "wb")
     os.dup2(2, 1)
     sys.stdout = sys.stderr
@@ -324,28 +628,24 @@ class _ShardTask:
 
 
 class _Shard:
-    """One executor shard: the worker subprocess plus its reader thread.
+    """One executor shard: a :class:`ShardTransport` plus its reader thread.
 
-    The reader thread decodes frames off the shard's stdout into the
-    engine-wide inbox queue as ``(shard_id, message)`` pairs, pushing
-    ``(shard_id, None)`` once on EOF so the coordinator observes death in
-    the same mailbox as results.  Sending happens only from the coordinator
-    thread, so writes need no lock.
+    The reader thread decodes frames off the transport into the engine-wide
+    inbox queue as ``(shard_id, message)`` pairs, pushing ``(shard_id,
+    None)`` once on EOF so the coordinator observes death in the same
+    mailbox as results.  Sending happens only under the engine lock, so
+    writes need no lock of their own.  ``slot`` is the transport-factory
+    index this shard fills in address-pinned (TCP) mode, None for the
+    interchangeable pipe workers.
     """
 
-    def __init__(self, shard_id: int, inbox: "queue.Queue[tuple[int, Any]]",
-                 stats: DispatchStats) -> None:
+    def __init__(self, shard_id: int, transport: ShardTransport,
+                 inbox: "queue.Queue[tuple[int, Any]]", stats: DispatchStats,
+                 *, slot: int | None = None) -> None:
         self.id = shard_id
+        self.slot = slot
+        self.transport = transport
         self.stats = stats
-        env = dict(os.environ)
-        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
-        # -c rather than -m: runpy would re-execute a module the
-        # repro.core package __init__ already imported (and warn about it).
-        self.process = subprocess.Popen(
-            [sys.executable, "-c", "from repro.core.remote import main; main()"],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env)
         self.pending: dict[int, _ShardTask] = {}
         self.last_seen = time.monotonic()
         self.alive = True
@@ -358,12 +658,15 @@ class _Shard:
                                         daemon=True)
         self._reader.start()
 
+    @property
+    def process(self) -> subprocess.Popen | None:
+        """The worker subprocess, when this shard's transport owns one."""
+        return self.transport.process
+
     def _read_loop(self, inbox: "queue.Queue[tuple[int, Any]]") -> None:
-        stream = self.process.stdout
-        assert stream is not None
         try:
             while True:
-                message = read_frame(stream)
+                message = self.transport.read()
                 if message is None:
                     break
                 inbox.put((self.id, message))
@@ -373,24 +676,12 @@ class _Shard:
 
     def send(self, message: dict[str, Any]) -> int:
         """Write one frame to the shard; returns the frame's wire bytes."""
-        stdin = self.process.stdin
-        assert stdin is not None
-        return write_frame(stdin, message)
+        return self.transport.write(message)
 
     def close(self, timeout: float = 5.0) -> None:
         """Ask the worker to exit, escalating to kill after ``timeout``."""
         self.alive = False
-        try:
-            self.send({"type": "shutdown"})
-            assert self.process.stdin is not None
-            self.process.stdin.close()
-        except (OSError, ValueError):
-            pass
-        try:
-            self.process.wait(timeout=timeout)
-        except subprocess.TimeoutExpired:
-            self.process.kill()
-            self.process.wait()
+        self.transport.close(timeout)
         self._reader.join(timeout=1.0)
 
 
@@ -401,7 +692,7 @@ _MAX_SHARDED_CHUNKSIZE = 8
 
 
 class ShardedEngine:
-    """Partitions chunk streams across N shard subprocesses (``sharded:N``).
+    """Partitions chunk streams across N executor shards (``sharded:...``).
 
     Implements the :class:`~repro.core.engine.ExecutionEngine` protocol: an
     ordered streaming ``imap_chunks`` with a bounded in-flight window.  Work
@@ -411,17 +702,27 @@ class ShardedEngine:
     read); results are merged back in dispatch order, so consumers cannot
     tell it from the serial engine.
 
+    Shards sit behind the :class:`ShardTransport` seam.  By default
+    (``sharded[:N]``) each shard is a :class:`PipeTransport` worker
+    subprocess; :meth:`connect` (``sharded:HOST:PORT,...``) attaches to
+    already-running TCP daemons instead, and :meth:`local_tcp`
+    (``sharded:tcp[:N]``) spawns localhost daemons and connects over real
+    sockets.  Scheduling, fault handling and results are identical across
+    transports — the wire protocol is the same bytes either way.
+
     Shards are spawned lazily on first use and persist across queries, like
     the pool engines; :meth:`shutdown` (or the context manager form)
     terminates them.  Dead shards are replaced at the start of the next
-    stream.  ``heartbeat_interval`` / ``heartbeat_timeout`` bound how long a
-    silent shard holding work survives before its tasks are reassigned —
-    workers answer pings while executing, so only a frozen or vanished
-    shard ever reads as silent, and a shard that has not yet produced its
-    first frame (still importing its dependencies) is judged against the
-    longer ``startup_grace``; ``max_task_retries`` bounds redispatches per
-    task before *the stream that owns the task* fails with
-    :class:`~repro.errors.RemoteShardError`.
+    stream (pipe workers respawn; TCP slots reconnect to their daemon — a
+    slot whose daemon stays unreachable is skipped with a warning as long
+    as at least one shard remains).  ``heartbeat_interval`` /
+    ``heartbeat_timeout`` bound how long a silent shard holding work
+    survives before its tasks are reassigned — workers answer pings while
+    executing, so only a frozen or vanished shard ever reads as silent, and
+    a shard that has not yet produced its first frame (still importing its
+    dependencies) is judged against the longer ``startup_grace``;
+    ``max_task_retries`` bounds redispatches per task before *the stream
+    that owns the task* fails with :class:`~repro.errors.RemoteShardError`.
 
     ``chunksize`` fixes the per-task spec batch (default: adaptive,
     ``count_hint // (4 * shards)`` capped at 8 — smaller than the process
@@ -429,21 +730,33 @@ class ShardedEngine:
     ``in_flight_window`` bounds chunks materialized-but-unyielded (default
     ``2 x shards x chunksize``).
 
-    The engine is driven from one coordinator thread but supports several
-    *interleaved* streams (the executor round-robins PROCESS statements):
-    task/result bookkeeping is engine-wide, keyed by a monotonically unique
-    ``seq``, so frames arriving while another stream's generator is being
-    pumped are parked until their owner looks them up.
+    The engine supports several *interleaved* streams (the executor
+    round-robins PROCESS statements) and, since the service layer, several
+    *concurrent* streams driven from different threads: task/result
+    bookkeeping is engine-wide, keyed by a monotonically unique ``seq`` and
+    guarded by one engine lock, so frames arriving while another stream's
+    generator is being pumped — on this thread or any other — are parked
+    until their owner looks them up.  The lock is never held while blocking
+    on the inbox, so concurrent streams make progress independently.
     """
 
     def __init__(self, num_shards: int | None = None, *,
+                 transports: "list[Callable[[], ShardTransport]] | None" = None,
                  chunksize: int | None = None,
                  in_flight_window: int | None = None,
                  heartbeat_interval: float = 0.5,
                  heartbeat_timeout: float = 10.0,
                  startup_grace: float = 60.0,
                  max_task_retries: int = 3) -> None:
-        self.num_shards = num_shards if num_shards is not None else _default_workers()
+        if transports is not None:
+            if not transports:
+                raise ValueError("transports must not be empty")
+            if num_shards is not None and num_shards != len(transports):
+                raise ValueError("num_shards must match the transport list")
+            self.num_shards = len(transports)
+        else:
+            self.num_shards = num_shards if num_shards is not None \
+                else _default_workers()
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if chunksize is not None and chunksize <= 0:
@@ -453,6 +766,10 @@ class ShardedEngine:
         if heartbeat_interval <= 0 or heartbeat_timeout <= 0 or startup_grace <= 0:
             raise ValueError("heartbeat intervals must be positive")
         self.name = "sharded"
+        #: Per-slot transport factories (TCP mode); None means the pipe
+        #: default, where workers are interchangeable and respawn freely.
+        self._transport_factories = list(transports) if transports is not None \
+            else None
         self.chunksize = chunksize
         self.in_flight_window = in_flight_window
         self.heartbeat_interval = heartbeat_interval
@@ -461,9 +778,18 @@ class ShardedEngine:
         self.max_task_retries = max_task_retries
         #: Engine-wide IPC accounting (every task frame sent to any shard).
         self.dispatch_stats = DispatchStats()
+        #: Chunks whose rows a shard served from its local view of the
+        #: shared store without executing (shard-side cache classification).
+        self.shard_cache_hits = 0
         self._shard_stats: dict[int, DispatchStats] = {}
         self._shards: dict[int, _Shard] = {}
         self._inbox: "queue.Queue[tuple[int, Any]]" = queue.Queue()
+        #: Guards every piece of engine-wide state above and below: the
+        #: shard table, seq allocation, dispatch, and the ready/failed
+        #: parking maps.  Concurrent streams (service-layer queries driven
+        #: from different threads) interleave safely because each takes the
+        #: lock per step and blocks on the inbox *outside* it.
+        self._lock = threading.RLock()
         self._next_shard_id = 0
         self._next_seq = 0
         self._next_ping = 0
@@ -475,13 +801,61 @@ class ShardedEngine:
         self._failed: dict[int, str] = {}
         self._store_spec: str | None = None
 
+    @classmethod
+    def connect(cls, addresses: Iterable[str], **kwargs: Any) -> "ShardedEngine":
+        """Coordinator connect mode: one shard per already-running daemon.
+
+        ``addresses`` are ``HOST:PORT`` strings of shard daemons started
+        with ``python -m repro.core.remote --listen HOST:PORT`` — this is
+        the literal multi-host deployment, reachable through the spec string
+        ``sharded:HOST:PORT[,HOST:PORT...]``.  Connections are opened
+        lazily at first use and re-opened per slot at stream start after a
+        disconnect.
+        """
+        parsed = [parse_address(address) for address in addresses]
+        if not parsed:
+            raise ValueError("connect() needs at least one shard address")
+
+        def factory(host: str, port: int) -> Callable[[], ShardTransport]:
+            return lambda: TcpTransport(host, port)
+
+        return cls(transports=[factory(host, port) for host, port in parsed],
+                   **kwargs)
+
+    @classmethod
+    def local_tcp(cls, num_shards: int | None = None, **kwargs: Any
+                  ) -> "ShardedEngine":
+        """Spawn N localhost TCP daemons and connect to them (``sharded:tcp``).
+
+        Every frame crosses a real socket — the exact wire path of a
+        multi-host deployment — while the daemons' lifecycle stays bound to
+        this engine, so tests and single-host runs need no external setup.
+        """
+        count = num_shards if num_shards is not None else _default_workers()
+        if count <= 0:
+            raise ValueError("num_shards must be positive")
+        return cls(transports=[spawn_local_daemon] * count, **kwargs)
+
     # ------------------------------------------------------------- shard pool
 
-    def _spawn_shard(self) -> _Shard:
+    def _spawn_shard(self, slot: int | None = None) -> _Shard | None:
+        """Open one shard (pipe spawn or TCP connect); None if unreachable."""
+        factory: Callable[[], ShardTransport]
+        if self._transport_factories is None:
+            factory = PipeTransport
+        else:
+            assert slot is not None
+            factory = self._transport_factories[slot]
+        try:
+            transport = factory()
+        except OSError as exc:
+            warnings.warn(f"shard slot {slot} is unreachable: {exc}",
+                          RuntimeWarning, stacklevel=2)
+            return None
         shard_id = self._next_shard_id
         self._next_shard_id += 1
         stats = self._shard_stats.setdefault(shard_id, DispatchStats())
-        shard = _Shard(shard_id, self._inbox, stats)
+        shard = _Shard(shard_id, transport, self._inbox, stats, slot=slot)
         self._shards[shard_id] = shard
         if self._store_spec:
             try:
@@ -502,12 +876,26 @@ class ShardedEngine:
                 break
             self._handle_message(shard_id, message)
         for shard in list(self._shards.values()):
-            if shard.alive and shard.process.poll() is not None:
+            if shard.alive and not shard.transport.is_alive():
                 self._mark_dead(shard, kill=False)
         for shard_id in [sid for sid, shard in self._shards.items() if not shard.alive]:
             del self._shards[shard_id]
-        while sum(1 for shard in self._shards.values() if shard.alive) < self.num_shards:
-            self._spawn_shard()
+        if self._transport_factories is None:
+            while sum(1 for shard in self._shards.values() if shard.alive) \
+                    < self.num_shards:
+                self._spawn_shard()
+            return
+        # Address-pinned mode: one shard per transport slot.  A slot whose
+        # daemon is unreachable right now is skipped (its work lands on the
+        # survivors) and retried at the next stream start.
+        filled = {shard.slot for shard in self._live_shards()}
+        for slot in range(len(self._transport_factories)):
+            if slot not in filled:
+                self._spawn_shard(slot)
+        if not self._live_shards():
+            raise RemoteShardError(
+                "no shard endpoint is reachable (all "
+                f"{len(self._transport_factories)} daemons are down)")
 
     def _live_shards(self) -> list[_Shard]:
         return [shard for shard in self._shards.values() if shard.alive]
@@ -531,13 +919,14 @@ class ShardedEngine:
             from repro.core.cache import shared_spec
 
             spec = shared_spec(store)
-        self._store_spec = spec
-        if spec:
-            for shard in self._live_shards():
-                try:
-                    shard.send({"type": "store", "spec": spec})
-                except OSError:
-                    self._mark_dead(shard)
+        with self._lock:
+            self._store_spec = spec
+            if spec:
+                for shard in self._live_shards():
+                    try:
+                        shard.send({"type": "store", "spec": spec})
+                    except OSError:
+                        self._mark_dead(shard)
 
     # ------------------------------------------------------------ dispatching
 
@@ -594,10 +983,7 @@ class ShardedEngine:
             return
         shard.alive = False
         if kill:
-            try:
-                shard.process.kill()
-            except OSError:
-                pass
+            shard.transport.kill()
         orphans = list(shard.pending.values())
         shard.pending.clear()
         for task in orphans:
@@ -626,10 +1012,14 @@ class ShardedEngine:
                 return  # stale duplicate of a reassigned task: at-most-once
             for entry in self._shards.values():
                 entry.pending.pop(seq, None)
-            self._ready[seq] = [
+            outcomes = [
                 ChunkOutcome(rows=outcome["rows"], fallback=bool(outcome["fallback"]),
-                             stored=bool(outcome.get("stored")))
+                             stored=bool(outcome.get("stored")),
+                             cache_hit=bool(outcome.get("cache_hit")))
                 for outcome in message["outcomes"]]
+            self.shard_cache_hits += sum(1 for outcome in outcomes
+                                         if outcome.cache_hit)
+            self._ready[seq] = outcomes
         elif kind == "error":
             seq = message.get("seq")
             if seq is None:
@@ -658,7 +1048,7 @@ class ShardedEngine:
         for shard in list(self._shards.values()):
             if not shard.alive:
                 continue
-            if shard.process.poll() is not None:
+            if not shard.transport.is_alive():
                 self._mark_dead(shard, kill=False)
                 continue
             silent = now - shard.last_seen
@@ -674,13 +1064,20 @@ class ShardedEngine:
                     self._mark_dead(shard)
 
     def _pump(self) -> None:
-        """Process the next inbox message, or run a heartbeat pass on silence."""
+        """Process the next inbox message, or run a heartbeat pass on silence.
+
+        The blocking inbox read happens *outside* the engine lock so
+        concurrent streams are never serialized behind one stream's wait;
+        only the state mutation that follows is locked.
+        """
         try:
             shard_id, message = self._inbox.get(timeout=self.heartbeat_interval)
         except queue.Empty:
-            self._heartbeat()
+            with self._lock:
+                self._heartbeat()
             return
-        self._handle_message(shard_id, message)
+        with self._lock:
+            self._handle_message(shard_id, message)
 
     # ----------------------------------------------------------- engine proto
 
@@ -720,7 +1117,8 @@ class ShardedEngine:
             # Single-chunk streams run inline, like every pool engine.
             yield execute_chunk(runner, first, context)
             return
-        self._ensure_shards()
+        with self._lock:
+            self._ensure_shards()
         broadcast = _TaskBroadcast(runner, context)
         batch_size = self._effective_chunksize(count_hint)
         window = self._window(batch_size)
@@ -745,38 +1143,53 @@ class ShardedEngine:
                     # Registering specs may have discovered new heavy
                     # objects; payload_path() writes a covering version.
                     path = broadcast.payload_path()
-                    seq = self._next_seq
-                    self._next_seq += 1
-                    task = _ShardTask(seq, specs, path, len(batch))
-                    self._dispatch(task)
+                    with self._lock:
+                        seq = self._next_seq
+                        self._next_seq += 1
+                        task = _ShardTask(seq, specs, path, len(batch))
+                        self._dispatch(task)
                     dispatched.append(seq)
                     mine.add(seq)
                     in_flight += len(batch)
-                while dispatched and dispatched[0] in self._ready:
-                    seq = dispatched.popleft()
-                    mine.discard(seq)
-                    outcomes = self._ready.pop(seq)
-                    in_flight -= len(outcomes)
+                # Drain every completed head seq in one locked pass, then
+                # yield outside the lock (a consumer may block arbitrarily
+                # long between rows — other streams must keep moving).
+                completed: list[list[ChunkOutcome]] = []
+                with self._lock:
+                    while dispatched and dispatched[0] in self._ready:
+                        seq = dispatched.popleft()
+                        mine.discard(seq)
+                        outcomes = self._ready.pop(seq)
+                        in_flight -= len(outcomes)
+                        completed.append(outcomes)
+                    failure: str | None = None
+                    if dispatched and dispatched[0] in self._failed:
+                        failure = self._failed.pop(dispatched[0])
+                for outcomes in completed:
                     yield from outcomes
-                if dispatched and dispatched[0] in self._failed:
-                    raise RemoteShardError(self._failed.pop(dispatched[0]))
+                if failure is not None:
+                    raise RemoteShardError(failure)
                 if not dispatched:
                     if exhausted:
                         return
                     continue  # window drained by yields; refill before waiting
-                if dispatched[0] not in self._ready:
+                with self._lock:
+                    head_pending = dispatched[0] not in self._ready \
+                        and dispatched[0] not in self._failed
+                if head_pending:
                     self._pump()
         finally:
             # On early close, drop this stream's bookkeeping; late results
             # and errors for these seqs are ignored as stale.
-            for seq in mine:
-                self._ready.pop(seq, None)
-                self._failed.pop(seq, None)
-                self._tasks.pop(seq, None)
-                for shard in self._shards.values():
-                    shard.pending.pop(seq, None)
-            self.dispatch_stats.broadcasts += broadcast.broadcasts
-            self.dispatch_stats.broadcast_bytes += broadcast.broadcast_bytes
+            with self._lock:
+                for seq in mine:
+                    self._ready.pop(seq, None)
+                    self._failed.pop(seq, None)
+                    self._tasks.pop(seq, None)
+                    for shard in self._shards.values():
+                        shard.pending.pop(seq, None)
+                self.dispatch_stats.broadcasts += broadcast.broadcasts
+                self.dispatch_stats.broadcast_bytes += broadcast.broadcast_bytes
             broadcast.cleanup()
 
     def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],
@@ -788,11 +1201,13 @@ class ShardedEngine:
 
     def reset_dispatch_stats(self) -> None:
         """Zero the engine-wide and per-shard IPC counters."""
-        self.dispatch_stats = DispatchStats()
-        self._shard_stats = {shard_id: DispatchStats()
-                             for shard_id in self._shard_stats}
-        for shard in self._shards.values():
-            shard.stats = self._shard_stats.setdefault(shard.id, DispatchStats())
+        with self._lock:
+            self.dispatch_stats = DispatchStats()
+            self.shard_cache_hits = 0
+            self._shard_stats = {shard_id: DispatchStats()
+                                 for shard_id in self._shard_stats}
+            for shard in self._shards.values():
+                shard.stats = self._shard_stats.setdefault(shard.id, DispatchStats())
 
     def dispatch_stats_dict(self) -> dict[str, Any]:
         """Engine-wide dispatch counters plus a ``per_shard`` breakdown.
@@ -800,28 +1215,61 @@ class ShardedEngine:
         Per-shard entries survive shard death and replacement, so the dict
         records where every byte of a sweep actually went (the
         ``sharded_dispatch`` section of ``BENCH_pipeline.json``).
+        ``shard_cache_hits`` counts chunks a shard answered from its local
+        view of the shared store without executing.
         """
-        return {**self.dispatch_stats.as_dict(),
-                "per_shard": {str(shard_id): stats.as_dict()
-                              for shard_id, stats in sorted(self._shard_stats.items())
-                              if stats.dispatches or stats.chunks}}
+        with self._lock:
+            return {**self.dispatch_stats.as_dict(),
+                    "shard_cache_hits": self.shard_cache_hits,
+                    "per_shard": {str(shard_id): stats.as_dict()
+                                  for shard_id, stats in sorted(self._shard_stats.items())
+                                  if stats.dispatches or stats.chunks}}
 
     def shutdown(self) -> None:
         """Terminate every shard worker (the pool respawns on next use)."""
-        for shard in self._shards.values():
-            shard.close()
-        self._shards.clear()
-        while True:
-            try:
-                self._inbox.get_nowait()
-            except queue.Empty:
-                break
+        with self._lock:
+            for shard in self._shards.values():
+                shard.close()
+            self._shards.clear()
+            while True:
+                try:
+                    self._inbox.get_nowait()
+                except queue.Empty:
+                    break
 
     def __enter__(self) -> "ShardedEngine":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+
+def sharded_engine_from_spec(suffix: int | str | None) -> ShardedEngine:
+    """Build a :class:`ShardedEngine` from the ``sharded:`` spec suffix.
+
+    * ``None`` / ``N`` — N pipe-transport worker subprocesses (``sharded``,
+      ``sharded:4``);
+    * ``tcp`` / ``tcp:N`` — N locally spawned TCP daemons (``sharded:tcp:2``);
+    * ``HOST:PORT[,HOST:PORT...]`` — connect to already-running daemons
+      (``sharded:hostA:9101,hostB:9101``).  Addresses are parsed eagerly
+      (typos fail fast) but dialed lazily at first use.
+    """
+    if suffix is None or isinstance(suffix, int):
+        return ShardedEngine(suffix)
+    if suffix == "tcp":
+        return ShardedEngine.local_tcp()
+    if suffix.startswith("tcp:"):
+        count_text = suffix[len("tcp:"):]
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise ValueError(
+                f"invalid sharded:tcp worker count {count_text!r}") from None
+        return ShardedEngine.local_tcp(count)
+    addresses = [part.strip() for part in suffix.split(",") if part.strip()]
+    if not addresses:
+        raise ValueError(f"invalid sharded engine spec suffix {suffix!r}")
+    return ShardedEngine.connect(addresses)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

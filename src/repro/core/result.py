@@ -52,12 +52,20 @@ class ReleaseResult:
 
 @dataclass
 class QueryResult:
-    """All releases of one query plus aggregate accounting."""
+    """All releases of one query plus aggregate accounting.
+
+    ``budget_remaining`` reports, per contributing camera, the minimum
+    remaining per-frame budget over the span this query charged — measured
+    right after the charge, so under a shared service ledger it reflects
+    every query admitted so far, not just this one.  ``None`` when the
+    query ran with ``charge_budget=False``.
+    """
 
     query_name: str
     releases: list[ReleaseResult] = field(default_factory=list)
     epsilon_consumed: float = 0.0
     metadata: dict[str, Any] = field(default_factory=dict)
+    budget_remaining: dict[str, float] | None = None
 
     @property
     def num_releases(self) -> int:

@@ -1,0 +1,228 @@
+"""The long-lived multi-query service layer.
+
+The paper's deployment model is an always-on system: a video owner stands up
+Privid over their cameras once, and many analysts submit queries against it
+over time — all drawing from the *same* per-camera privacy budgets, all
+sharing the same execution resources.  :class:`PrividSystem` alone models a
+single deployment-shaped object but historically ran one query at a time
+with a private ledger per instance; :class:`QueryService` is the always-on
+wrapper that makes the sharing explicit:
+
+* **one engine** (and its shard pool, for ``sharded:...`` specs) executes
+  every query's chunks — the engine's seq-keyed bookkeeping supports
+  concurrent streams from different threads;
+* **one chunk store** memoizes chunk outputs across all queries, so
+  overlapping windows from different analysts hit the same warm entries;
+* **one ledger** (:class:`~repro.core.budget.ServiceLedger`) accounts every
+  camera's per-frame budget across all queries — two concurrent queries
+  against the same camera contend on one budget, check-and-charge is
+  atomic, and multi-camera admission stays all-or-nothing under races.
+
+Queries run on a bounded thread pool (``max_concurrent_queries``).  Each
+query gets its own lightweight :class:`PrividSystem` view sharing the
+service's engine/store/ledger/camera registry, plus a *per-query noise
+stream* (``privid/query-{n}`` keyed by submission order): noise draws are
+deterministic for a given submission order and can never race between
+queries, while raw (pre-noise) values are byte-identical to a standalone
+system run — the engines guarantee that independently of placement.
+
+Quickstart::
+
+    service = QueryService(seed=7, engine="sharded:4", cache="tiered:/tmp/warm")
+    service.register_camera("lobby", video, policy=policy, epsilon_budget=2.0)
+    futures = [service.submit(query_a), service.submit(query_b)]
+    results = [future.result() for future in futures]   # shared budget!
+    print(service.stats()["budgets"]["lobby"]["remaining_min"])
+    service.close()
+
+For genuinely remote shards, start daemons with
+``python -m repro.core.remote --listen HOST:PORT`` and pass
+``engine="sharded:hostA:9101,hostB:9101"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from repro.core.budget import ServiceLedger
+from repro.core.cache import ChunkStore
+from repro.core.engine import ExecutionEngine
+from repro.core.executor import CameraRegistration, PrividSystem, cache_stats_dict, \
+    engine_stats_dict
+from repro.core.noise import LaplaceMechanism
+from repro.core.result import QueryResult
+from repro.errors import BudgetExceededError
+from repro.query.ast import PrividQuery
+from repro.sandbox.registry import ExecutableRegistry
+from repro.utils.rng import RandomSource
+
+
+class QueryService:
+    """An always-on Privid deployment serving many concurrent queries.
+
+    Construction mirrors :class:`~repro.core.executor.PrividSystem` (same
+    ``seed`` / ``registry`` / ``engine`` / ``cache`` arguments, same spec
+    strings) plus ``ledger`` to adopt an existing
+    :class:`~repro.core.budget.ServiceLedger` and
+    ``max_concurrent_queries`` bounding the query thread pool.  An engine
+    built here from a spec string belongs to the service (``close`` shuts
+    it down, shard pools included); an engine *instance* passed in is
+    shared property and is left running.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 registry: ExecutableRegistry | None = None,
+                 engine: ExecutionEngine | str | None = None,
+                 cache: ChunkStore | str | None = None,
+                 ledger: ServiceLedger | None = None,
+                 max_concurrent_queries: int = 4) -> None:
+        if max_concurrent_queries <= 0:
+            raise ValueError("max_concurrent_queries must be positive")
+        self.ledger = ledger if ledger is not None else ServiceLedger()
+        # The template system owns the shared resources: it builds the
+        # engine/store from specs, wires share_store for engines it built,
+        # and registers cameras.  Per-query systems are thin views over it.
+        self._template = PrividSystem(seed=seed, registry=registry,
+                                      engine=engine, cache=cache,
+                                      ledger=self.ledger)
+        self._seed = seed
+        self.engine: ExecutionEngine = self._template.engine
+        self.cache: ChunkStore | None = self._template.chunk_cache
+        self.registry: ExecutableRegistry = self._template.registry
+        self.max_concurrent_queries = max_concurrent_queries
+        self._pool = ThreadPoolExecutor(max_workers=max_concurrent_queries,
+                                        thread_name_prefix="privid-query")
+        self._lock = threading.Lock()
+        self._next_query = 0
+        self._submitted = 0
+        self._completed = 0
+        self._denied = 0
+        self._failed = 0
+        self._active = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ setup
+
+    @property
+    def cameras(self) -> dict[str, CameraRegistration]:
+        """The shared camera registry (read through to the template system)."""
+        return self._template.cameras
+
+    def register_camera(self, name: str, *args: Any, **kwargs: Any
+                        ) -> CameraRegistration:
+        """Register a camera once, visible to every query (see
+        :meth:`PrividSystem.register_camera` for the parameters)."""
+        return self._template.register_camera(name, *args, **kwargs)
+
+    def register_executable(self, name: str, executable: Any, *,
+                            replace: bool = False) -> None:
+        """Register an analyst executable under the name queries refer to."""
+        self._template.registry.register(name, executable, replace=replace)
+
+    def remaining_budget(self, camera: str, interval: Any) -> float:
+        """Minimum remaining per-frame budget of a camera over an interval."""
+        return self._template.remaining_budget(camera, interval)
+
+    # -------------------------------------------------------------- execution
+
+    def _query_system(self, query_seq: int) -> PrividSystem:
+        """A per-query system sharing engine/store/ledger/cameras.
+
+        The noise source is re-pathed to ``privid/query-{n}``: each query
+        draws from its own deterministic stream (a pure function of the
+        service seed and the submission index), so concurrent queries can
+        never interleave draws from a shared stream — the service-level
+        analogue of the per-chunk determinism contract.
+        """
+        system = PrividSystem(seed=self._seed, registry=self.registry,
+                              engine=self.engine, cache=self.cache,
+                              ledger=self.ledger)
+        system.cameras = self._template.cameras
+        system.random = RandomSource(self._seed, path=f"privid/query-{query_seq}")
+        system.mechanism = LaplaceMechanism(system.random)
+        return system
+
+    def _run_query(self, query_seq: int, query: PrividQuery,
+                   kwargs: dict[str, Any]) -> QueryResult:
+        try:
+            result = self._query_system(query_seq).execute(query, **kwargs)
+        except BudgetExceededError:
+            with self._lock:
+                self._denied += 1
+                self._active -= 1
+            raise
+        except BaseException:
+            with self._lock:
+                self._failed += 1
+                self._active -= 1
+            raise
+        with self._lock:
+            self._completed += 1
+            self._active -= 1
+        result.metadata["query_seq"] = query_seq
+        return result
+
+    def submit(self, query: PrividQuery, **kwargs: Any) -> "Future[QueryResult]":
+        """Enqueue a query; returns a future resolving to its result.
+
+        ``kwargs`` are forwarded to :meth:`PrividSystem.execute`
+        (``default_epsilon``, ``add_noise``, ``charge_budget``).  A query
+        denied for budget raises :class:`~repro.errors.BudgetExceededError`
+        out of the future — with *no* camera charged (all-or-nothing).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            query_seq = self._next_query
+            self._next_query += 1
+            self._submitted += 1
+            self._active += 1
+        return self._pool.submit(self._run_query, query_seq, query, kwargs)
+
+    def execute(self, query: PrividQuery, **kwargs: Any) -> QueryResult:
+        """Submit and wait: the blocking single-query convenience path."""
+        return self.submit(query, **kwargs).result()
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, Any]:
+        """One merged service snapshot: queries, engine, store, budgets.
+
+        ``queries`` counts this service's lifetime admissions (``denied``
+        are budget rejections, ``failed`` everything else); ``engine`` is
+        :func:`~repro.core.executor.engine_stats_dict` over the shared
+        engine (per-shard byte breakdown for sharded specs); ``cache``
+        is the shared store's tier counters; ``budgets`` the ledger's
+        per-camera remaining-budget snapshot.
+        """
+        with self._lock:
+            queries = {"submitted": self._submitted, "completed": self._completed,
+                       "denied": self._denied, "failed": self._failed,
+                       "active": self._active}
+        return {"queries": queries,
+                "engine": engine_stats_dict(self.engine),
+                "cache": cache_stats_dict(self.cache),
+                "budgets": self.ledger.snapshot()}
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self, *, wait: bool = True) -> None:
+        """Drain the query pool and release service-owned resources.
+
+        In-flight queries finish (``wait=True``); the engine is shut down
+        only when the service built it from a spec string.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        self._template.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

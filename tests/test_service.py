@@ -1,0 +1,300 @@
+"""Tests for the shared-ledger seam and the long-lived query service.
+
+The contract under test: one :class:`ServiceLedger` accounts every camera's
+per-frame budget across all concurrent queries of a deployment —
+check-and-charge is atomic, multi-camera admission stays all-or-nothing
+under races — and :class:`QueryService` shares one engine, one chunk store
+and that one ledger across many concurrent queries while raw results stay
+byte-identical to a standalone system.
+"""
+
+import threading
+from concurrent.futures import wait
+
+import pytest
+
+from repro.core import PrividSystem, ServiceLedger, ShardedEngine
+from repro.core.budget import BudgetRequest, FrameBudgetLedger
+from repro.core.policy import PrivacyPolicy
+from repro.errors import BudgetExceededError, PolicyError, UnknownCameraError
+from repro.query.builder import QueryBuilder
+from repro.relational.table import ColumnSpec, DataType, Schema
+from repro.sandbox.environment import ExecutionContext, SandboxRunner
+from repro.sandbox.executables import EnteringObjectCounter
+from repro.service import QueryService
+from repro.utils.timebase import TimeInterval
+from repro.video.chunking import ChunkSpec, iter_chunks
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+PERSON_SCHEMA = Schema(columns=(ColumnSpec("kind", DataType.STRING, ""),
+                                ColumnSpec("dy", DataType.NUMBER, 0.0)))
+
+
+def _walker_video(num_walkers: int = 6, duration: float = 600.0):
+    objects = [make_crossing_object(f"w{i}", start=20.0 + 80.0 * i, duration=35.0,
+                                    x=450.0 + 40.0 * i)
+               for i in range(num_walkers)]
+    return make_simple_video(duration=duration, objects=objects)
+
+
+def _count_query(name: str = "q", *, window: float = 600.0,
+                 bucket: float = 600.0, epsilon: float = 1.0):
+    return (QueryBuilder(name)
+            .split("cam", begin=0, end=window, chunk_duration=60.0, into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)], into="t")
+            .select_count(table="t", bucket_seconds=bucket, epsilon=epsilon)
+            .build())
+
+
+class TestAtomicLedger:
+    def test_concurrent_admits_cannot_overdraw(self):
+        # The satellite regression: N threads race check-then-charge for the
+        # same frames.  Without the lock, several could pass the check
+        # before any charge lands; with it, exactly total/epsilon succeed.
+        ledger = FrameBudgetLedger(total_epsilon=3.0)
+        barrier = threading.Barrier(8)
+        admitted, denied = [], []
+        lock = threading.Lock()
+
+        def one_query(index: int) -> None:
+            barrier.wait()
+            try:
+                ledger.admit([BudgetRequest(TimeInterval(0.0, 10.0), 1.0)],
+                             margin=5.0)
+            except BudgetExceededError:
+                with lock:
+                    denied.append(index)
+            else:
+                with lock:
+                    admitted.append(index)
+
+        threads = [threading.Thread(target=one_query, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 3
+        assert len(denied) == 5
+        assert ledger.remaining_over(TimeInterval(0.0, 10.0)) == pytest.approx(0.0)
+
+    def test_max_consumed_sweeps_charge_starts(self):
+        ledger = FrameBudgetLedger(total_epsilon=5.0)
+        ledger.admit([BudgetRequest(TimeInterval(0.0, 10.0), 1.0)], margin=0.0)
+        ledger.admit([BudgetRequest(TimeInterval(5.0, 15.0), 2.0)], margin=0.0)
+        assert ledger.max_consumed() == pytest.approx(3.0)  # overlap [5, 10)
+        ledger.reset()
+        assert ledger.max_consumed() == 0.0
+
+
+class TestServiceLedger:
+    def test_register_is_get_or_create(self):
+        ledger = ServiceLedger()
+        first = ledger.register("cam", 2.0)
+        assert ledger.register("cam", 2.0) is first
+        assert ledger.cameras() == ("cam",)
+        with pytest.raises(PolicyError):
+            ledger.register("cam", 3.0)  # re-budgeting is refused
+        with pytest.raises(UnknownCameraError):
+            ledger.ledger("other")
+
+    def test_admit_many_is_all_or_nothing_across_cameras(self):
+        ledger = ServiceLedger()
+        ledger.register("a", 1.0)
+        ledger.register("b", 1.0)
+        ledger.ledger("b").admit([BudgetRequest(TimeInterval(0.0, 10.0), 1.0)],
+                                 margin=0.0)
+        span = TimeInterval(0.0, 10.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.admit_many({"a": [BudgetRequest(span, 0.5)],
+                               "b": [BudgetRequest(span, 0.5)]},
+                              {"a": 0.0, "b": 0.0})
+        # Camera b was exhausted, so camera a must be untouched.
+        assert ledger.remaining_over("a", span) == pytest.approx(1.0)
+
+    def test_racing_multi_camera_admissions_never_interleave(self):
+        # Two queries race over the same two cameras, each demanding the
+        # full budget of both: exactly one wins both, the other gets
+        # nothing (no partial charge on either camera).
+        results = []
+        lock = threading.Lock()
+        for _ in range(10):  # racy by nature: repeat to give races a chance
+            ledger = ServiceLedger()
+            ledger.register("a", 1.0)
+            ledger.register("b", 1.0)
+            span = TimeInterval(0.0, 10.0)
+            barrier = threading.Barrier(2)
+
+            def one_query() -> None:
+                barrier.wait()
+                try:
+                    ledger.admit_many({"a": [BudgetRequest(span, 1.0)],
+                                       "b": [BudgetRequest(span, 1.0)]},
+                                      {"a": 0.0, "b": 0.0})
+                except BudgetExceededError:
+                    outcome = "denied"
+                else:
+                    outcome = "admitted"
+                with lock:
+                    results.append(outcome)
+
+            threads = [threading.Thread(target=one_query) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert ledger.remaining_over("a", span) == pytest.approx(0.0)
+            assert ledger.remaining_over("b", span) == pytest.approx(0.0)
+        assert results.count("admitted") == 10
+        assert results.count("denied") == 10
+
+    def test_two_systems_share_a_ledger_when_given_one(self):
+        video = _walker_video()
+        shared = ServiceLedger()
+        systems = []
+        for _ in range(2):
+            system = PrividSystem(seed=5, ledger=shared)
+            system.register_camera("cam", video,
+                                   policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                                   epsilon_budget=1.5)
+            systems.append(system)
+        systems[0].execute(_count_query("first"))
+        with pytest.raises(BudgetExceededError):
+            systems[1].execute(_count_query("second"))
+
+    def test_systems_keep_private_ledgers_by_default(self):
+        video = _walker_video()
+        for _ in range(2):  # both runs admit: no sharing without a ledger
+            system = PrividSystem(seed=5)
+            system.register_camera("cam", video,
+                                   policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                                   epsilon_budget=1.5)
+            system.execute(_count_query())
+
+
+class TestQueryService:
+    def _service(self, video, **kwargs) -> QueryService:
+        service = QueryService(seed=5, **kwargs)
+        service.register_camera("cam", video,
+                                policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                                epsilon_budget=100.0)
+        return service
+
+    def test_concurrent_queries_charge_one_shared_ledger(self):
+        video = _walker_video()
+        with QueryService(seed=5, engine="thread:4") as service:
+            service.register_camera("cam", video,
+                                    policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                                    epsilon_budget=2.0)
+            futures = [service.submit(_count_query(f"q{i}")) for i in range(4)]
+            wait(futures)
+            admitted = [f for f in futures if f.exception() is None]
+            denied = [f for f in futures
+                      if isinstance(f.exception(), BudgetExceededError)]
+            assert len(admitted) == 2  # 2.0 budget / 1.0 per query
+            assert len(denied) == 2
+            stats = service.stats()
+            assert stats["queries"] == {"submitted": 4, "completed": 2,
+                                        "denied": 2, "failed": 0, "active": 0}
+            assert stats["budgets"]["cam"]["remaining_min"] == pytest.approx(0.0)
+            for future in admitted:
+                remaining = future.result().budget_remaining
+                assert remaining is not None and remaining["cam"] >= 0.0
+
+    def test_raw_results_byte_identical_to_standalone_system(self):
+        video = _walker_video()
+        query = _count_query(bucket=120.0)
+        system = PrividSystem(seed=5)
+        system.register_camera("cam", video,
+                               policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                               epsilon_budget=100.0)
+        reference = system.execute(query)
+        with self._service(video) as service:
+            result = service.execute(query)
+        assert repr(result.raw_series_unsafe()) == repr(reference.raw_series_unsafe())
+
+    def test_engine_choice_invisible_through_the_service(self):
+        # Same service seed: query seq 0 draws from the same noise stream
+        # whichever engine runs the chunks, so even noisy values match.
+        video = _walker_video()
+        query = _count_query(bucket=120.0)
+        results = {}
+        for label, engine in (("serial", None), ("thread", "thread:4")):
+            with self._service(video, engine=engine) as service:
+                results[label] = service.execute(query)
+        assert repr(results["thread"].series()) == repr(results["serial"].series())
+        assert repr(results["thread"].raw_series_unsafe()) \
+            == repr(results["serial"].raw_series_unsafe())
+
+    def test_noise_streams_are_per_query_and_deterministic(self):
+        video = _walker_video()
+        query = _count_query(bucket=120.0)
+
+        def run_pair():
+            with self._service(video) as service:
+                return (service.execute(query, charge_budget=False).series(),
+                        service.execute(query, charge_budget=False).series())
+
+        first_a, first_b = run_pair()
+        second_a, second_b = run_pair()
+        assert repr(first_a) == repr(second_a)    # deterministic across services
+        assert repr(first_b) == repr(second_b)
+        assert repr(first_a) != repr(first_b)     # distinct per-query streams
+
+    def test_queries_share_one_chunk_store(self):
+        video = _walker_video()
+        with self._service(video, cache="memory") as service:
+            service.execute(_count_query("warm", bucket=120.0), charge_budget=False)
+            service.execute(_count_query("reuse", bucket=120.0), charge_budget=False)
+            stats = service.stats()
+        assert stats["cache"]["enabled"] is True
+        assert stats["cache"]["hits"] == 10   # second query fully cache-served
+        assert stats["cache"]["misses"] == 10
+
+    def test_stats_shape_is_one_merged_snapshot(self):
+        video = _walker_video()
+        with self._service(video, engine="thread:2", cache="memory") as service:
+            service.execute(_count_query(bucket=120.0), charge_budget=False)
+            stats = service.stats()
+        assert set(stats) == {"queries", "engine", "cache", "budgets"}
+        assert stats["engine"]["engine"] == "thread"
+        assert stats["budgets"]["cam"]["total_epsilon"] == 100.0
+        assert stats["queries"]["completed"] == 1
+
+    def test_submit_after_close_is_refused(self):
+        video = _walker_video()
+        service = self._service(video)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(_count_query())
+        service.close()  # idempotent
+
+
+class TestShardCacheClassification:
+    def test_disk_warm_chunks_report_cache_hit(self, tmp_path):
+        # First sweep executes and writes through to the shared disk tier;
+        # the second sweep's shards find every key disk-warm and skip the
+        # execute, reporting cache_hit per outcome — surfaced on the engine
+        # as shard_cache_hits.
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner = SandboxRunner(EnteringObjectCounter(category="person"),
+                               PERSON_SCHEMA, max_rows=5, timeout_seconds=5.0)
+        context = ExecutionContext(camera=video.name, fps=video.fps)
+        with ShardedEngine(2) as engine:
+            engine.share_store(f"disk:{tmp_path}")
+            first = list(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                            context))
+            assert engine.shard_cache_hits == 0
+            assert all(not outcome.cache_hit for outcome in first)
+            second = list(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                             context))
+            assert engine.shard_cache_hits == 10
+            assert all(outcome.cache_hit and outcome.stored for outcome in second)
+            stats = engine.dispatch_stats_dict()
+            assert stats["shard_cache_hits"] == 10
+            engine.reset_dispatch_stats()
+            assert engine.shard_cache_hits == 0
+        rows = lambda outcomes: [[dict(row) for row in o.rows] for o in outcomes]
+        assert repr(rows(second)) == repr(rows(first))

@@ -1,0 +1,146 @@
+"""CI smoke test for the service layer over real TCP shard daemons.
+
+Exercises the full always-on deployment path end to end, the way an
+operator would run it:
+
+1. starts two shard daemons (``python -m repro.core.remote --listen
+   127.0.0.1:0``) and reads the announced ports;
+2. stands up a :class:`~repro.service.QueryService` connected to them
+   (``engine="sharded:127.0.0.1:P1,127.0.0.1:P2"``) with a tiered chunk
+   store;
+3. checks the TCP-sharded service answers byte-identically (raw values
+   *and* noisy releases) to a same-seed serial service;
+4. races four concurrent queries against a camera whose budget only admits
+   two — exactly two must be admitted and the denied futures must raise
+   ``BudgetExceededError`` with nothing charged past the budget;
+5. shuts everything down cleanly and fails loudly (exit 1) on any miss.
+
+Run with: ``python tools/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from concurrent.futures import wait
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.remote import _LISTENING_MARKER, _worker_env  # noqa: E402
+from repro.errors import BudgetExceededError  # noqa: E402
+from repro.evaluation.runner import (  # noqa: E402
+    register_scenario_camera,
+    scenario_policy_map,
+)
+from repro.query.builder import QueryBuilder  # noqa: E402
+from repro.scene.scenarios import build_scenario  # noqa: E402
+from repro.service import QueryService  # noqa: E402
+
+FAILURES: list[str] = []
+
+
+def check(ok: bool, label: str) -> None:
+    print(f"{'PASS' if ok else 'FAIL'}  {label}")
+    if not ok:
+        FAILURES.append(label)
+
+
+def start_daemon() -> tuple[subprocess.Popen, int]:
+    """Start one shard daemon on an ephemeral port; return (process, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.remote", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, env=_worker_env(), text=True)
+    line = process.stdout.readline().strip()
+    marker, _host, port = line.split()
+    if marker != _LISTENING_MARKER:
+        raise RuntimeError(f"unexpected daemon announcement: {line!r}")
+    return process, int(port)
+
+
+def people_query(name: str, *, bucket: float = 360, epsilon: float = 1.0):
+    return (QueryBuilder(name)
+            .split("campus", begin=0, end=720, chunk_duration=60,
+                   mask="owner", into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)],
+                     into="people")
+            .select_count(table="people", bucket_seconds=bucket, epsilon=epsilon)
+            .build())
+
+
+def build_service(scenario, policy_map, *, engine, cache) -> QueryService:
+    service = QueryService(seed=3, engine=engine, cache=cache)
+    register_scenario_camera(service, scenario, policy_map=policy_map,
+                             epsilon_budget=2.5, sample_period=1.0)
+    return service
+
+
+def main() -> int:
+    scenario = build_scenario("campus", scale=0.2, duration_hours=0.2, seed=7)
+    policy_map = scenario_policy_map(scenario, k_segments=1)
+    daemons = [start_daemon() for _ in range(2)]
+    addresses = ",".join(f"127.0.0.1:{port}" for _, port in daemons)
+    store_dir = tempfile.mkdtemp(prefix="privid-service-smoke-")
+    print(f"daemons listening: {addresses}")
+
+    try:
+        # ---- byte-identity: TCP-sharded service vs same-seed serial service.
+        # Both answer their first submission (query seq 0) from the same
+        # deterministic noise stream, so even the noisy releases must match.
+        with build_service(scenario, policy_map, engine=None,
+                           cache="memory") as serial_service:
+            reference = serial_service.execute(people_query("reference"),
+                                               charge_budget=False)
+        with build_service(scenario, policy_map, engine=f"sharded:{addresses}",
+                           cache=f"tiered:{store_dir}") as service:
+            probe = service.execute(people_query("probe"), charge_budget=False)
+            check(repr(probe.raw_series_unsafe())
+                  == repr(reference.raw_series_unsafe()),
+                  "raw values over TCP shards == serial service")
+            check(repr(probe.series()) == repr(reference.series()),
+                  "noisy releases over TCP shards == serial service")
+
+            # ---- shared-budget exhaustion: four racing analysts, budget 2.5,
+            # one 1.0-epsilon release each over the same window -> the
+            # rho-expanded admission check admits exactly two.
+            futures = [service.submit(people_query(f"analyst-{i}", bucket=720))
+                       for i in range(4)]
+            wait(futures)
+            denials = [f for f in futures
+                       if isinstance(f.exception(), BudgetExceededError)]
+            admitted = [f for f in futures if f.exception() is None]
+            unexpected = [f for f in futures
+                          if f.exception() is not None
+                          and not isinstance(f.exception(), BudgetExceededError)]
+            check(not unexpected, "no query failed for a non-budget reason")
+            check(len(admitted) == 2 and len(denials) == 2,
+                  f"2 of 4 racing queries admitted on a 2.5-epsilon budget "
+                  f"(admitted={len(admitted)}, denied={len(denials)})")
+
+            stats = service.stats()
+            remaining = stats["budgets"]["campus"]["remaining_min"]
+            check(abs(remaining - 0.5) < 1e-9,
+                  f"ledger charged exactly the admitted queries "
+                  f"(remaining_min={remaining})")
+            check(stats["queries"] == {"submitted": 5, "completed": 3,
+                                       "denied": 2, "failed": 0, "active": 0},
+                  f"service counters consistent: {stats['queries']}")
+            check(stats["engine"]["engine"] == "sharded"
+                  and len(stats["engine"]["dispatch"]["per_shard"]) == 2,
+                  "stats() reports per-shard dispatch for both TCP shards")
+    finally:
+        for process, _ in daemons:
+            process.kill()
+            process.wait()
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} smoke check(s) failed")
+        return 1
+    print("\nservice smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
