@@ -11,6 +11,22 @@ from repro.core.cache import (
     TieredChunkCache,
     create_cache,
     shared_spec,
+    store_health,
+)
+from repro.core.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultyTransport,
+    faulty_transport_factory,
+)
+from repro.core.resilience import (
+    BreakerState,
+    CancellationToken,
+    CircuitBreaker,
+    RetryPolicy,
 )
 from repro.core.engine import (
     ChunkOutcome,
@@ -46,6 +62,18 @@ __all__ = [
     "TieredChunkCache",
     "create_cache",
     "shared_spec",
+    "store_health",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyTransport",
+    "faulty_transport_factory",
+    "BreakerState",
+    "CancellationToken",
+    "CircuitBreaker",
+    "RetryPolicy",
     "ExecutionEngine",
     "SerialEngine",
     "ThreadPoolEngine",

@@ -40,17 +40,21 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
+from itertools import chain
 from enum import Enum
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.faults import FaultInjector
     from repro.sandbox.environment import ExecutionContext, SandboxRunner
     from repro.video.chunking import Chunk
 
 from repro.core.engine import ChunkRows
+from repro.core.faults import FaultKind
 
 
 def canonical_value(value: Any) -> Any:
@@ -243,6 +247,12 @@ class ChunkResultCache:
         with self._lock:
             return {**self.stats.as_dict(), "entries": len(self._entries)}
 
+    def health(self) -> dict[str, Any]:
+        """Liveness snapshot of the memory tier (always writable)."""
+        with self._lock:
+            return {"tier": "memory", "writable": True,
+                    "entries": len(self._entries)}
+
 
 #: On-disk entry format version; bump on any change to the serialization so
 #: stores written by older code read as misses instead of wrong rows.
@@ -265,14 +275,52 @@ class DiskChunkStore:
 
     Rows must be JSON-serializable, which schema-coerced sandbox rows are by
     construction (strings and numbers only).  Unreadable or corrupt entries
-    read as misses and are removed.
+    read as misses and are removed; write-side IO errors (ENOSPC, permission
+    flips, a yanked mount) are *non-fatal* — the entry simply is not cached
+    (counted in ``write_errors``), because a failing cold tier must degrade
+    a deployment's hit rate, never its queries.  Temp files stranded by an
+    interrupted writer are swept on store open — but only once they are old
+    enough (``_STALE_TEMP_AGE``) that no live writer can own them, because
+    several processes (coordinator, every shard daemon) open stores over the
+    same directory while others are mid-write.
     """
 
-    def __init__(self, directory: str | os.PathLike[str]) -> None:
+    _STALE_TEMP_AGE = 60.0  # seconds; in-flight writes live for milliseconds
+
+    def __init__(self, directory: str | os.PathLike[str], *,
+                 fault_injector: "FaultInjector | None" = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self.writes = 0
+        self.write_errors = 0
+        self.read_errors = 0
+        self.fault_injector = fault_injector
+        self.stale_temps_removed = self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> int:
+        """Remove temp files a crashed/interrupted writer left behind.
+
+        Age-gated: a fresh temp file belongs to a concurrent writer in
+        another process (shard daemons share this directory), and unlinking
+        it would turn that writer's atomic rename into a silently dropped
+        entry.
+        """
+        removed = 0
+        horizon = time.time() - self._STALE_TEMP_AGE
+        for stale in chain(self.directory.glob("*.tmp"),
+                           self.directory.glob("*/*.tmp")):
+            try:
+                if stale.stat().st_mtime <= horizon:
+                    stale.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Route subsequent store operations through a fault plan (chaos)."""
+        self.fault_injector = injector
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))
@@ -288,7 +336,18 @@ class DiskChunkStore:
     def get(self, key: str) -> ChunkRows | None:
         """Rows stored under ``key``, or None on a miss (or corrupt entry)."""
         path = self._path_for(key)
+        rule = self.fault_injector.poll("store.get", token=key) \
+            if self.fault_injector is not None else None
         try:
+            if rule is not None:
+                if rule.kind is FaultKind.DELAY:
+                    time.sleep(rule.delay)
+                elif rule.kind is FaultKind.IO_ERROR:
+                    raise OSError(f"injected store read failure for {key[:12]}")
+                elif rule.kind is FaultKind.CORRUPT and path.exists():
+                    # Scribble over the entry so the genuine corrupt-entry
+                    # self-heal path below runs against real bytes.
+                    path.write_bytes(b"\x00corrupt")
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if not isinstance(payload, dict) or payload.get("format") != _DISK_FORMAT:
@@ -300,6 +359,7 @@ class DiskChunkStore:
         except (OSError, ValueError, KeyError, TypeError):
             # A torn or foreign file: treat as a miss and drop it so the slot
             # can be rewritten cleanly.
+            self.read_errors += 1
             try:
                 os.unlink(path)
             except OSError:
@@ -310,25 +370,45 @@ class DiskChunkStore:
         return rows
 
     def put(self, key: str, rows: ChunkRows) -> None:
-        """Persist the rows of one chunk execution under ``key`` (atomic)."""
-        path = self._path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Persist the rows of one chunk execution under ``key`` (atomic).
+
+        IO errors are swallowed and counted (``write_errors``): a store that
+        cannot write behaves as a cache that never warms, not as a query
+        failure.  Serialization bugs (non-JSON rows) still raise — those are
+        programming errors, not environment faults.
+        """
+        rule = self.fault_injector.poll("store.put", token=key) \
+            if self.fault_injector is not None else None
+        if rule is not None and rule.kind is FaultKind.DELAY:
+            time.sleep(rule.delay)
         if not isinstance(rows, list):
             # ColumnarRows (and any other sequence) serialize as the
             # equivalent dict rows.
             rows = [dict(row) for row in rows]
         payload = {"format": _DISK_FORMAT, "rows": rows}
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False)
+        path = self._path_for(key)
+        handle = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if rule is not None and rule.kind is FaultKind.IO_ERROR:
+                raise OSError(f"injected store write failure for {key[:12]}")
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=path.parent, suffix=".tmp",
+                delete=False)
             with handle:
                 json.dump(payload, handle, separators=(",", ":"))
             os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
+        except BaseException as exc:
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+            if isinstance(exc, OSError):
+                # ENOSPC, EACCES, a vanished directory: non-fatal — the
+                # entry just stays cold and the next miss recomputes it.
+                self.write_errors += 1
+                return
             raise
         self.writes += 1
 
@@ -346,15 +426,29 @@ class DiskChunkStore:
                 pass
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/write counters."""
+        """Zero the hit/miss/write/error counters."""
         self.stats = CacheStats()
         self.writes = 0
+        self.write_errors = 0
+        self.read_errors = 0
 
     def stats_dict(self) -> dict[str, Any]:
         """Counters plus write count and directory, for stats reporting."""
         stats = self.stats.as_dict()
         stats.pop("evictions", None)  # the disk tier never evicts
-        return {**stats, "writes": self.writes, "directory": str(self.directory)}
+        return {**stats, "writes": self.writes,
+                "write_errors": self.write_errors,
+                "read_errors": self.read_errors,
+                "directory": str(self.directory)}
+
+    def health(self) -> dict[str, Any]:
+        """Liveness snapshot of the disk tier, for ``service.health()``."""
+        writable = os.access(self.directory, os.W_OK | os.X_OK)
+        return {"tier": "disk", "directory": str(self.directory),
+                "writable": writable,
+                "write_errors": self.write_errors,
+                "read_errors": self.read_errors,
+                "stale_temps_removed": self.stale_temps_removed}
 
 
 class TieredChunkCache:
@@ -380,6 +474,16 @@ class TieredChunkCache:
                 context: "ExecutionContext") -> str:
         """Cache key of one chunk execution (same scheme as every tier)."""
         return chunk_key(runner, chunk, context)
+
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Route the disk tier's operations through a fault plan (chaos)."""
+        self.disk.set_fault_injector(injector)
+
+    def health(self) -> dict[str, Any]:
+        """Per-tier liveness; the tiered store is writable iff disk is."""
+        disk = self.disk.health()
+        return {"tier": "tiered", "writable": disk["writable"],
+                "memory": self.memory.health(), "disk": disk}
 
     def get(self, key: str) -> ChunkRows | None:
         """Rows under ``key`` from the first tier that has them, or None."""
@@ -456,6 +560,22 @@ def shared_spec(store: "ChunkStore | None") -> str | None:
     if isinstance(store, TieredChunkCache):
         return f"tiered:{store.disk.directory}"
     return None
+
+
+def store_health(store: "ChunkStore | None") -> dict[str, Any]:
+    """Health snapshot of any store (``{"enabled": False}`` when off).
+
+    The store half of :meth:`repro.service.QueryService.health`: stores that
+    implement ``health()`` report their tier detail; anything else (a
+    third-party duck-typed store) reports enabled-and-assumed-writable.
+    """
+    if store is None:
+        return {"enabled": False}
+    health = getattr(store, "health", None)
+    if health is None:
+        return {"enabled": True, "writable": True,
+                "tier": type(store).__name__}
+    return {"enabled": True, **health()}
 
 
 def create_cache(spec: "str | ChunkStore | None") -> "ChunkStore | None":

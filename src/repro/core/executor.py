@@ -19,6 +19,7 @@ from repro.core.cache import ChunkStore, create_cache
 from repro.core.engine import ExecutionEngine, create_engine
 from repro.core.noise import LaplaceMechanism
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
+from repro.core.resilience import CancellationToken
 from repro.core.result import QueryResult, ReleaseResult
 from repro.cv.detector import DetectorConfig
 from repro.cv.tracker import TrackerConfig
@@ -126,7 +127,17 @@ class PrividSystem:
     def __init__(self, *, seed: int = 0, registry: ExecutableRegistry | None = None,
                  engine: ExecutionEngine | str | None = None,
                  cache: ChunkStore | str | None = None,
-                 ledger: ServiceLedger | None = None) -> None:
+                 ledger: ServiceLedger | None = None,
+                 on_engine_failure: str = "fail") -> None:
+        if on_engine_failure not in ("fail", "serial_fallback"):
+            raise ValueError(
+                f"on_engine_failure must be 'fail' or 'serial_fallback', "
+                f"not {on_engine_failure!r}")
+        #: Degradation policy when a distributed engine loses every shard
+        #: mid-stream: ``"fail"`` propagates RemoteShardError,
+        #: ``"serial_fallback"`` re-executes the unfinished chunks serially
+        #: (byte-identical by the determinism contract).
+        self.on_engine_failure = on_engine_failure
         self.random = RandomSource(seed, path="privid")
         self.mechanism = LaplaceMechanism(self.random)
         self.registry = registry if registry is not None else default_registry()
@@ -292,7 +303,8 @@ class PrividSystem:
                 chunk_duration=split.chunk_duration)
         return chunk_sets
 
-    def _run_processes(self, query: PrividQuery, chunk_sets: dict[str, _ChunkSet]
+    def _run_processes(self, query: PrividQuery, chunk_sets: dict[str, _ChunkSet],
+                       cancel: "CancellationToken | None" = None
                        ) -> tuple[PlanContext, dict[str, _TableSource]]:
         """Run every PROCESS statement as an incremental streaming consumer.
 
@@ -343,14 +355,29 @@ class PrividSystem:
             streams.append((table, runner.iter_chunk_rows(
                 chunk_set.make_chunks(), context,
                 engine=self.engine, cache=self.chunk_cache,
-                count_hint=chunk_set.num_chunks)))
-        while streams:
-            table, stream = streams.popleft()
-            chunk_rows = next(stream, None)
-            if chunk_rows is None:
-                continue
-            table.extend(chunk_rows)
-            streams.append((table, stream))
+                count_hint=chunk_set.num_chunks,
+                on_engine_failure=self.on_engine_failure)))
+        # The round-robin drive is the query's cooperative yield point: the
+        # cancellation token is checked once per chunk, so a deadline stops
+        # the stream within one chunk — before any budget is charged (the
+        # ledger is only touched after every stream completes), keeping
+        # admission all-or-nothing under cancellation.
+        try:
+            while streams:
+                if cancel is not None:
+                    cancel.check()
+                table, stream = streams.popleft()
+                chunk_rows = next(stream, None)
+                if chunk_rows is None:
+                    continue
+                table.extend(chunk_rows)
+                streams.append((table, stream))
+        except BaseException:
+            for _, stream in streams:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+            raise
         return PlanContext(tables=tables, properties=properties), sources
 
     @staticmethod
@@ -415,16 +442,26 @@ class PrividSystem:
         return {camera: tuple(charged) for camera, charged in intervals.items()}
 
     def execute(self, query: PrividQuery, *, default_epsilon: float = 1.0,
-                add_noise: bool = True, charge_budget: bool = True) -> QueryResult:
+                add_noise: bool = True, charge_budget: bool = True,
+                cancel: "CancellationToken | None" = None) -> QueryResult:
         """Run a query end to end and return its (noisy) releases.
 
         ``add_noise=False`` returns the raw chunked-pipeline outputs (the
         "Privid (No Noise)" curves of Fig. 5); ``charge_budget=False`` skips
         budget accounting (used by what-if sweeps in the benchmarks).  Both
         default to the privacy-preserving behaviour.
+
+        ``cancel`` is an optional
+        :class:`~repro.core.resilience.CancellationToken` checked between
+        chunks: past-deadline tokens raise
+        :class:`~repro.errors.QueryTimeoutError`, manual cancels
+        :class:`~repro.errors.QueryCancelledError` — always *before* budget
+        admission, so a cancelled query never charges a ledger.
         """
+        if cancel is not None:
+            cancel.check()
         chunk_sets = self._run_splits(query)
-        plan_context, sources = self._run_processes(query, chunk_sets)
+        plan_context, sources = self._run_processes(query, chunk_sets, cancel)
 
         prepared: list[tuple[SelectStatement, list[Release], GroupSpec | None,
                              TimeBucket | None, list[_TableSource], float]] = []

@@ -1,0 +1,340 @@
+"""Deterministic, seeded fault injection for chaos testing the deployment.
+
+Resilience claims need systematic, *repeatable* failure experiments — a bug
+that only shows up when a shard dies between seq 7 and 8 is useless anecdote
+unless the same crash can be replayed on demand.  This module provides that
+seam: a :class:`FaultPlan` is a declarative schedule of faults, and a
+:class:`FaultInjector` evaluates it at well-defined *sites* threaded through
+the transports (:class:`FaultyTransport` around any
+:class:`~repro.core.remote.ShardTransport`), the disk store
+(:class:`~repro.core.cache.DiskChunkStore` consults ``store.get`` /
+``store.put``), and shard spawning (:func:`faulty_transport_factory` polls
+``*.connect``).  Production code never imports a plan; a ``None`` injector
+is free.
+
+Determinism
+===========
+
+Fault decisions use the exact splitmix64 discipline of the noise streams
+(:mod:`repro.utils.hashing`): whether a probabilistic rule fires at a site is
+``unit_draw(stream_key(plan.seed, site, kind), lane) < probability`` where
+the *lane* is the injector's per-site operation counter — or, when the
+caller passes a content ``token`` (the disk store passes the entry key), a
+pure function of that identity.  Scheduled rules (``at`` indices,
+``after_seq``) do not draw at all.  Consequences:
+
+* the *decision* for a given (site, lane) is a pure function of the plan —
+  never of wall-clock time or a global RNG;
+* sites polled from a single driving thread (task dispatch, connects, store
+  operations under a sequential query drive) therefore replay their fault
+  sequence bit-identically across runs;
+* sites polled from reader threads (result frames) have deterministic
+  per-decision draws but an arrival order the OS scheduler picks, so their
+  realized sequence is only guaranteed to replay under a sequential drive
+  with deterministic shard assignment.  The chaos harness asserts exact
+  replay on the former class and byte-identity-of-results on all of them.
+
+Heartbeat traffic (``ping``/``pong``) is deliberately *exempt* from
+injection: pings fire on wall-clock silence, so polling the injector for
+them would make every other site's operation counters timing-dependent and
+destroy replay.
+
+Fault taxonomy (:class:`FaultKind`)
+===================================
+
+``TORN_FRAME``    a result frame is lost mid-read and the connection torn
+                  down (reads as shard death; pending work is redispatched).
+``DROP_FRAME``    a frame silently vanishes (written into the void, or read
+                  and discarded) while the connection stays up — the stall
+                  only ``task_timeout`` redispatch recovers from.
+``CONNECT_REFUSED`` a transport factory raises ``ConnectionRefusedError``
+                  (feeds dial retry and the per-endpoint circuit breakers).
+``CRASH``         the far end is killed right after accepting a task frame
+                  (``after_seq`` schedules "crash at seq N"; pair with
+                  ``max_fires`` so the respawned shard survives the retry).
+``DELAY``         the operation sleeps ``delay`` seconds, then proceeds.
+``IO_ERROR``      the operation raises :class:`OSError` (store reads/writes
+                  degrade to misses; task writes mark the shard dead).
+``CORRUPT``       the store entry is scribbled over before the read, so the
+                  store's corrupt-entry self-heal path runs for real.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from fnmatch import fnmatchcase
+from typing import Any
+
+from repro.utils.hashing import stream_key, string_token, unit_draw
+
+
+class FaultKind(str, Enum):
+    """What happens when a rule fires (see the module taxonomy table)."""
+
+    TORN_FRAME = "torn_frame"
+    DROP_FRAME = "drop_frame"
+    CONNECT_REFUSED = "connect_refused"
+    CRASH = "crash"
+    DELAY = "delay"
+    IO_ERROR = "io_error"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: *where* (site pattern), *what* (kind), *when*.
+
+    ``site`` is an ``fnmatch`` pattern over site names
+    (``"transport.*.task"``, ``"store.get"``).  Exactly one trigger should
+    be meaningful: ``probability`` draws per operation from the plan's
+    seeded stream, ``at`` fires at explicit per-site operation indices,
+    ``after_seq`` fires once the polled ``seq`` reaches a threshold (the
+    "crash at seq N" schedule — it defaults ``max_fires`` to 1, since every
+    later seq would match too).  ``max_fires`` caps total firings of the
+    rule across all sites; ``delay`` is the sleep of DELAY faults.
+    """
+
+    site: str
+    kind: FaultKind
+    probability: float = 0.0
+    at: tuple[int, ...] = ()
+    after_seq: int | None = None
+    delay: float = 0.0
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.probability == 0.0 and not self.at and self.after_seq is None:
+            raise ValueError(
+                "a FaultRule needs a trigger: probability, at, or after_seq")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError("max_fires must be at least 1")
+        if self.after_seq is not None and self.max_fires is None:
+            # Every seq past the threshold matches, so an unbounded
+            # crash-at-seq rule would kill the respawned shard on the very
+            # retry that was meant to recover.  One firing is the schedule
+            # people mean by "crash at seq N".
+            object.__setattr__(self, "max_fires", 1)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of faults — the unit a chaos run replays."""
+
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def injector(self) -> "FaultInjector":
+        """A fresh injector (fresh counters) evaluating this plan."""
+        return FaultInjector(self)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One firing, recorded for replay assertions: where, what, which op."""
+
+    site: str
+    kind: FaultKind
+    index: int
+    seq: int | None = None
+    token: str | None = None
+
+    def describe(self) -> str:
+        parts = [f"{self.site}#{self.index}", self.kind.value]
+        if self.seq is not None:
+            parts.append(f"seq={self.seq}")
+        if self.token is not None:
+            parts.append(f"token={self.token[:12]}")
+        return " ".join(parts)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at injection sites; thread-safe.
+
+    One injector per chaos run: it owns the per-site operation counters and
+    the ``fired`` log.  ``poll(site)`` advances the site's counter and
+    returns the first matching rule that fires (or None), recording a
+    :class:`FaultEvent`.  Pass ``seq`` at sites with a protocol sequence
+    number (task writes) so ``after_seq`` rules can trigger, and ``token``
+    at content-addressed sites (store entries) so decisions are pure
+    functions of the entry identity rather than arrival order.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._op_counts: dict[str, int] = {}
+        self._rule_fires: dict[int, int] = {}
+        self.fired: list[FaultEvent] = []
+
+    def poll(self, site: str, *, seq: int | None = None,
+             token: str | None = None) -> FaultRule | None:
+        """Evaluate the plan for one operation at ``site``."""
+        with self._lock:
+            index = self._op_counts.get(site, 0)
+            self._op_counts[site] = index + 1
+            for rule_index, rule in enumerate(self.plan.rules):
+                if not fnmatchcase(site, rule.site):
+                    continue
+                if (rule.max_fires is not None
+                        and self._rule_fires.get(rule_index, 0) >= rule.max_fires):
+                    continue
+                if not self._rule_fires_now(rule, site, index, seq, token):
+                    continue
+                self._rule_fires[rule_index] = self._rule_fires.get(rule_index, 0) + 1
+                self.fired.append(FaultEvent(site=site, kind=rule.kind,
+                                             index=index, seq=seq, token=token))
+                return rule
+            return None
+
+    def _rule_fires_now(self, rule: FaultRule, site: str, index: int,
+                        seq: int | None, token: str | None) -> bool:
+        if rule.after_seq is not None:
+            return seq is not None and seq >= rule.after_seq
+        if index in rule.at:
+            return True
+        if rule.probability <= 0.0:
+            return False
+        if rule.probability >= 1.0:
+            return True
+        lane = string_token(token) if token is not None else index
+        key = stream_key(self.plan.seed, string_token(site),
+                         string_token(rule.kind.value))
+        return unit_draw(key, lane) < rule.probability
+
+    def op_count(self, site: str) -> int:
+        """Operations polled at ``site`` so far."""
+        with self._lock:
+            return self._op_counts.get(site, 0)
+
+    def log(self) -> tuple[str, ...]:
+        """The fired events as stable strings, for replay comparison."""
+        with self._lock:
+            return tuple(event.describe() for event in self.fired)
+
+    def summary(self) -> dict[str, int]:
+        """Fired-event counts by (site, kind) — the chaos report shape."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for event in self.fired:
+                label = f"{event.site}:{event.kind.value}"
+                counts[label] = counts.get(label, 0) + 1
+            return counts
+
+
+# ---------------------------------------------------------------- transports
+
+
+def _frame_bytes(message: dict[str, Any]) -> int:
+    """Wire size a frame would have had (for faults that swallow writes)."""
+    return 4 + len(json.dumps(message, separators=(",", ":")).encode("utf-8"))
+
+
+class FaultyTransport:
+    """Wraps a :class:`~repro.core.remote.ShardTransport`, injecting faults.
+
+    Polls the injector only on the *deterministic* protocol events — task
+    frames on the write side (site ``{site}.task``, with the task's seq) and
+    result frames on the read side (site ``{site}.result``) — so heartbeat
+    timing never perturbs the operation counters.  All other behaviour
+    delegates to the wrapped transport.
+    """
+
+    def __init__(self, inner: Any, injector: FaultInjector, site: str) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.site = site
+        self.description = f"faulty({inner.description})"
+
+    @property
+    def process(self) -> Any:
+        return self.inner.process
+
+    def read(self) -> dict[str, Any] | None:
+        while True:
+            message = self.inner.read()
+            if message is None or message.get("type") != "result":
+                return message
+            rule = self.injector.poll(f"{self.site}.result",
+                                      seq=message.get("seq"))
+            if rule is None:
+                return message
+            if rule.kind is FaultKind.DELAY:
+                time.sleep(rule.delay)
+                return message
+            if rule.kind is FaultKind.DROP_FRAME:
+                continue  # the frame vanished in transit; keep reading
+            if rule.kind is FaultKind.TORN_FRAME:
+                # The stream tore mid-frame: unrecoverable on a byte
+                # transport, so the connection dies with it.
+                self.inner.kill()
+                return None
+            return message
+
+    def write(self, message: dict[str, Any]) -> int:
+        if message.get("type") != "task":
+            return self.inner.write(message)
+        rule = self.injector.poll(f"{self.site}.task", seq=message.get("seq"))
+        if rule is None:
+            return self.inner.write(message)
+        if rule.kind is FaultKind.DELAY:
+            time.sleep(rule.delay)
+            return self.inner.write(message)
+        if rule.kind is FaultKind.IO_ERROR:
+            raise OSError(f"injected task write failure at {self.site}")
+        if rule.kind is FaultKind.DROP_FRAME:
+            # Written into the void: the caller sees success, the far end
+            # sees nothing — the pure stall only task timeouts recover from.
+            return _frame_bytes(message)
+        if rule.kind is FaultKind.CRASH:
+            # The far end dies right after accepting the task.
+            try:
+                sent = self.inner.write(message)
+            except OSError:
+                sent = _frame_bytes(message)
+            self.inner.kill()
+            return sent
+        return self.inner.write(message)
+
+    def is_alive(self) -> bool:
+        return self.inner.is_alive()
+
+    def kill(self) -> None:
+        self.inner.kill()
+
+    def close(self, timeout: float = 5.0) -> None:
+        self.inner.close(timeout)
+
+
+def faulty_transport_factory(factory: Any, injector: FaultInjector,
+                             site: str) -> Any:
+    """Wrap a transport factory so connects and frames go through the plan.
+
+    Polls ``{site}.connect`` before construction (CONNECT_REFUSED raises
+    :class:`ConnectionRefusedError`, DELAY sleeps first — both feed the dial
+    retry and circuit-breaker paths exactly like a real refusing endpoint),
+    then wraps the built transport in a :class:`FaultyTransport`.
+    """
+
+    def build() -> FaultyTransport:
+        rule = injector.poll(f"{site}.connect")
+        if rule is not None:
+            if rule.kind is FaultKind.DELAY:
+                time.sleep(rule.delay)
+            elif rule.kind is FaultKind.CONNECT_REFUSED:
+                raise ConnectionRefusedError(
+                    f"injected connection refusal at {site}")
+        return FaultyTransport(factory(), injector, site)
+
+    return build

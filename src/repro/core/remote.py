@@ -130,12 +130,36 @@ from repro.core.engine import (
     chunk_from_spec,
     execute_chunk,
 )
+from repro.core.faults import FaultInjector, faulty_transport_factory
+from repro.core.resilience import CircuitBreaker, RetryPolicy
 from repro.errors import RemoteShardError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import ChunkStore
     from repro.sandbox.environment import ExecutionContext, SandboxRunner
     from repro.video.chunking import Chunk
+
+
+def _env_float(name: str, default: float) -> float:
+    """A positive float from the environment, or ``default``.
+
+    ``PRIVID_HEARTBEAT_TIMEOUT`` / ``PRIVID_STARTUP_GRACE`` let slow CI
+    runners widen the failure-detection windows without touching code.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(f"ignoring invalid {name}={raw!r} (expected a number)",
+                      RuntimeWarning, stacklevel=2)
+        return default
+    if value <= 0:
+        warnings.warn(f"ignoring non-positive {name}={raw!r}",
+                      RuntimeWarning, stacklevel=2)
+        return default
+    return value
 
 # --------------------------------------------------------------------- frames
 
@@ -205,6 +229,13 @@ def _worker_env() -> dict[str, str]:
 #: (and warn about it).  Extra arguments are forwarded to :func:`main`.
 _WORKER_COMMAND = [sys.executable, "-c",
                    "from repro.core.remote import main; main()"]
+
+#: Default dial schedule of :class:`TcpTransport`: three attempts spanning
+#: roughly a third of a second — enough to bridge a daemon restart without
+#: stalling a genuinely-dead endpoint for long (the per-address circuit
+#: breaker takes over across stream starts).
+DIAL_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.1,
+                                multiplier=2.0, max_delay=1.0, jitter=0.25)
 
 
 @runtime_checkable
@@ -303,18 +334,27 @@ class TcpTransport:
     daemon survives, unless this transport spawned it locally and therefore
     owns the process.  Socket errors on read surface as EOF, so a vanished
     daemon looks exactly like an exited pipe worker to the layers above.
+
+    Dialing retries with bounded exponential backoff (``retry``, default
+    :data:`DIAL_RETRY_POLICY`): a daemon mid-restart refuses connections for
+    a moment, and a single-attempt dial would misread that as permanently
+    unreachable.  Pass ``RetryPolicy(max_attempts=1)`` to dial exactly once.
     """
 
     def __init__(self, host: str, port: int, *, connect_timeout: float = 10.0,
-                 process: subprocess.Popen | None = None) -> None:
+                 process: subprocess.Popen | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         self.host = host
         self.port = port
         self.process = process
         self.description = f"tcp://{host}:{port}"
         self._closed = False
+        policy = retry if retry is not None else DIAL_RETRY_POLICY
         try:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=connect_timeout)
+            self._sock = policy.call(
+                lambda: socket.create_connection((host, port),
+                                                 timeout=connect_timeout),
+                retry_on=(OSError,), token=f"{host}:{port}")
         except OSError:
             # A connection that never opened must not leave a daemon this
             # factory already spawned running forever.
@@ -615,7 +655,8 @@ def main(argv: list[str] | None = None) -> None:
 class _ShardTask:
     """One dispatched task: a spec batch awaiting its result."""
 
-    __slots__ = ("seq", "specs", "payload_path", "num_chunks", "shard_id", "attempts")
+    __slots__ = ("seq", "specs", "payload_path", "num_chunks", "shard_id",
+                 "attempts", "dispatched_at")
 
     def __init__(self, seq: int, specs: list[ChunkSpecMessage], payload_path: str,
                  num_chunks: int) -> None:
@@ -625,6 +666,7 @@ class _ShardTask:
         self.num_chunks = num_chunks
         self.shard_id: int | None = None
         self.attempts = 0
+        self.dispatched_at: float | None = None
 
 
 class _Shard:
@@ -742,12 +784,17 @@ class ShardedEngine:
 
     def __init__(self, num_shards: int | None = None, *,
                  transports: "list[Callable[[], ShardTransport]] | None" = None,
+                 transport_labels: "list[str] | None" = None,
                  chunksize: int | None = None,
                  in_flight_window: int | None = None,
                  heartbeat_interval: float = 0.5,
-                 heartbeat_timeout: float = 10.0,
-                 startup_grace: float = 60.0,
-                 max_task_retries: int = 3) -> None:
+                 heartbeat_timeout: float | None = None,
+                 startup_grace: float | None = None,
+                 max_task_retries: int = 3,
+                 task_timeout: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 10.0,
+                 fault_injector: "FaultInjector | None" = None) -> None:
         if transports is not None:
             if not transports:
                 raise ValueError("transports must not be empty")
@@ -757,25 +804,62 @@ class ShardedEngine:
         else:
             self.num_shards = num_shards if num_shards is not None \
                 else _default_workers()
+        if transport_labels is not None and (
+                transports is None or len(transport_labels) != len(transports)):
+            raise ValueError("transport_labels must match the transport list")
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
         if in_flight_window is not None and in_flight_window <= 0:
             raise ValueError("in_flight_window must be positive")
+        # The failure-detection windows default from the environment
+        # (PRIVID_HEARTBEAT_TIMEOUT / PRIVID_STARTUP_GRACE) so slow CI
+        # runners can widen them without code changes; explicit arguments
+        # win over the environment.
+        if heartbeat_timeout is None:
+            heartbeat_timeout = _env_float("PRIVID_HEARTBEAT_TIMEOUT", 10.0)
+        if startup_grace is None:
+            startup_grace = _env_float("PRIVID_STARTUP_GRACE", 60.0)
         if heartbeat_interval <= 0 or heartbeat_timeout <= 0 or startup_grace <= 0:
             raise ValueError("heartbeat intervals must be positive")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
         self.name = "sharded"
         #: Per-slot transport factories (TCP mode); None means the pipe
         #: default, where workers are interchangeable and respawn freely.
         self._transport_factories = list(transports) if transports is not None \
             else None
+        self._transport_labels = list(transport_labels) \
+            if transport_labels is not None else None
         self.chunksize = chunksize
         self.in_flight_window = in_flight_window
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.startup_grace = startup_grace
         self.max_task_retries = max_task_retries
+        #: Optional stall detector: a dispatched task whose result has not
+        #: arrived within this many seconds is redispatched to another shard
+        #: (at-most-once application makes the duplicate execution safe).
+        #: None (the default) disables it — heartbeats already catch dead
+        #: and frozen shards; this additionally catches a *lost frame* on an
+        #: otherwise-healthy connection, at the cost of duplicated work when
+        #: set lower than a batch's genuine runtime.
+        self.task_timeout = task_timeout
+        #: Per-endpoint circuit breakers (keyed by slot label), consulted
+        #: before every spawn/dial: an endpoint that failed
+        #: ``breaker_threshold`` consecutive times is skipped without
+        #: dialing until ``breaker_reset`` seconds pass, then probed
+        #: half-open.  States surface in ``dispatch_stats_dict``/``health``.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Optional chaos seam: when set (constructor or
+        #: :meth:`set_fault_injector`, before first use), every transport
+        #: this engine opens is wrapped in a
+        #: :class:`~repro.core.faults.FaultyTransport` and connects are
+        #: polled against the plan.
+        self._fault_injector = fault_injector
         #: Engine-wide IPC accounting (every task frame sent to any shard).
         self.dispatch_stats = DispatchStats()
         #: Chunks whose rows a shard served from its local view of the
@@ -820,6 +904,7 @@ class ShardedEngine:
             return lambda: TcpTransport(host, port)
 
         return cls(transports=[factory(host, port) for host, port in parsed],
+                   transport_labels=[f"{host}:{port}" for host, port in parsed],
                    **kwargs)
 
     @classmethod
@@ -834,24 +919,62 @@ class ShardedEngine:
         count = num_shards if num_shards is not None else _default_workers()
         if count <= 0:
             raise ValueError("num_shards must be positive")
-        return cls(transports=[spawn_local_daemon] * count, **kwargs)
+        return cls(transports=[spawn_local_daemon] * count,
+                   transport_labels=[f"tcp{index}" for index in range(count)],
+                   **kwargs)
 
     # ------------------------------------------------------------- shard pool
 
+    def _slot_label(self, slot: int | None) -> str:
+        """Breaker key of one endpoint: its address/label, or the pipe pool."""
+        if slot is None:
+            return "pipe"
+        if self._transport_labels is not None:
+            return self._transport_labels[slot]
+        return f"slot{slot}"
+
     def _spawn_shard(self, slot: int | None = None) -> _Shard | None:
-        """Open one shard (pipe spawn or TCP connect); None if unreachable."""
+        """Open one shard (pipe spawn or TCP connect); None if unreachable.
+
+        Every endpoint sits behind a per-label circuit breaker: after
+        ``breaker_threshold`` consecutive spawn/dial failures the endpoint
+        is skipped without dialing until ``breaker_reset`` passes, then a
+        single half-open probe decides.  With a fault injector installed,
+        the transport factory is additionally routed through the plan
+        (connect faults) and the built transport wrapped for frame faults.
+        """
         factory: Callable[[], ShardTransport]
+        label = self._slot_label(slot)
         if self._transport_factories is None:
             factory = PipeTransport
+            # Per-worker fault site: a respawned pipe worker is a new
+            # endpoint with fresh (deterministic) operation counters.
+            site = f"transport.worker{self._next_shard_id}"
         else:
             assert slot is not None
             factory = self._transport_factories[slot]
+            site = f"transport.{label}"
+        breaker = self._breakers.get(label)
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold=self.breaker_threshold,
+                                     reset_timeout=self.breaker_reset)
+            self._breakers[label] = breaker
+        if not breaker.allow():
+            warnings.warn(f"shard endpoint {label!r} skipped: circuit breaker "
+                          "open after repeated failures",
+                          RuntimeWarning, stacklevel=2)
+            return None
+        if self._fault_injector is not None:
+            factory = faulty_transport_factory(factory, self._fault_injector,
+                                               site)
         try:
             transport = factory()
         except OSError as exc:
+            breaker.record_failure()
             warnings.warn(f"shard slot {slot} is unreachable: {exc}",
                           RuntimeWarning, stacklevel=2)
             return None
+        breaker.record_success()
         shard_id = self._next_shard_id
         self._next_shard_id += 1
         stats = self._shard_stats.setdefault(shard_id, DispatchStats())
@@ -881,9 +1004,17 @@ class ShardedEngine:
         for shard_id in [sid for sid, shard in self._shards.items() if not shard.alive]:
             del self._shards[shard_id]
         if self._transport_factories is None:
-            while sum(1 for shard in self._shards.values() if shard.alive) \
-                    < self.num_shards:
+            # One spawn attempt per missing slot, *bounded*: a spawn can fail
+            # (fork failure, injected connect fault, open breaker), and an
+            # until-full loop would spin forever on a persistent failure.
+            missing = self.num_shards \
+                - sum(1 for shard in self._shards.values() if shard.alive)
+            for _ in range(missing):
                 self._spawn_shard()
+            if not self._live_shards():
+                raise RemoteShardError(
+                    "no shard worker could be started "
+                    f"(all {self.num_shards} spawns failed)")
             return
         # Address-pinned mode: one shard per transport slot.  A slot whose
         # daemon is unreachable right now is skipped (its work lands on the
@@ -950,6 +1081,7 @@ class ShardedEngine:
                 self._mark_dead(shard)
                 continue
             task.shard_id = shard.id
+            task.dispatched_at = time.monotonic()
             shard.pending[task.seq] = task
             self._tasks[task.seq] = task
             shard.stats.record_dispatch(sent, task.num_chunks)
@@ -1043,8 +1175,27 @@ class ShardedEngine:
         # "pong" (and unknown types) only needed the last_seen refresh above.
 
     def _heartbeat(self) -> None:
-        """Probe silent shards; declare the unresponsive ones dead."""
+        """Probe silent shards; declare the unresponsive ones dead.
+
+        With ``task_timeout`` set, additionally redispatches tasks whose
+        result is overdue on a shard that still answers pings — the
+        lost-frame stall (a dropped result or task frame leaves the shard
+        healthy but the seq parked forever).  Duplicated execution is safe:
+        the first result to arrive retires the seq.
+        """
         now = time.monotonic()
+        if self.task_timeout is not None:
+            for shard in list(self._shards.values()):
+                if not shard.alive:
+                    continue
+                overdue = [task for task in shard.pending.values()
+                           if task.dispatched_at is not None
+                           and now - task.dispatched_at > self.task_timeout]
+                for task in overdue:
+                    shard.pending.pop(task.seq, None)
+                    self._retry(task, exclude=shard.id,
+                                reason=f"no result within "
+                                       f"task_timeout={self.task_timeout}s")
         for shard in list(self._shards.values()):
             if not shard.alive:
                 continue
@@ -1209,6 +1360,38 @@ class ShardedEngine:
             for shard in self._shards.values():
                 shard.stats = self._shard_stats.setdefault(shard.id, DispatchStats())
 
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Install a chaos fault plan on every transport this engine opens.
+
+        Call before first use (or after :meth:`shutdown`): already-open
+        transports are not retroactively wrapped.
+        """
+        with self._lock:
+            self._fault_injector = injector
+
+    def health(self) -> dict[str, Any]:
+        """Shard-pool liveness snapshot for ``service.health()``.
+
+        ``live_shards`` counts shards that are flagged alive *and* pass the
+        transport's liveness probe; ``degraded`` is True once the pool has
+        been used and is below strength, or any endpoint breaker is not
+        closed.  Before first use (``started`` False) an empty pool is
+        normal, not degraded — shards spawn lazily.
+        """
+        with self._lock:
+            live = sum(1 for shard in self._shards.values()
+                       if shard.alive and shard.transport.is_alive())
+            pending = sum(len(shard.pending) for shard in self._shards.values())
+            breakers = {label: breaker.state_dict()
+                        for label, breaker in sorted(self._breakers.items())}
+            started = self._next_shard_id > 0
+            degraded = (started and live < self.num_shards) or any(
+                entry["state"] != "closed" for entry in breakers.values())
+            return {"engine": self.name, "num_shards": self.num_shards,
+                    "live_shards": live, "pending_tasks": pending,
+                    "started": started, "degraded": degraded,
+                    "breakers": breakers}
+
     def dispatch_stats_dict(self) -> dict[str, Any]:
         """Engine-wide dispatch counters plus a ``per_shard`` breakdown.
 
@@ -1216,14 +1399,17 @@ class ShardedEngine:
         records where every byte of a sweep actually went (the
         ``sharded_dispatch`` section of ``BENCH_pipeline.json``).
         ``shard_cache_hits`` counts chunks a shard answered from its local
-        view of the shared store without executing.
+        view of the shared store without executing; ``breakers`` is the
+        per-endpoint circuit-breaker state (empty until shards spawn).
         """
         with self._lock:
             return {**self.dispatch_stats.as_dict(),
                     "shard_cache_hits": self.shard_cache_hits,
                     "per_shard": {str(shard_id): stats.as_dict()
                                   for shard_id, stats in sorted(self._shard_stats.items())
-                                  if stats.dispatches or stats.chunks}}
+                                  if stats.dispatches or stats.chunks},
+                    "breakers": {label: breaker.state_dict()
+                                 for label, breaker in sorted(self._breakers.items())}}
 
     def shutdown(self) -> None:
         """Terminate every shard worker (the pool respawns on next use)."""

@@ -1,0 +1,259 @@
+"""Self-healing primitives: retry with backoff, circuit breaking, deadlines.
+
+The always-on deployment of :mod:`repro.service` has to survive the failures
+a months-long camera installation actually sees — daemons restarting, hosts
+unreachable for a while, queries wedged behind a dead shard.  This module
+holds the three small mechanisms the service and the sharded engine build
+their failure handling from:
+
+* :class:`RetryPolicy` — bounded exponential backoff with *deterministic*
+  jitter: the jitter of attempt ``i`` for token ``t`` is a splitmix64 draw
+  (:mod:`repro.utils.hashing`), a pure function of ``(seed, token, i)``, so
+  retry schedules replay bit-identically under the same fault plan instead
+  of depending on a wall-clock RNG.
+* :class:`CircuitBreaker` — the classic three-state breaker per endpoint:
+  CLOSED until ``failure_threshold`` consecutive failures, then OPEN
+  (requests refused without touching the endpoint) until ``reset_timeout``
+  passes, then HALF_OPEN admitting a single probe whose outcome closes or
+  re-opens the circuit.  Keeps a flapping daemon from absorbing a dial
+  attempt (and its timeout) at every stream start.
+* :class:`CancellationToken` — cooperative cancellation with an optional
+  monotonic deadline.  Work that honours a token calls :meth:`~CancellationToken.check`
+  at its natural yield points (the executor checks between chunks); a passed
+  deadline raises :class:`~repro.errors.QueryTimeoutError`, a manual
+  :meth:`~CancellationToken.cancel` raises
+  :class:`~repro.errors.QueryCancelledError`.
+
+All three are deliberately dependency-free and thread-safe: breakers are
+shared between stream starts on different query threads, and a token is
+armed by the submitting thread but checked by the pool thread running the
+query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.utils.hashing import signed_draw, stream_key, string_token
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic splitmix64 jitter.
+
+    ``delay(i)`` for attempt ``i`` (0-based, the delay *after* the i-th
+    failure) is ``min(max_delay, base_delay * multiplier**i)``, scaled by
+    ``1 + jitter * u`` where ``u`` is a signed draw in ``[-1, 1)`` keyed by
+    ``(seed, "retry", token, i)`` — the same counter-based hashing the noise
+    streams use, so two runs with the same plan sleep the same schedule.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Sleep before retry ``attempt`` (0-based), jittered deterministically."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if not self.jitter or not raw:
+            return raw
+        key = stream_key(self.seed, string_token("retry"), string_token(token))
+        return max(0.0, raw * (1.0 + self.jitter * signed_draw(key, attempt)))
+
+    def call(self, fn: Callable[[], Any], *,
+             retry_on: "tuple[type[BaseException], ...]" = (OSError,),
+             token: str = "",
+             sleep: Callable[[float], None] = time.sleep,
+             on_retry: "Callable[[int, BaseException], None] | None" = None) -> Any:
+        """Invoke ``fn`` up to ``max_attempts`` times, backing off between.
+
+        Only exceptions in ``retry_on`` are retried; the last one propagates
+        once attempts are exhausted.  ``token`` keys the jitter stream (use
+        the endpoint address so concurrent endpoints decorrelate);
+        ``on_retry(attempt, exc)`` observes each failure before the sleep.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(self.delay(attempt - 1, token))
+
+
+class BreakerState(str, Enum):
+    """The three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-endpoint circuit breaker: open after K consecutive failures.
+
+    ``allow()`` gates an attempt: True in CLOSED, False in OPEN until
+    ``reset_timeout`` has passed, at which point the breaker moves to
+    HALF_OPEN and admits exactly one probe (further ``allow()`` calls return
+    False until that probe reports).  ``record_success`` closes the circuit
+    and zeroes the failure run; ``record_failure`` extends it — and any
+    failure in HALF_OPEN re-opens immediately, restarting the reset clock.
+    Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3, reset_timeout: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self.opens = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN reads as OPEN until a probe is *taken*)."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May an attempt proceed right now?  (Taking a HALF_OPEN probe.)"""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = BreakerState.HALF_OPEN
+                    self.probes += 1
+                    return True
+                return False
+            # HALF_OPEN: one probe is already in flight; everyone else waits
+            # for its verdict.
+            return False
+
+    def record_success(self) -> None:
+        """An attempt succeeded: close the circuit, zero the failure run."""
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """An attempt failed: extend the run, open at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (self._state is BreakerState.HALF_OPEN
+                    or self._consecutive_failures >= self.failure_threshold):
+                if self._state is not BreakerState.OPEN:
+                    self.opens += 1
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+
+    def state_dict(self) -> dict[str, Any]:
+        """Snapshot for ``stats()`` / ``health()`` reporting."""
+        with self._lock:
+            return {"state": self._state.value,
+                    "consecutive_failures": self._consecutive_failures,
+                    "opens": self.opens,
+                    "probes": self.probes}
+
+
+class CancellationToken:
+    """Cooperative cancellation with an optional monotonic deadline.
+
+    A token is shared between the thread that owns a query (which may
+    :meth:`cancel` it) and the thread running it (which calls :meth:`check`
+    at its yield points — the executor checks between chunks, so a stream
+    stops within one chunk of the deadline).  Deadlines are armed with
+    :meth:`set_timeout`; the earliest of several armed deadlines wins.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._deadline: float | None = None
+        self._cancelled = False
+        self._reason = "query cancelled"
+
+    @classmethod
+    def with_timeout(cls, seconds: float, *,
+                     clock: Callable[[], float] = time.monotonic
+                     ) -> "CancellationToken":
+        """A fresh token whose deadline is ``seconds`` from now."""
+        token = cls(clock=clock)
+        token.set_timeout(seconds)
+        return token
+
+    def set_timeout(self, seconds: float) -> None:
+        """Arm (or tighten) the deadline to ``seconds`` from now."""
+        if seconds < 0:
+            raise ValueError("timeout must be non-negative")
+        deadline = self._clock() + seconds
+        with self._lock:
+            self._deadline = deadline if self._deadline is None \
+                else min(self._deadline, deadline)
+
+    def cancel(self, reason: str = "query cancelled") -> None:
+        """Cancel manually; the running query raises at its next check."""
+        with self._lock:
+            self._cancelled = True
+            self._reason = reason
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (never negative), or None if unarmed."""
+        with self._lock:
+            deadline = self._deadline
+        if deadline is None:
+            return None
+        return max(0.0, deadline - self._clock())
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled manually or past the deadline."""
+        with self._lock:
+            if self._cancelled:
+                return True
+            return self._deadline is not None and self._clock() >= self._deadline
+
+    def check(self) -> None:
+        """Raise if cancelled: the cooperative yield point.
+
+        :class:`~repro.errors.QueryTimeoutError` past the deadline,
+        :class:`~repro.errors.QueryCancelledError` after a manual cancel.
+        """
+        with self._lock:
+            if self._cancelled:
+                raise QueryCancelledError(self._reason)
+            if self._deadline is not None and self._clock() >= self._deadline:
+                raise QueryTimeoutError(
+                    "query exceeded its deadline and was cancelled between chunks")

@@ -82,6 +82,44 @@ class RemoteShardError(PrividError):
     """
 
 
+class QueryCancelledError(PrividError):
+    """A query was cancelled cooperatively before it finished.
+
+    Raised out of :meth:`repro.core.executor.PrividSystem.execute` (and the
+    futures of :class:`repro.service.QueryService`) when the query's
+    :class:`~repro.core.resilience.CancellationToken` is cancelled between
+    chunks.  Cancellation always happens *before* budget admission, so a
+    cancelled query never charges any ledger (all-or-nothing holds).
+    """
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """A query exceeded its deadline and was cancelled cooperatively.
+
+    The timeout flavour of :class:`QueryCancelledError`: raised when the
+    token's monotonic deadline passes.  Like every cancellation it fires
+    between chunks, before any budget is charged.
+    """
+
+
+class ServiceOverloadedError(PrividError):
+    """The service's bounded wait queue is full; the query was not admitted.
+
+    Typed admission-control rejection from
+    :meth:`repro.service.QueryService.submit`: raised synchronously (no
+    future is created, nothing is queued, nothing is charged) when the
+    number of queries waiting for a pool slot has reached
+    ``max_queue_depth``.
+    """
+
+    def __init__(self, message: str, *, active: int | None = None,
+                 queue_depth: int | None = None, limit: int | None = None) -> None:
+        super().__init__(message)
+        self.active = active
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
 class UnknownCameraError(PrividError):
     """A SPLIT statement referenced a camera that is not registered."""
 

@@ -47,13 +47,16 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any
 
 from repro.core.budget import ServiceLedger
-from repro.core.cache import ChunkStore
+from repro.core.cache import ChunkStore, store_health
 from repro.core.engine import ExecutionEngine
 from repro.core.executor import CameraRegistration, PrividSystem, cache_stats_dict, \
     engine_stats_dict
+from repro.core.faults import FaultInjector
 from repro.core.noise import LaplaceMechanism
+from repro.core.resilience import CancellationToken
 from repro.core.result import QueryResult
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, QueryCancelledError, \
+    QueryTimeoutError, ServiceOverloadedError
 from repro.query.ast import PrividQuery
 from repro.sandbox.registry import ExecutableRegistry
 from repro.utils.rng import RandomSource
@@ -77,21 +80,41 @@ class QueryService:
                  engine: ExecutionEngine | str | None = None,
                  cache: ChunkStore | str | None = None,
                  ledger: ServiceLedger | None = None,
-                 max_concurrent_queries: int = 4) -> None:
+                 max_concurrent_queries: int = 4,
+                 max_queue_depth: int | None = None,
+                 default_query_timeout: float | None = None,
+                 on_engine_failure: str = "fail",
+                 fault_injector: FaultInjector | None = None) -> None:
         if max_concurrent_queries <= 0:
             raise ValueError("max_concurrent_queries must be positive")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 (or None)")
+        if default_query_timeout is not None and default_query_timeout <= 0:
+            raise ValueError("default_query_timeout must be positive (or None)")
         self.ledger = ledger if ledger is not None else ServiceLedger()
         # The template system owns the shared resources: it builds the
         # engine/store from specs, wires share_store for engines it built,
         # and registers cameras.  Per-query systems are thin views over it.
         self._template = PrividSystem(seed=seed, registry=registry,
                                       engine=engine, cache=cache,
-                                      ledger=self.ledger)
+                                      ledger=self.ledger,
+                                      on_engine_failure=on_engine_failure)
         self._seed = seed
         self.engine: ExecutionEngine = self._template.engine
         self.cache: ChunkStore | None = self._template.chunk_cache
         self.registry: ExecutableRegistry = self._template.registry
         self.max_concurrent_queries = max_concurrent_queries
+        self.max_queue_depth = max_queue_depth
+        self.default_query_timeout = default_query_timeout
+        self.on_engine_failure = on_engine_failure
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            # Opt-in chaos: any shared resource that exposes the hook gets
+            # the same injector, so one seeded plan drives the whole stack.
+            for resource in (self.engine, self.cache):
+                hook = getattr(resource, "set_fault_injector", None)
+                if hook is not None:
+                    hook(fault_injector)
         self._pool = ThreadPoolExecutor(max_workers=max_concurrent_queries,
                                         thread_name_prefix="privid-query")
         self._lock = threading.Lock()
@@ -100,6 +123,9 @@ class QueryService:
         self._completed = 0
         self._denied = 0
         self._failed = 0
+        self._timed_out = 0
+        self._cancelled = 0
+        self._rejected = 0
         self._active = 0
         self._closed = False
 
@@ -138,7 +164,8 @@ class QueryService:
         """
         system = PrividSystem(seed=self._seed, registry=self.registry,
                               engine=self.engine, cache=self.cache,
-                              ledger=self.ledger)
+                              ledger=self.ledger,
+                              on_engine_failure=self.on_engine_failure)
         system.cameras = self._template.cameras
         system.random = RandomSource(self._seed, path=f"privid/query-{query_seq}")
         system.mechanism = LaplaceMechanism(system.random)
@@ -153,6 +180,14 @@ class QueryService:
                 self._denied += 1
                 self._active -= 1
             raise
+        except QueryCancelledError as exc:
+            with self._lock:
+                if isinstance(exc, QueryTimeoutError):
+                    self._timed_out += 1
+                else:
+                    self._cancelled += 1
+                self._active -= 1
+            raise
         except BaseException:
             with self._lock:
                 self._failed += 1
@@ -164,21 +199,57 @@ class QueryService:
         result.metadata["query_seq"] = query_seq
         return result
 
-    def submit(self, query: PrividQuery, **kwargs: Any) -> "Future[QueryResult]":
+    def submit(self, query: PrividQuery, *, timeout: float | None = None,
+               cancel: CancellationToken | None = None,
+               **kwargs: Any) -> "Future[QueryResult]":
         """Enqueue a query; returns a future resolving to its result.
 
         ``kwargs`` are forwarded to :meth:`PrividSystem.execute`
         (``default_epsilon``, ``add_noise``, ``charge_budget``).  A query
         denied for budget raises :class:`~repro.errors.BudgetExceededError`
         out of the future — with *no* camera charged (all-or-nothing).
+
+        ``timeout`` (falling back to the service's ``default_query_timeout``)
+        arms a deadline on the query's
+        :class:`~repro.core.resilience.CancellationToken`; a query past its
+        deadline raises :class:`~repro.errors.QueryTimeoutError` out of the
+        future *before* any budget is charged.  Pass ``cancel`` to keep a
+        handle for manual cancellation (``cancel.cancel()`` →
+        :class:`~repro.errors.QueryCancelledError`).
+
+        When ``max_queue_depth`` is set and that many queries are already
+        waiting behind the ``max_concurrent_queries`` running slots, submit
+        sheds load immediately with
+        :class:`~repro.errors.ServiceOverloadedError` instead of growing the
+        backlog without bound.
         """
+        effective_timeout = timeout if timeout is not None \
+            else self.default_query_timeout
+        token = cancel
+        if effective_timeout is not None:
+            if token is None:
+                token = CancellationToken.with_timeout(effective_timeout)
+            else:
+                token.set_timeout(effective_timeout)
         with self._lock:
             if self._closed:
                 raise RuntimeError("QueryService is closed")
+            if self.max_queue_depth is not None:
+                queued = max(0, self._active - self.max_concurrent_queries)
+                if queued >= self.max_queue_depth:
+                    self._rejected += 1
+                    raise ServiceOverloadedError(
+                        f"query rejected: {queued} queries already queued "
+                        f"behind {self.max_concurrent_queries} running slots "
+                        f"(max_queue_depth={self.max_queue_depth})",
+                        active=self._active, queue_depth=queued,
+                        limit=self.max_queue_depth)
             query_seq = self._next_query
             self._next_query += 1
             self._submitted += 1
             self._active += 1
+        if token is not None:
+            kwargs = dict(kwargs, cancel=token)
         return self._pool.submit(self._run_query, query_seq, query, kwargs)
 
     def execute(self, query: PrividQuery, **kwargs: Any) -> QueryResult:
@@ -200,10 +271,43 @@ class QueryService:
         with self._lock:
             queries = {"submitted": self._submitted, "completed": self._completed,
                        "denied": self._denied, "failed": self._failed,
+                       "timed_out": self._timed_out,
+                       "cancelled": self._cancelled,
+                       "rejected": self._rejected,
                        "active": self._active}
         return {"queries": queries,
                 "engine": engine_stats_dict(self.engine),
                 "cache": cache_stats_dict(self.cache),
+                "budgets": self.ledger.snapshot()}
+
+    def health(self) -> dict[str, Any]:
+        """A liveness/degradation snapshot suitable for an ops probe.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (the engine lost shards or
+        tripped a circuit breaker, or the store's directory stopped being
+        writable — the service still answers queries, possibly more slowly
+        or with cold caches), or ``"closed"``.  ``queries`` splits ``active``
+        into ``running`` (holding one of the ``capacity`` pool slots) and
+        ``queued`` (waiting for a slot, bounded by ``queue_limit``).
+        """
+        with self._lock:
+            closed = self._closed
+            active = self._active
+        running = min(active, self.max_concurrent_queries)
+        engine_health = getattr(self.engine, "health", None)
+        engine = engine_health() if callable(engine_health) \
+            else {"engine": type(self.engine).__name__, "degraded": False}
+        store = store_health(self.cache)
+        degraded = bool(engine.get("degraded")) or \
+            not store.get("writable", True)
+        return {"status": "closed" if closed
+                else ("degraded" if degraded else "ok"),
+                "queries": {"active": active, "running": running,
+                            "queued": active - running,
+                            "capacity": self.max_concurrent_queries,
+                            "queue_limit": self.max_queue_depth},
+                "engine": engine,
+                "store": store,
                 "budgets": self.ledger.snapshot()}
 
     # -------------------------------------------------------------- lifecycle

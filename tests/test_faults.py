@@ -1,0 +1,566 @@
+"""Tests for the fault-injection seam and the self-healing primitives.
+
+The contract under test: fault decisions are pure functions of the seeded
+:class:`FaultPlan` (same plan + same seed → same fault sequence), the
+resilience primitives (retry backoff, circuit breaker, cancellation token)
+behave per their state machines under an injectable clock, and the system
+degrades the way the failure model promises — store faults become counted
+misses, an engine lost mid-stream falls back to byte-identical serial
+re-execution, a cancelled query never charges a ledger.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import PrividSystem, SerialEngine
+from repro.core.cache import DiskChunkStore, store_health
+from repro.core.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    FaultyTransport,
+    faulty_transport_factory,
+)
+from repro.core.resilience import (
+    BreakerState,
+    CancellationToken,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.core.policy import PrivacyPolicy
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    RemoteShardError,
+)
+from repro.query.builder import QueryBuilder
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+
+def _walker_video(num_walkers: int = 6, duration: float = 600.0):
+    objects = [make_crossing_object(f"w{i}", start=20.0 + 80.0 * i, duration=35.0,
+                                    x=450.0 + 40.0 * i)
+               for i in range(num_walkers)]
+    return make_simple_video(duration=duration, objects=objects)
+
+
+def _count_query(name: str = "q", *, window: float = 600.0,
+                 bucket: float = 600.0, epsilon: float = 1.0):
+    return (QueryBuilder(name)
+            .split("cam", begin=0, end=window, chunk_duration=60.0, into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)], into="t")
+            .select_count(table="t", bucket_seconds=bucket, epsilon=epsilon)
+            .build())
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ------------------------------------------------------------------- plans
+
+
+class TestFaultRule:
+    def test_a_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="store.get", kind=FaultKind.IO_ERROR)
+
+    def test_probability_bounds_are_enforced(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind=FaultKind.DELAY, probability=1.5)
+
+    def test_after_seq_defaults_to_a_single_firing(self):
+        # Every seq past the threshold matches, so the crash-at-seq schedule
+        # must cap itself or the respawned shard dies on the retry forever.
+        rule = FaultRule(site="x", kind=FaultKind.CRASH, after_seq=7)
+        assert rule.max_fires == 1
+        explicit = FaultRule(site="x", kind=FaultKind.CRASH, after_seq=7,
+                             max_fires=3)
+        assert explicit.max_fires == 3
+
+    def test_negative_delay_and_zero_max_fires_are_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind=FaultKind.DELAY, at=(0,), delay=-1.0)
+        with pytest.raises(ValueError):
+            FaultRule(site="x", kind=FaultKind.DELAY, at=(0,), max_fires=0)
+
+
+class TestFaultInjector:
+    def test_at_indices_fire_per_site(self):
+        plan = FaultPlan(rules=(FaultRule(site="a.task", kind=FaultKind.DELAY,
+                                          at=(1, 3)),), seed=3)
+        injector = plan.injector()
+        hits = [injector.poll("a.task") is not None for _ in range(5)]
+        assert hits == [False, True, False, True, False]
+        # Site counters are independent: "b.task" starts from index 0.
+        assert injector.poll("b.task") is None
+        assert injector.op_count("a.task") == 5
+        assert injector.op_count("b.task") == 1
+
+    def test_site_patterns_glob(self):
+        plan = FaultPlan(rules=(FaultRule(site="transport.*.task",
+                                          kind=FaultKind.DELAY, at=(0,)),))
+        injector = plan.injector()
+        assert injector.poll("transport.worker3.task") is not None
+        assert injector.poll("store.put") is None
+
+    def test_probabilistic_decisions_replay_bit_identically(self):
+        plan = FaultPlan(rules=(FaultRule(site="s.result", kind=FaultKind.DROP_FRAME,
+                                          probability=0.4, max_fires=1000),),
+                         seed=17)
+        runs = []
+        for _ in range(2):
+            injector = plan.injector()
+            runs.append([injector.poll("s.result") is not None
+                         for _ in range(200)])
+        assert runs[0] == runs[1]
+        assert 20 < sum(runs[0]) < 160  # actually probabilistic, not 0% / 100%
+
+    def test_seed_changes_the_fault_sequence(self):
+        def decisions(seed):
+            injector = FaultPlan(rules=(FaultRule(site="s", kind=FaultKind.DELAY,
+                                                  probability=0.5,
+                                                  max_fires=1000),),
+                                 seed=seed).injector()
+            return [injector.poll("s") is not None for _ in range(64)]
+
+        assert decisions(1) != decisions(2)
+
+    def test_token_keyed_decisions_are_order_independent(self):
+        # The disk store passes entry keys as tokens: whether a given entry
+        # faults must not depend on which order entries are touched in.
+        plan = FaultPlan(rules=(FaultRule(site="store.get", kind=FaultKind.IO_ERROR,
+                                          probability=0.5, max_fires=1000),),
+                         seed=9)
+        tokens = [f"entry-{i}" for i in range(40)]
+
+        def faulted(order):
+            injector = plan.injector()
+            return {token for token in order
+                    if injector.poll("store.get", token=token) is not None}
+
+        assert faulted(tokens) == faulted(list(reversed(tokens)))
+
+    def test_after_seq_fires_once_at_the_threshold(self):
+        plan = FaultPlan(rules=(FaultRule(site="t.task", kind=FaultKind.CRASH,
+                                          after_seq=5),))
+        injector = plan.injector()
+        assert injector.poll("t.task", seq=4) is None
+        assert injector.poll("t.task", seq=6) is not None  # >= threshold
+        assert injector.poll("t.task", seq=7) is None  # max_fires=1 spent
+        assert [event.seq for event in injector.fired] == [6]
+
+    def test_max_fires_caps_a_rule(self):
+        plan = FaultPlan(rules=(FaultRule(site="s", kind=FaultKind.DELAY,
+                                          probability=1.0, max_fires=2),))
+        injector = plan.injector()
+        fired = [injector.poll("s") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_log_and_summary_report_firings(self):
+        plan = FaultPlan(rules=(FaultRule(site="s", kind=FaultKind.IO_ERROR,
+                                          at=(0, 1)),))
+        injector = plan.injector()
+        injector.poll("s")
+        injector.poll("s", token="abcdef")
+        assert injector.log() == ("s#0 io_error", "s#1 io_error token=abcdef")
+        assert injector.summary() == {"s:io_error": 2}
+
+
+# -------------------------------------------------------------- resilience
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap_deterministically(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5, jitter=0.0)
+        assert [policy.delay(i) for i in range(4)] == \
+            pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+    def test_jitter_is_a_pure_function_of_seed_token_attempt(self):
+        policy = RetryPolicy(jitter=0.25, seed=4)
+        assert policy.delay(1, "host:9101") == policy.delay(1, "host:9101")
+        assert policy.delay(1, "host:9101") != policy.delay(1, "host:9102")
+        base = RetryPolicy(jitter=0.0, seed=4).delay(1)
+        assert abs(policy.delay(1, "host:9101") - base) <= 0.25 * base + 1e-12
+
+    def test_call_retries_then_succeeds(self):
+        attempts, sleeps = [], []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert policy.call(flaky, sleep=sleeps.append) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_call_raises_the_last_error_when_exhausted(self):
+        def always():
+            raise OSError("down")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(OSError, match="down"):
+            policy.call(always, sleep=lambda _: None)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("bug")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0)
+        with pytest.raises(ValueError):
+            policy.call(boom, sleep=lambda _: None)
+        assert len(calls) == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, reset=10.0):
+        return CircuitBreaker(failure_threshold=threshold, reset_timeout=reset,
+                              clock=clock)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_zeroes_the_failure_run(self):
+        clock = _FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits for its verdict
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_restarts_the_clock(self):
+        clock = _FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: straight back to OPEN
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.state_dict()["opens"] == 2
+        assert breaker.state_dict()["probes"] == 2
+
+
+class TestCancellationToken:
+    def test_deadline_raises_typed_timeout(self):
+        clock = _FakeClock()
+        token = CancellationToken.with_timeout(5.0, clock=clock)
+        token.check()  # inside the deadline: a no-op
+        assert token.remaining() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert token.cancelled
+        with pytest.raises(QueryTimeoutError):
+            token.check()
+
+    def test_manual_cancel_raises_plain_cancelled(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel("operator abort")
+        with pytest.raises(QueryCancelledError, match="operator abort") as info:
+            token.check()
+        assert not isinstance(info.value, QueryTimeoutError)
+
+    def test_earliest_deadline_wins(self):
+        clock = _FakeClock()
+        token = CancellationToken(clock=clock)
+        token.set_timeout(10.0)
+        token.set_timeout(2.0)
+        token.set_timeout(30.0)  # looser than what is armed: ignored
+        assert token.remaining() == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            token.set_timeout(-1.0)
+
+
+# -------------------------------------------------------------- transports
+
+
+class _FakeTransport:
+    """A scripted ShardTransport double for FaultyTransport unit tests."""
+
+    def __init__(self, frames=()):
+        self.frames = list(frames)
+        self.written = []
+        self.killed = False
+        self.description = "fake"
+        self.process = None
+
+    def read(self):
+        return self.frames.pop(0) if self.frames else None
+
+    def write(self, message):
+        self.written.append(message)
+        return 10
+
+    def is_alive(self):
+        return not self.killed
+
+    def kill(self):
+        self.killed = True
+
+    def close(self, timeout=5.0):
+        self.killed = True
+
+
+def _wrap(rules, frames=(), seed=0):
+    injector = FaultPlan(rules=tuple(rules), seed=seed).injector()
+    inner = _FakeTransport(frames)
+    return FaultyTransport(inner, injector, "transport.t"), inner, injector
+
+
+class TestFaultyTransport:
+    def test_heartbeat_frames_never_touch_the_plan(self):
+        # Pings/pongs fire on wall-clock silence; routing them through the
+        # injector would make every site's op counters timing-dependent.
+        transport, inner, injector = _wrap(
+            [FaultRule(site="transport.*", kind=FaultKind.DROP_FRAME,
+                       probability=1.0, max_fires=100)],
+            frames=[{"type": "pong", "token": 1}])
+        assert transport.read() == {"type": "pong", "token": 1}
+        transport.write({"type": "ping", "token": 2})
+        assert inner.written == [{"type": "ping", "token": 2}]
+        assert injector.fired == []
+
+    def test_dropped_result_frame_vanishes_but_connection_lives(self):
+        transport, inner, _ = _wrap(
+            [FaultRule(site="*.result", kind=FaultKind.DROP_FRAME, at=(0,))],
+            frames=[{"type": "result", "seq": 0},
+                    {"type": "result", "seq": 1}])
+        # Frame seq 0 is eaten in transit; the read returns the next one.
+        assert transport.read() == {"type": "result", "seq": 1}
+        assert not inner.killed
+
+    def test_torn_result_frame_reads_as_connection_death(self):
+        transport, inner, _ = _wrap(
+            [FaultRule(site="*.result", kind=FaultKind.TORN_FRAME, at=(0,))],
+            frames=[{"type": "result", "seq": 4}])
+        assert transport.read() is None
+        assert inner.killed
+
+    def test_task_write_io_error_raises(self):
+        transport, inner, _ = _wrap(
+            [FaultRule(site="*.task", kind=FaultKind.IO_ERROR, at=(0,))])
+        with pytest.raises(OSError):
+            transport.write({"type": "task", "seq": 0})
+        assert inner.written == []
+
+    def test_dropped_task_write_reports_success_without_sending(self):
+        transport, inner, _ = _wrap(
+            [FaultRule(site="*.task", kind=FaultKind.DROP_FRAME, at=(0,))])
+        sent = transport.write({"type": "task", "seq": 0, "chunks": []})
+        assert sent > 4  # plausible wire size: the caller suspects nothing
+        assert inner.written == []  # ... but nothing reached the far end
+
+    def test_crash_kills_the_far_end_after_accepting_the_task(self):
+        transport, inner, _ = _wrap(
+            [FaultRule(site="*.task", kind=FaultKind.CRASH, at=(1,))])
+        transport.write({"type": "task", "seq": 0})
+        assert not inner.killed
+        transport.write({"type": "task", "seq": 1})
+        assert inner.killed
+        assert [m["seq"] for m in inner.written] == [0, 1]
+
+    def test_factory_connect_refusal(self):
+        injector = FaultPlan(rules=(FaultRule(site="*.connect",
+                                              kind=FaultKind.CONNECT_REFUSED,
+                                              at=(0,)),)).injector()
+        build = faulty_transport_factory(_FakeTransport, injector, "transport.a")
+        with pytest.raises(ConnectionRefusedError):
+            build()
+        wrapped = build()  # the at-index is spent: the next connect succeeds
+        assert isinstance(wrapped, FaultyTransport)
+        assert wrapped.description == "faulty(fake)"
+
+
+# ------------------------------------------------------------- disk store
+
+
+class TestDiskStoreFaults:
+    def test_injected_write_error_is_a_counted_non_fatal_miss(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(site="store.put", kind=FaultKind.IO_ERROR,
+                                          at=(0,)),))
+        store = DiskChunkStore(tmp_path, fault_injector=plan.injector())
+        store.put("a" * 40, [{"kind": "person"}])  # swallowed, counted
+        assert store.write_errors == 1
+        assert store.get("a" * 40) is None  # the entry simply stayed cold
+        store.put("a" * 40, [{"kind": "person"}])  # next attempt lands
+        assert store.get("a" * 40) == [{"kind": "person"}]
+        assert store.writes == 1
+        assert list(tmp_path.glob("**/*.tmp")) == []  # no stranded temp files
+
+    def test_injected_read_error_degrades_to_a_miss(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(site="store.get", kind=FaultKind.IO_ERROR,
+                                          at=(0,)),))
+        store = DiskChunkStore(tmp_path, fault_injector=plan.injector())
+        store.put("b" * 40, [{"kind": "person"}])
+        assert store.get("b" * 40) is None
+        assert store.read_errors == 1
+        assert store.stats.misses == 1
+
+    def test_corrupt_entry_reads_as_miss_and_self_heals(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule(site="store.get", kind=FaultKind.CORRUPT,
+                                          at=(0,)),))
+        store = DiskChunkStore(tmp_path, fault_injector=plan.injector())
+        store.put("c" * 40, [{"kind": "person"}])
+        assert store.get("c" * 40) is None  # scribbled entry: miss + removal
+        assert store.read_errors == 1
+        assert len(store) == 0  # the slot was dropped so it can be rewritten
+        store.put("c" * 40, [{"kind": "person"}])
+        assert store.get("c" * 40) == [{"kind": "person"}]
+
+    def test_stale_temp_files_are_swept_on_open(self, tmp_path):
+        first = DiskChunkStore(tmp_path)
+        first.put("d" * 40, [{"kind": "person"}])
+        # Strand temp files the way an interrupted writer would: one at the
+        # root, one inside a shard directory.  Backdate them past the age
+        # gate — only temps no live writer can own are eligible.
+        old = time.time() - DiskChunkStore._STALE_TEMP_AGE - 1.0
+        for name in ("tmp123.tmp", "dd/tmp456.tmp"):
+            stranded = tmp_path / name
+            stranded.write_text("partial")
+            os.utime(stranded, (old, old))
+        fresh = tmp_path / "dd" / "tmp789.tmp"  # a concurrent writer's file
+        fresh.write_text("partial")
+        reopened = DiskChunkStore(tmp_path)
+        assert reopened.stale_temps_removed == 2
+        assert list(tmp_path.glob("**/*.tmp")) == [fresh]  # in-flight kept
+        assert reopened.get("d" * 40) == [{"kind": "person"}]  # entries kept
+
+    def test_health_reports_the_disk_tier(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        health = store.health()
+        assert health["tier"] == "disk"
+        assert health["writable"] is True
+        assert store_health(store)["enabled"] is True
+        assert store_health(None) == {"enabled": False}
+
+
+# -------------------------------------------------------- serial fallback
+
+
+class _DyingEngine:
+    """Streams a few outcomes, then dies like a lost shard pool."""
+
+    name = "dying"
+
+    def __init__(self, yield_before_death: int = 3) -> None:
+        self.yield_before_death = yield_before_death
+        self.streams = 0
+
+    def imap_chunks(self, runner, chunks, context, *, count_hint=None):
+        self.streams += 1
+        inner = SerialEngine().imap_chunks(runner, chunks, context,
+                                           count_hint=count_hint)
+        for index, outcome in enumerate(inner):
+            if index >= self.yield_before_death:
+                raise RemoteShardError("all shards lost (injected)")
+            yield outcome
+
+
+class TestSerialFallback:
+    def _system(self, video, engine, policy):
+        system = PrividSystem(seed=5, engine=engine,
+                              on_engine_failure=policy)
+        system.register_camera("cam", video,
+                               policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                               epsilon_budget=100.0)
+        return system
+
+    def test_all_shards_lost_falls_back_byte_identically(self):
+        video = _walker_video()
+        query = _count_query(bucket=120.0)
+        reference = self._system(video, None, "fail").execute(query)
+        engine = _DyingEngine(yield_before_death=3)
+        with pytest.warns(RuntimeWarning, match="re-executing the remaining"):
+            result = self._system(video, engine, "serial_fallback").execute(query)
+        assert engine.streams == 1  # it really ran (and really died)
+        assert repr(result.raw_series_unsafe()) \
+            == repr(reference.raw_series_unsafe())
+        assert repr(result.series()) == repr(reference.series())
+
+    def test_default_policy_surfaces_the_engine_error(self):
+        video = _walker_video()
+        system = self._system(video, _DyingEngine(), "fail")
+        with pytest.raises(RemoteShardError):
+            system.execute(_count_query())
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            PrividSystem(on_engine_failure="shrug")
+
+
+# ----------------------------------------------------- executor + deadlines
+
+
+class TestExecutorCancellation:
+    def test_timed_out_query_raises_before_charging(self):
+        video = _walker_video()
+        system = PrividSystem(seed=5)
+        system.register_camera("cam", video,
+                               policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                               epsilon_budget=2.0)
+        clock = _FakeClock()
+        token = CancellationToken.with_timeout(5.0, clock=clock)
+        clock.advance(6.0)  # the deadline passed before execution started
+        with pytest.raises(QueryTimeoutError):
+            system.execute(_count_query(), cancel=token)
+        # No charge leak: the full budget is still there and spendable.
+        interval = system.cameras["cam"].ledger
+        assert interval.max_consumed() == 0.0
+        system.execute(_count_query())  # the clean rerun admits normally
+        assert interval.max_consumed() == pytest.approx(1.0)
+
+    def test_manual_cancel_raises_cancelled(self):
+        video = _walker_video()
+        system = PrividSystem(seed=5)
+        system.register_camera("cam", video,
+                               policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                               epsilon_budget=2.0)
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            system.execute(_count_query(), cancel=token)
+        assert system.cameras["cam"].ledger.max_consumed() == 0.0

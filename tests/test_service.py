@@ -16,7 +16,15 @@ import pytest
 from repro.core import PrividSystem, ServiceLedger, ShardedEngine
 from repro.core.budget import BudgetRequest, FrameBudgetLedger
 from repro.core.policy import PrivacyPolicy
-from repro.errors import BudgetExceededError, PolicyError, UnknownCameraError
+from repro.core.resilience import CancellationToken
+from repro.errors import (
+    BudgetExceededError,
+    PolicyError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    UnknownCameraError,
+)
 from repro.query.builder import QueryBuilder
 from repro.relational.table import ColumnSpec, DataType, Schema
 from repro.sandbox.environment import ExecutionContext, SandboxRunner
@@ -196,7 +204,9 @@ class TestQueryService:
             assert len(denied) == 2
             stats = service.stats()
             assert stats["queries"] == {"submitted": 4, "completed": 2,
-                                        "denied": 2, "failed": 0, "active": 0}
+                                        "denied": 2, "failed": 0,
+                                        "timed_out": 0, "cancelled": 0,
+                                        "rejected": 0, "active": 0}
             assert stats["budgets"]["cam"]["remaining_min"] == pytest.approx(0.0)
             for future in admitted:
                 remaining = future.result().budget_remaining
@@ -269,6 +279,151 @@ class TestQueryService:
         with pytest.raises(RuntimeError):
             service.submit(_count_query())
         service.close()  # idempotent
+
+
+class _GateExecutable:
+    """Blocks every chunk on an event — holds a pool slot open for tests."""
+
+    name = "gate"
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def fresh_instance(self):
+        return self  # the shared events ARE the point
+
+    def process(self, chunk, context):
+        self.started.set()
+        self.release.wait(timeout=10.0)
+        return []
+
+
+def _gate_query(name: str = "gated"):
+    return (QueryBuilder(name)
+            .split("cam", begin=0, end=600.0, chunk_duration=60.0, into="chunks")
+            .process("chunks", executable="gate.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)], into="t")
+            .select_count(table="t", bucket_seconds=600.0, epsilon=1.0)
+            .build())
+
+
+class TestServiceResilience:
+    def _service(self, video, *, epsilon_budget=2.0, **kwargs) -> QueryService:
+        service = QueryService(seed=5, **kwargs)
+        service.register_camera("cam", video,
+                                policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                                epsilon_budget=epsilon_budget)
+        return service
+
+    def test_timed_out_query_charges_no_budget(self):
+        # The S3 conservation contract: a deadline that fires mid-query must
+        # leave every ledger exactly as a run that never happened — the
+        # executor checks the token before admission, so no charge leaks.
+        video = _walker_video()
+        with self._service(video) as service:
+            future = service.submit(_count_query(), timeout=1e-6)
+            with pytest.raises(QueryTimeoutError):
+                future.result()
+            stats = service.stats()
+            assert stats["queries"]["timed_out"] == 1
+            assert stats["queries"]["failed"] == 0  # typed, not a generic failure
+            assert stats["budgets"]["cam"]["remaining_min"] == pytest.approx(2.0)
+            # The clean rerun admits and charges exactly its epsilon.
+            service.execute(_count_query())
+            assert service.stats()["budgets"]["cam"]["remaining_min"] \
+                == pytest.approx(1.0)
+
+    def test_default_query_timeout_applies_to_every_submit(self):
+        video = _walker_video()
+        with self._service(video, default_query_timeout=1e-6) as service:
+            with pytest.raises(QueryTimeoutError):
+                service.execute(_count_query())
+            # An explicit per-query timeout overrides the default.
+            service.execute(_count_query(), timeout=60.0)
+
+    def test_manual_cancel_is_typed_and_charges_nothing(self):
+        video = _walker_video()
+        with self._service(video) as service:
+            token = CancellationToken()
+            token.cancel("analyst closed the notebook")
+            future = service.submit(_count_query(), cancel=token)
+            with pytest.raises(QueryCancelledError) as info:
+                future.result()
+            assert not isinstance(info.value, QueryTimeoutError)
+            stats = service.stats()
+            assert stats["queries"]["cancelled"] == 1
+            assert stats["budgets"]["cam"]["remaining_min"] == pytest.approx(2.0)
+
+    def test_cancel_mid_query_stops_between_chunks(self):
+        gate = _GateExecutable()
+        video = _walker_video()
+        with self._service(video, max_concurrent_queries=1) as service:
+            service.register_executable("gate.py", gate)
+            token = CancellationToken()
+            future = service.submit(_gate_query(), cancel=token)
+            assert gate.started.wait(5.0)  # the query is mid-chunk
+            token.cancel()
+            gate.release.set()
+            with pytest.raises(QueryCancelledError):
+                future.result()
+            assert service.stats()["budgets"]["cam"]["remaining_min"] \
+                == pytest.approx(2.0)
+
+    def test_overload_sheds_with_typed_rejection(self):
+        gate = _GateExecutable()
+        video = _walker_video()
+        with self._service(video, epsilon_budget=100.0,
+                           max_concurrent_queries=1,
+                           max_queue_depth=1) as service:
+            service.register_executable("gate.py", gate)
+            running = service.submit(_gate_query("running"))
+            assert gate.started.wait(5.0)  # the one slot is now held
+            queued = service.submit(_gate_query("queued"))  # fills the queue
+            with pytest.raises(ServiceOverloadedError) as info:
+                service.submit(_gate_query("shed"))
+            assert info.value.queue_depth == 1
+            assert info.value.limit == 1
+            gate.release.set()
+            running.result()
+            queued.result()
+            stats = service.stats()
+            assert stats["queries"]["rejected"] == 1
+            assert stats["queries"]["completed"] == 2
+            health = service.health()
+            assert health["queries"]["queue_limit"] == 1
+
+    def test_health_snapshot_shape_and_lifecycle(self):
+        video = _walker_video()
+        service = self._service(video, cache="memory")
+        try:
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["queries"] == {"active": 0, "running": 0, "queued": 0,
+                                         "capacity": 4, "queue_limit": None}
+            assert health["store"]["enabled"] is True
+            assert health["budgets"]["cam"]["total_epsilon"] == 2.0
+        finally:
+            service.close()
+        assert service.health()["status"] == "closed"
+
+    def test_health_reports_engine_degradation(self):
+        video = _walker_video()
+        with self._service(video, epsilon_budget=100.0,
+                           engine="sharded:2") as service:
+            assert service.health()["status"] == "ok"  # lazy pool: not degraded
+            service.execute(_count_query(), charge_budget=False)
+            assert service.health()["status"] == "ok"
+            for shard in service.engine._live_shards():
+                shard.process.kill()
+            for shard in service.engine._shards.values():
+                shard.process.wait()
+            health = service.health()
+            assert health["status"] == "degraded"
+            assert health["engine"]["live_shards"] == 0
+            # The next stream respawns the pool and health recovers.
+            service.execute(_count_query(), charge_budget=False)
+            assert service.health()["status"] == "ok"
 
 
 class TestShardCacheClassification:

@@ -485,3 +485,117 @@ class TestSharedStore:
         with ShardedEngine(2) as engine:
             engine.share_store(ChunkResultCache())
             assert engine._store_spec is None
+
+
+class TestResilienceControls:
+    def test_health_reflects_pool_lifecycle(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        with ShardedEngine(2) as engine:
+            health = engine.health()
+            # A lazy pool that has never spawned is empty but NOT degraded.
+            assert health == {"engine": "sharded", "num_shards": 2,
+                              "live_shards": 0, "pending_tasks": 0,
+                              "started": False, "degraded": False,
+                              "breakers": {}}
+            list(engine.imap_chunks(runner, iter_chunks(video, spec), context))
+            health = engine.health()
+            assert health["started"] and health["live_shards"] == 2
+            assert not health["degraded"]
+            for shard in engine._live_shards():
+                shard.process.kill()
+            for shard in engine._shards.values():
+                shard.process.wait()
+            assert engine.health()["degraded"]
+
+    def test_refusing_endpoints_trip_the_breaker(self):
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        calls = []
+
+        def refusing():
+            calls.append(1)
+            raise ConnectionRefusedError("daemon down")
+
+        engine = ShardedEngine(transports=[refusing], breaker_threshold=2,
+                               breaker_reset=60.0)
+        with engine:
+            for _ in range(2):  # two real dial failures reach the threshold
+                with pytest.warns(RuntimeWarning, match="unreachable"), \
+                        pytest.raises(RemoteShardError):
+                    list(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                            context))
+            assert len(calls) == 2
+            # The breaker is now open: the endpoint is skipped WITHOUT
+            # dialing until the reset timeout passes.
+            with pytest.warns(RuntimeWarning, match="circuit breaker open"), \
+                    pytest.raises(RemoteShardError):
+                list(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                        context))
+            assert len(calls) == 2  # no third dial absorbed
+            health = engine.health()
+            assert health["degraded"]
+            assert health["breakers"]["slot0"]["state"] == "open"
+            assert health["breakers"]["slot0"]["opens"] == 1
+
+    def test_heartbeat_timing_is_env_configurable(self, monkeypatch):
+        monkeypatch.setenv("PRIVID_HEARTBEAT_TIMEOUT", "3.5")
+        monkeypatch.setenv("PRIVID_STARTUP_GRACE", "7.0")
+        engine = ShardedEngine(2)
+        assert engine.heartbeat_timeout == 3.5
+        assert engine.startup_grace == 7.0
+        # An explicit argument always beats the environment.
+        assert ShardedEngine(2, heartbeat_timeout=1.25).heartbeat_timeout == 1.25
+        monkeypatch.setenv("PRIVID_HEARTBEAT_TIMEOUT", "not-a-number")
+        with pytest.warns(RuntimeWarning, match="PRIVID_HEARTBEAT_TIMEOUT"):
+            assert ShardedEngine(2).heartbeat_timeout == 10.0
+        engine.shutdown()
+
+    def test_dropped_task_frame_recovers_via_task_timeout(self):
+        # A DROP_FRAME on the task path is the pure stall: the shard is
+        # healthy and answers pings, but the seq would park forever.  Only
+        # the task_timeout sweep redispatches it — and at-most-once result
+        # application keeps the recovery byte-identical.
+        from repro.core.faults import FaultKind, FaultPlan, FaultRule
+
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        plan = FaultPlan(rules=(FaultRule(site="transport.*.task",
+                                          kind=FaultKind.DROP_FRAME, at=(1,)),),
+                         seed=3, name="stall")
+        injector = plan.injector()
+        with ShardedEngine(2, chunksize=1, fault_injector=injector,
+                           task_timeout=1.0, heartbeat_interval=0.2) as engine:
+            rows = _rows_of(engine.imap_chunks(runner, iter_chunks(video, spec),
+                                               context))
+        assert repr(rows) == repr(reference)
+        assert any(event.kind is FaultKind.DROP_FRAME for event in injector.fired)
+
+    def test_crash_at_seq_replays_deterministically(self):
+        # Same plan + same seed: the crash fires at the same protocol seq on
+        # every run, and the stream stays byte-identical to serial.
+        from repro.core.faults import FaultKind, FaultPlan, FaultRule
+
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        reference = _rows_of(SerialEngine().map_chunks(
+            runner, list(iter_chunks(video, spec)), context))
+        plan = FaultPlan(rules=(FaultRule(site="transport.*.task",
+                                          kind=FaultKind.CRASH, after_seq=5),),
+                         seed=3, name="crash-at-5")
+        fired = []
+        for _ in range(2):
+            injector = plan.injector()
+            with ShardedEngine(2, chunksize=1, fault_injector=injector,
+                               heartbeat_interval=0.2) as engine:
+                rows = _rows_of(engine.imap_chunks(
+                    runner, iter_chunks(video, spec), context))
+            assert repr(rows) == repr(reference)
+            fired.append([(event.kind, event.seq) for event in injector.fired])
+        assert fired[0] == fired[1] == [(FaultKind.CRASH, 5)]

@@ -18,6 +18,7 @@ import time
 import pytest
 
 from repro.core import PrividSystem, SerialEngine, ShardedEngine, create_engine
+from repro.core.resilience import RetryPolicy
 from repro.core.remote import (
     TcpTransport,
     _LISTENING_MARKER,
@@ -155,7 +156,105 @@ class TestTcpFraming:
         port = probe.getsockname()[1]
         probe.close()  # nobody is listening on this port now
         with pytest.raises(OSError):
-            TcpTransport("127.0.0.1", port, connect_timeout=1.0)
+            TcpTransport("127.0.0.1", port, connect_timeout=1.0,
+                         retry=RetryPolicy(max_attempts=1))
+
+
+class TestDialRetry:
+    def test_dial_retries_through_transient_refusal(self, monkeypatch):
+        # The daemon-mid-restart scenario: the first dials are refused, a
+        # later one lands.  The old single-dial behaviour misread this as
+        # permanently unreachable.
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        real = socket.create_connection
+        attempts = []
+
+        def flaky(address, timeout=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("daemon still restarting")
+            return real(address, timeout=timeout)
+
+        monkeypatch.setattr(socket, "create_connection", flaky)
+        transport = TcpTransport(
+            "127.0.0.1", port,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0))
+        try:
+            assert len(attempts) == 3
+            assert transport.is_alive()
+        finally:
+            transport.kill()
+            server.close()
+
+    def test_single_attempt_policy_dials_exactly_once(self, monkeypatch):
+        attempts = []
+
+        def refusing(address, timeout=None):
+            attempts.append(address)
+            raise ConnectionRefusedError("down")
+
+        monkeypatch.setattr(socket, "create_connection", refusing)
+        with pytest.raises(OSError):
+            TcpTransport("127.0.0.1", 1, retry=RetryPolicy(max_attempts=1))
+        assert len(attempts) == 1
+
+    def test_exhausted_retries_kill_a_spawned_daemon(self, monkeypatch):
+        # A dial that never opened must not strand the daemon process this
+        # transport was handed ownership of.
+        class _FakeProcess:
+            def __init__(self):
+                self.killed = False
+
+            def kill(self):
+                self.killed = True
+
+            def poll(self):
+                return 1 if self.killed else None
+
+        def refusing(address, timeout=None):
+            raise ConnectionRefusedError("down")
+
+        monkeypatch.setattr(socket, "create_connection", refusing)
+        process = _FakeProcess()
+        with pytest.raises(OSError):
+            TcpTransport("127.0.0.1", 1, process=process,
+                         retry=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                           jitter=0.0))
+        assert process.killed
+
+    def test_restarted_daemon_is_redialed_on_the_next_stream(self):
+        # The S1 regression: kill a daemon, restart it on the same port —
+        # the engine's next stream must redial (with backoff riding out the
+        # restart window) and produce byte-identical rows.
+        video = _walker_video()
+        spec = ChunkSpec(window=TimeInterval(0, 600), chunk_duration=60.0)
+        runner, context = _runner(), _context(video)
+        process, host, port = _start_listening_daemon()
+        try:
+            with ShardedEngine.connect([f"{host}:{port}"]) as engine:
+                first = _rows_of(engine.imap_chunks(
+                    runner, iter_chunks(video, spec), context))
+                process.kill()
+                process.wait()
+                process, _, _ = _start_listening_daemon(port)
+                second = _rows_of(engine.imap_chunks(
+                    runner, iter_chunks(video, spec), context))
+            assert repr(second) == repr(first)
+        finally:
+            process.kill()
+            process.wait()
+
+
+def _start_listening_daemon(port: int = 0):
+    """Spawn a --listen daemon; returns (process, host, bound_port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.core.remote", "--listen",
+         f"127.0.0.1:{port}"],
+        stdout=subprocess.PIPE, env=_worker_env(), text=True)
+    marker, host, bound = process.stdout.readline().strip().split()
+    assert marker == _LISTENING_MARKER
+    return process, host, int(bound)
 
 
 class TestDaemonMode:

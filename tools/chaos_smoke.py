@@ -1,0 +1,213 @@
+"""CI chaos harness: seeded fault plans against the always-on service.
+
+The robustness contract under test, for every :class:`FaultPlan` below:
+
+1. **byte-identity** — a :class:`~repro.service.QueryService` driven through
+   transport drops/tears, daemon crashes and store IO errors returns raw
+   values *and* noisy releases byte-identical to the same-seed fault-free
+   serial service;
+2. **ledger conservation** — the per-camera budget snapshot after the chaos
+   run equals the serial run's exactly: a fault may cost retries, never
+   epsilon;
+3. **replay** — plans whose sites are driven deterministically (crash-at-seq,
+   content-keyed store faults) fire the *same* fault sequence on every run
+   of the same plan + seed;
+4. **typed degradation** — a query deadline raises
+   :class:`~repro.errors.QueryTimeoutError` with nothing charged, and the
+   clean rerun admits normally.
+
+Run with: ``python tools/chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.faults import FaultKind, FaultPlan, FaultRule  # noqa: E402
+from repro.core.remote import ShardedEngine  # noqa: E402
+from repro.errors import QueryTimeoutError  # noqa: E402
+from repro.evaluation.runner import (  # noqa: E402
+    register_scenario_camera,
+    scenario_policy_map,
+)
+from repro.query.builder import QueryBuilder  # noqa: E402
+from repro.scene.scenarios import build_scenario  # noqa: E402
+from repro.service import QueryService  # noqa: E402
+
+FAILURES: list[str] = []
+
+# Transport mayhem: dropped and torn result frames, sticky task writes.
+# Reader-thread arrival order is the OS scheduler's, so this plan asserts
+# byte-identity and conservation, not an exact fired log.
+TRANSPORT_CHAOS = FaultPlan(name="transport-chaos", seed=11, rules=(
+    FaultRule(site="transport.*.result", kind=FaultKind.DROP_FRAME,
+              probability=0.15, max_fires=3),
+    FaultRule(site="transport.*.result", kind=FaultKind.TORN_FRAME,
+              at=(5,), max_fires=1),
+    FaultRule(site="transport.*.task", kind=FaultKind.DELAY,
+              probability=0.2, delay=0.05, max_fires=5),
+))
+
+# A shard daemon dies right after accepting protocol seq 4, and the first
+# respawn attempt is refused (feeding the dial/breaker path).  The crash
+# trigger is a pure function of the seq, so the fired schedule must replay.
+DAEMON_CRASH = FaultPlan(name="daemon-crash", seed=23, rules=(
+    FaultRule(site="transport.*.task", kind=FaultKind.CRASH, after_seq=4),
+    FaultRule(site="transport.worker2.connect", kind=FaultKind.CONNECT_REFUSED,
+              at=(0,), max_fires=1),
+))
+
+# Store mayhem: reads and writes fail, one entry is scribbled over.  Every
+# decision is keyed by the entry fingerprint and polled from the driving
+# thread, so the fired log must replay exactly.
+STORE_CHAOS = FaultPlan(name="store-chaos", seed=37, rules=(
+    FaultRule(site="store.put", kind=FaultKind.IO_ERROR,
+              probability=0.3, max_fires=100),
+    FaultRule(site="store.get", kind=FaultKind.IO_ERROR,
+              probability=0.2, max_fires=100),
+    FaultRule(site="store.get", kind=FaultKind.CORRUPT,
+              probability=0.15, max_fires=100),
+))
+
+PLANS = [(TRANSPORT_CHAOS, False), (DAEMON_CRASH, True), (STORE_CHAOS, True)]
+
+
+def replay_signature(log: tuple[str, ...]) -> list[str]:
+    """The deterministic view of a fired log, for replay comparison.
+
+    Each event string embeds its site, per-site op index, kind, seq and
+    token — all pure functions of the plan.  Two things are scheduler
+    placement, not schedule, and are normalized away: *which* interchangeable
+    pool worker absorbed a transport fault (``workerN`` → ``worker*``), and
+    how events from different sites interleaved in the global log (sorted).
+    """
+    return sorted(re.sub(r"transport\.worker\d+", "transport.worker*", line)
+                  for line in log)
+
+
+def check(ok: bool, label: str) -> None:
+    print(f"{'PASS' if ok else 'FAIL'}  {label}")
+    if not ok:
+        FAILURES.append(label)
+
+
+def people_query(name: str, *, bucket: float = 360, epsilon: float = 1.0,
+                 chunk: float = 60):
+    return (QueryBuilder(name)
+            .split("campus", begin=0, end=720, chunk_duration=chunk,
+                   mask="owner", into="chunks")
+            .process("chunks", executable="count_entering_people.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)],
+                     into="people")
+            .select_count(table="people", bucket_seconds=bucket, epsilon=epsilon)
+            .build())
+
+
+def drive_queries(service: QueryService):
+    """The fixed sequential query sequence every run replays.
+
+    Sequential submission keeps noise-stream assignment (query seq) and
+    coordinator-side store traffic deterministic, which is what lets the
+    chaos run be compared bit-for-bit against the serial run.
+    """
+    outputs = []
+    # Distinct chunkings so the second query cannot be fully served from the
+    # first one's warm store entries — every stream exercises the engine.
+    for name, epsilon, chunk in (("q-count", 1.0, 60), ("q-count-fine", 0.5, 45)):
+        result = service.execute(people_query(name, epsilon=epsilon, chunk=chunk))
+        outputs.append((repr(result.raw_series_unsafe()), repr(result.series())))
+    return outputs, service.stats()["budgets"]
+
+
+def run_serial(scenario, policy_map):
+    with QueryService(seed=3, cache="memory") as service:
+        register_scenario_camera(service, scenario, policy_map=policy_map,
+                                 epsilon_budget=5.0, sample_period=1.0)
+        return drive_queries(service)
+
+
+def run_chaos(scenario, policy_map, plan: FaultPlan):
+    """One seeded chaos run; returns (outputs, budgets, fired log, health)."""
+    injector = plan.injector()
+    store_dir = tempfile.mkdtemp(prefix=f"privid-chaos-{plan.name}-")
+    engine = ShardedEngine(2, chunksize=1, heartbeat_interval=0.2,
+                           task_timeout=2.0, max_task_retries=5,
+                           breaker_reset=0.5)
+    try:
+        with QueryService(seed=3, engine=engine, cache=f"tiered:{store_dir}",
+                          on_engine_failure="serial_fallback",
+                          fault_injector=injector) as service:
+            register_scenario_camera(service, scenario, policy_map=policy_map,
+                                     epsilon_budget=5.0, sample_period=1.0)
+            outputs, budgets = drive_queries(service)
+            health = service.health()
+        return outputs, budgets, injector, health
+    finally:
+        engine.shutdown()  # caller-owned: the service leaves it running
+
+
+def main() -> int:
+    scenario = build_scenario("campus", scale=0.2, duration_hours=0.2, seed=7)
+    policy_map = scenario_policy_map(scenario, k_segments=1)
+    reference_outputs, reference_budgets = run_serial(scenario, policy_map)
+
+    for plan, exact_replay in PLANS:
+        logs = []
+        for attempt in range(2):
+            with warnings.catch_warnings():
+                # Chaos runs warn by design (dead shards, open breakers,
+                # serial fallback); the checks below are the signal.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                outputs, budgets, injector, health = run_chaos(
+                    scenario, policy_map, plan)
+            label = f"[{plan.name} run {attempt}]"
+            check(outputs == reference_outputs,
+                  f"{label} raw + noisy releases byte-identical to serial")
+            check(budgets == reference_budgets,
+                  f"{label} per-camera ledger balances conserved "
+                  f"(remaining_min={budgets['campus']['remaining_min']})")
+            check(len(injector.fired) > 0,
+                  f"{label} the plan actually fired "
+                  f"({len(injector.fired)} events: {injector.summary()})")
+            check(health["status"] in ("ok", "degraded"),
+                  f"{label} service stayed serving (health={health['status']})")
+            logs.append(replay_signature(injector.log()))
+        if exact_replay:
+            check(logs[0] == logs[1],
+                  f"[{plan.name}] same plan + same seed fired the same "
+                  f"fault sequence ({len(logs[0])} events)")
+
+    # ---- deadlines: a timed-out query is typed and charges nothing.
+    with QueryService(seed=3, cache="memory") as service:
+        register_scenario_camera(service, scenario, policy_map=policy_map,
+                                 epsilon_budget=5.0, sample_period=1.0)
+        future = service.submit(people_query("doomed"), timeout=1e-6)
+        try:
+            future.result()
+            timed_out = False
+        except QueryTimeoutError:
+            timed_out = True
+        check(timed_out, "[deadline] past-deadline query raises QueryTimeoutError")
+        remaining = service.stats()["budgets"]["campus"]["remaining_min"]
+        check(remaining == 5.0,
+              f"[deadline] nothing charged on timeout (remaining={remaining})")
+        service.execute(people_query("clean"))
+        counters = service.stats()["queries"]
+        check(counters["timed_out"] == 1 and counters["completed"] == 1,
+              f"[deadline] counters typed correctly: {counters}")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} chaos check(s) failed")
+        return 1
+    print("\nchaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

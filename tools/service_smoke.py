@@ -125,7 +125,9 @@ def main() -> int:
                   f"ledger charged exactly the admitted queries "
                   f"(remaining_min={remaining})")
             check(stats["queries"] == {"submitted": 5, "completed": 3,
-                                       "denied": 2, "failed": 0, "active": 0},
+                                       "denied": 2, "failed": 0,
+                                       "timed_out": 0, "cancelled": 0,
+                                       "rejected": 0, "active": 0},
                   f"service counters consistent: {stats['queries']}")
             check(stats["engine"]["engine"] == "sharded"
                   and len(stats["engine"]["dispatch"]["per_shard"]) == 2,
