@@ -39,8 +39,10 @@ appends rows per chunk as outcomes arrive.
 The process engine does **not** pickle chunks to its workers.  Each stream
 broadcasts its heavy constants once — the runner, the execution context, and
 every distinct video/mask/region the stream's chunks reference — through a
-pickle file workers load (and cache) on first use; per-dispatch messages are
-then just the payload path plus a few ints and floats per chunk
+named shared-memory segment same-host workers attach and unpickle zero-copy
+(falling back to a pickle file when shared memory is unavailable, and for
+TCP shard daemons, which may live on another host); per-dispatch messages
+are then just the payload ref plus a few ints and floats per chunk
 (:class:`_TaskBroadcast` / ``_execute_chunk_specs``).  That turns per-future
 IPC from whole-scene payloads into bytes, which is what lets ``process:N``
 beat the serial engine even on sub-second sweeps.  The per-future batch size
@@ -67,6 +69,11 @@ from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Protocol, Sized, \
     runtime_checkable
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platform without POSIX shared memory
+    resource_tracker = shared_memory = None  # type: ignore[assignment]
 
 from repro.relational.table import ColumnarRows
 
@@ -138,23 +145,70 @@ def _execute_chunk_list_thread(runner: "SandboxRunner", chunks: list["Chunk"],
 #: end, mask ref, region ref or None, sample period, metadata or None).
 ChunkSpecMessage = tuple
 
-#: Worker-side cache of loaded broadcast payloads, keyed by payload path.
+#: Worker-side cache of loaded broadcast payloads, keyed by payload ref.
 #: Bounded so long-lived pools serving many streams do not accumulate scenes.
 _PAYLOAD_CACHE: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
 _PAYLOAD_CACHE_LIMIT = 8
 
+#: Payload-ref scheme marking a shared-memory segment name rather than a
+#: file path (``shm:privid-bc-...``).
+_SHM_REF_PREFIX = "shm:"
 
-def _load_payload(path: str) -> dict[str, Any]:
-    """Load (and memoize) one stream's broadcast payload in this process."""
-    payload = _PAYLOAD_CACHE.get(path)
+
+def _shm_broadcast_enabled() -> bool:
+    """Whether new broadcasts may use the shared-memory fast path.
+
+    ``PRIVID_SHM_BROADCAST=0`` forces the file-based payload everywhere —
+    the escape hatch for containers without a usable ``/dev/shm``.
+    """
+    if shared_memory is None:
+        return False
+    value = os.environ.get("PRIVID_SHM_BROADCAST", "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def _attach_segment(name: str) -> "shared_memory.SharedMemory":
+    """Attach an existing broadcast segment without adopting its lifecycle.
+
+    Attaching registers the segment with this process's resource tracker
+    (Python < 3.13 has no ``track=False``), which would unlink the creator's
+    segment when this worker exits — and forked workers share the parent's
+    tracker daemon, so a register/unregister pair from the worker would also
+    corrupt the creator's own bookkeeping.  Suppressing registration during
+    the attach keeps ownership where it belongs: only the coordinator ever
+    tells the tracker about the segment, and it unlinks on stream close.
+    """
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _load_payload(ref: str) -> dict[str, Any]:
+    """Load (and memoize) one stream's broadcast payload in this process.
+
+    ``ref`` is either a payload file path or a ``shm:NAME`` segment ref;
+    shared-memory refs unpickle straight out of the attached segment — the
+    bytes are never copied through a file or a pipe.
+    """
+    payload = _PAYLOAD_CACHE.get(ref)
     if payload is None:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        _PAYLOAD_CACHE[path] = payload
+        if ref.startswith(_SHM_REF_PREFIX):
+            segment = _attach_segment(ref[len(_SHM_REF_PREFIX):])
+            try:
+                payload = pickle.loads(segment.buf)
+            finally:
+                segment.close()
+        else:
+            with open(ref, "rb") as handle:
+                payload = pickle.load(handle)
+        _PAYLOAD_CACHE[ref] = payload
         while len(_PAYLOAD_CACHE) > _PAYLOAD_CACHE_LIMIT:
             _PAYLOAD_CACHE.popitem(last=False)
     else:
-        _PAYLOAD_CACHE.move_to_end(path)
+        _PAYLOAD_CACHE.move_to_end(ref)
     return payload
 
 
@@ -180,15 +234,16 @@ def chunk_from_spec(objects: list[Any], spec: ChunkSpecMessage) -> "Chunk":
     )
 
 
-def _execute_chunk_specs(path: str, specs: list[ChunkSpecMessage]
+def _execute_chunk_specs(ref: str, specs: list[ChunkSpecMessage]
                          ) -> list[ChunkOutcome]:
     """Process-pool unit of work: rebuild chunks from compact specs.
 
     The heavy stream constants (runner, context, videos, masks, regions)
-    come from the broadcast payload at ``path``, loaded once per worker per
-    stream; the per-dispatch message is just this function's arguments.
+    come from the broadcast payload at ``ref`` (a shared-memory segment or
+    a payload file), loaded once per worker per stream; the per-dispatch
+    message is just this function's arguments.
     """
-    payload = _load_payload(path)
+    payload = _load_payload(ref)
     runner = payload["runner"]
     context = payload["context"]
     objects = payload["objects"]
@@ -202,14 +257,27 @@ class _TaskBroadcast:
     Chunk streams reference a handful of heavy shared objects (the video,
     the mask, the spatial regions) over and over; this registry assigns each
     distinct object a small integer ref and persists the whole set — plus
-    the runner and context — to a pickle file any worker can load,
-    whichever future it happens to execute.  When a previously unseen heavy
-    object appears mid-stream (multi-camera maps), a new payload version is
-    written and later dispatches reference it; workers cache payloads per
-    path, so each worker unpickles each version at most once.
+    the runner and context — where any worker can load it, whichever future
+    it happens to execute.  When a previously unseen heavy object appears
+    mid-stream (multi-camera maps), a new payload version is written and
+    later dispatches reference it; workers cache payloads per ref, so each
+    worker loads each version at most once.
+
+    Two payload carriers exist behind one ref string.  Same-host workers
+    (process pools, pipe shards) get a named ``multiprocessing.shared_memory``
+    segment (:meth:`payload_ref`): the constants are serialized exactly once
+    into the segment and every worker attaches and unpickles zero-copy — no
+    file write, no re-read per worker.  TCP shard daemons — potentially on
+    other hosts, where a segment name means nothing — use the payload *file*
+    (:meth:`payload_path`), which is also the fallback whenever segment
+    creation fails (no usable ``/dev/shm``, ``PRIVID_SHM_BROADCAST=0``).
+    Segments are unlinked on stream close (:meth:`cleanup`); a worker killed
+    while attached cannot leak one — the kernel drops its mapping with the
+    process, and the name was the coordinator's to unlink all along.
     """
 
-    def __init__(self, runner: "SandboxRunner", context: "ExecutionContext") -> None:
+    def __init__(self, runner: "SandboxRunner", context: "ExecutionContext", *,
+                 use_shared_memory: bool | None = None) -> None:
         self._runner = runner
         self._context = context
         self._directory: str | None = None  # created on first payload write
@@ -219,8 +287,13 @@ class _TaskBroadcast:
         self._refs: dict[int, int] = {}
         self._version = 0
         self._path: str | None = None
+        self._use_shm = _shm_broadcast_enabled() if use_shared_memory is None \
+            else (use_shared_memory and shared_memory is not None)
+        self._shm_ref: str | None = None
+        self._segments: "list[shared_memory.SharedMemory]" = []
         self.broadcasts = 0
         self.broadcast_bytes = 0
+        self.shm_segments = 0
 
     def _ref_for(self, obj: Any) -> int:
         key = id(obj)
@@ -230,7 +303,41 @@ class _TaskBroadcast:
             self._refs[key] = ref
             self._objects.append(obj)
             self._path = None  # current payload is stale
+            self._shm_ref = None
         return ref
+
+    def _payload_bytes(self) -> bytes:
+        return pickle.dumps(
+            {"runner": self._runner, "context": self._context,
+             "objects": list(self._objects)},
+            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def payload_ref(self) -> str:
+        """Ref of a payload covering every ref handed out so far.
+
+        A ``shm:NAME`` segment ref on the shared-memory fast path, else the
+        payload file path.  One failed segment creation downgrades the whole
+        stream to the file carrier — a broadcast must never die of a full
+        ``/dev/shm`` when a perfectly good tempdir is sitting right there.
+        """
+        if not self._use_shm:
+            return self.payload_path()
+        if self._shm_ref is None:
+            payload = self._payload_bytes()
+            name = f"privid-bc-{uuid.uuid4().hex}"
+            try:
+                segment = shared_memory.SharedMemory(name=name, create=True,
+                                                     size=len(payload))
+            except OSError:
+                self._use_shm = False
+                return self.payload_path()
+            segment.buf[:len(payload)] = payload
+            self._segments.append(segment)
+            self.broadcasts += 1
+            self.broadcast_bytes += len(payload)
+            self.shm_segments += 1
+            self._shm_ref = _SHM_REF_PREFIX + name
+        return self._shm_ref
 
     def chunk_spec(self, chunk: "Chunk") -> ChunkSpecMessage:
         """The compact per-chunk dispatch message."""
@@ -260,10 +367,7 @@ class _TaskBroadcast:
             self._version += 1
             path = os.path.join(
                 self._directory, f"task-{uuid.uuid4().hex}-v{self._version}.pkl")
-            payload = pickle.dumps(
-                {"runner": self._runner, "context": self._context,
-                 "objects": list(self._objects)},
-                protocol=pickle.HIGHEST_PROTOCOL)
+            payload = self._payload_bytes()
             with open(path, "wb") as handle:
                 handle.write(payload)
             self.broadcasts += 1
@@ -272,7 +376,21 @@ class _TaskBroadcast:
         return self._path
 
     def cleanup(self) -> None:
-        """Remove the payload files (call only after all futures resolved)."""
+        """Release the payload carriers (call only after all futures resolved).
+
+        Unlinks every shared-memory segment this stream created — attached
+        workers keep their mappings until they close (or die), but the name
+        is gone, so nothing outlives the stream — and removes the payload
+        file directory.
+        """
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._shm_ref = None
         if self._directory is not None:
             shutil.rmtree(self._directory, ignore_errors=True)
             self._directory = None
@@ -294,6 +412,7 @@ class DispatchStats:
     payload_bytes_max: int = 0
     broadcasts: int = 0
     broadcast_bytes: int = 0
+    shm_segments: int = 0
 
     def record_dispatch(self, payload_bytes: int, chunks: int) -> None:
         self.dispatches += 1
@@ -316,6 +435,7 @@ class DispatchStats:
             "payload_bytes_mean": round(self.payload_bytes_mean, 1),
             "broadcasts": self.broadcasts,
             "broadcast_bytes": self.broadcast_bytes,
+            "shm_segments": self.shm_segments,
         }
 
 
@@ -600,16 +720,18 @@ class ProcessPoolEngine:
         def submit(pool: Executor, batch: list["Chunk"]) -> "Future[list[ChunkOutcome]]":
             specs = [broadcast.chunk_spec(chunk) for chunk in batch]
             # Registering the specs may have discovered new heavy objects;
-            # payload_path() writes a fresh version covering them first.
-            path = broadcast.payload_path()
+            # payload_ref() publishes a fresh version covering them first
+            # (a shared-memory segment when available, else a payload file).
+            ref = broadcast.payload_ref()
             stats.record_dispatch(
-                len(pickle.dumps((path, specs), protocol=pickle.HIGHEST_PROTOCOL)),
+                len(pickle.dumps((ref, specs), protocol=pickle.HIGHEST_PROTOCOL)),
                 len(batch))
-            return pool.submit(_execute_chunk_specs, path, specs)
+            return pool.submit(_execute_chunk_specs, ref, specs)
 
         def finish() -> None:
             stats.broadcasts += broadcast.broadcasts
             stats.broadcast_bytes += broadcast.broadcast_bytes
+            stats.shm_segments += broadcast.shm_segments
             broadcast.cleanup()
 
         batch_size = self._effective_chunksize(count_hint)

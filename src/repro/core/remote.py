@@ -655,14 +655,14 @@ def main(argv: list[str] | None = None) -> None:
 class _ShardTask:
     """One dispatched task: a spec batch awaiting its result."""
 
-    __slots__ = ("seq", "specs", "payload_path", "num_chunks", "shard_id",
+    __slots__ = ("seq", "specs", "payload_ref", "num_chunks", "shard_id",
                  "attempts", "dispatched_at")
 
-    def __init__(self, seq: int, specs: list[ChunkSpecMessage], payload_path: str,
+    def __init__(self, seq: int, specs: list[ChunkSpecMessage], payload_ref: str,
                  num_chunks: int) -> None:
         self.seq = seq
         self.specs = specs
-        self.payload_path = payload_path
+        self.payload_ref = payload_ref
         self.num_chunks = num_chunks
         self.shard_id: int | None = None
         self.attempts = 0
@@ -1074,7 +1074,7 @@ class ShardedEngine:
                     f"(attempt {task.attempts + 1})")
             shard = min(candidates, key=lambda entry: (len(entry.pending), entry.id))
             message = {"type": "task", "seq": task.seq,
-                       "payload": task.payload_path, "specs": task.specs}
+                       "payload": task.payload_ref, "specs": task.specs}
             try:
                 sent = shard.send(message)
             except OSError:
@@ -1270,7 +1270,13 @@ class ShardedEngine:
             return
         with self._lock:
             self._ensure_shards()
-        broadcast = _TaskBroadcast(runner, context)
+        # Pipe-shard workers are children of this process, so they can
+        # attach the shared-memory broadcast segment; TCP daemons may live
+        # on another host and always get the file-based payload.
+        broadcast = _TaskBroadcast(
+            runner, context,
+            use_shared_memory=None if self._transport_factories is None
+            else False)
         batch_size = self._effective_chunksize(count_hint)
         window = self._window(batch_size)
         stream = chain((first, second), iterator)
@@ -1292,12 +1298,12 @@ class ShardedEngine:
                         break
                     specs = [broadcast.chunk_spec(chunk) for chunk in batch]
                     # Registering specs may have discovered new heavy
-                    # objects; payload_path() writes a covering version.
-                    path = broadcast.payload_path()
+                    # objects; payload_ref() publishes a covering version.
+                    ref = broadcast.payload_ref()
                     with self._lock:
                         seq = self._next_seq
                         self._next_seq += 1
-                        task = _ShardTask(seq, specs, path, len(batch))
+                        task = _ShardTask(seq, specs, ref, len(batch))
                         self._dispatch(task)
                     dispatched.append(seq)
                     mine.add(seq)
@@ -1341,6 +1347,7 @@ class ShardedEngine:
                         shard.pending.pop(seq, None)
                 self.dispatch_stats.broadcasts += broadcast.broadcasts
                 self.dispatch_stats.broadcast_bytes += broadcast.broadcast_bytes
+                self.dispatch_stats.shm_segments += broadcast.shm_segments
             broadcast.cleanup()
 
     def map_chunks(self, runner: "SandboxRunner", chunks: Iterable["Chunk"],

@@ -215,6 +215,13 @@ class Track:
         return self.hits >= min_hits
 
 
+#: Shared zero-capacity column placeholders: every core starts with these
+#: (no per-instance allocation) and swaps in real arrays on first _grow.
+_EMPTY_STATE_COL = np.empty((0, 8), dtype=np.float64)
+_EMPTY_RING_COL = np.empty((0, 5, 3), dtype=np.float64)
+_EMPTY_INT_COL = np.empty(0, dtype=np.int64)
+
+
 class _BatchTrackerCore:
     """Columnar twin of the scalar tracker loop.
 
@@ -246,13 +253,35 @@ class _BatchTrackerCore:
         self.next_id = next_id
         self.track_id: list[int] = []
         self.category_id: list[int] = []
-        #: Matching-hot per-row scalars (see the slot constants above).
-        self.row_state: list[list[Any]] = []
-        #: Per-row consecutive-miss counters (reset on every match).
-        self.misses: list[int] = []
-        #: Per-row velocity window: the last ``Track.VELOCITY_WINDOW``
-        #: observations as (x, y, frame_index) tuples, oldest first.
-        self.rings: list[deque[tuple[float, float, int]]] = []
+        #: Persistent track-state columns (see the slot constants above):
+        #: one row per track ever created, capacity grown geometrically.
+        #: ``state_col`` holds the matching-hot scalars, ``ring_col`` /
+        #: ``ring_fill`` the velocity window (last VELOCITY_WINDOW
+        #: observations as (x, y, frame) rows, oldest first), ``miss_col``
+        #: the consecutive-miss counters (reset on every match).  The
+        #: columns live across :meth:`step_batch` calls; the miss column is
+        #: synced eagerly at every batch boundary (emission reads it), the
+        #: box/ring columns are write-behind — the active window is staged
+        #: in the slot-parallel scratch below while matching, and
+        #: :meth:`_flush_columns` materialises it on demand.
+        self._capacity = 0
+        self.state_col = _EMPTY_STATE_COL
+        self.ring_col = _EMPTY_RING_COL
+        self.ring_fill = _EMPTY_INT_COL
+        self.miss_col = _EMPTY_INT_COL
+        #: Scan scratch, parallel to ``active``: CPython subscripting is
+        #: ~10x cheaper on small lists/tuples than on numpy scalars, so the
+        #: matcher works slot-indexed over the active window and the
+        #: columns stay the durable cross-batch store.
+        self.slot_state: list[tuple] = []
+        self.slot_rings: list[deque[tuple[float, float, int]]] = []
+        self.slot_miss: list[int] = []
+        #: Slot-parallel aliases of ``det_indices`` rows (same list
+        #: objects) so matches append without an active-row lookup.
+        self.slot_dets: list[list[int]] = []
+        #: Rows finished since the last column flush (row, state, ring).
+        self._finished_dirty: list[tuple] = []
+        self._scratch_valid = True
         #: Per-track detection ids (offsets into the consumed batches);
         #: a track's hit count is the length of its list.
         self.det_indices: list[list[int]] = []
@@ -294,16 +323,101 @@ class _BatchTrackerCore:
                    width: float, height: float, frame_index: int) -> int:
         row = self.num_rows
         self.num_rows += 1
-        self.det_indices.append([detection_id])
-        self.row_state.append([x, y, width, height, width * height,
-                               frame_index, None, 0.0])
-        self.rings.append(deque([(x, y, frame_index)],
-                                maxlen=Track.VELOCITY_WINDOW))
-        self.misses.append(0)
+        if row >= self._capacity:
+            self._grow(row + 1)
+        detections = [detection_id]
+        self.det_indices.append(detections)
+        self.slot_dets.append(detections)
+        self.slot_state.append((x, y, width, height, width * height,
+                                frame_index, 0.0, 0.0))
+        self.slot_rings.append(deque([(x, y, frame_index)],
+                                     maxlen=Track.VELOCITY_WINDOW))
+        self.slot_miss.append(0)
         self.track_id.append(self.next_id)
         self.next_id += 1
         self.category_id.append(category)
         return row
+
+    def _grow(self, needed: int) -> None:
+        """Grow the persistent columns geometrically to hold ``needed`` rows."""
+        capacity = self._capacity or 16
+        while capacity < needed:
+            capacity *= 2
+        state = np.zeros((capacity, 8), dtype=np.float64)
+        ring = np.zeros((capacity, Track.VELOCITY_WINDOW, 3),
+                        dtype=np.float64)
+        fill = np.zeros(capacity, dtype=np.int64)
+        miss = np.zeros(capacity, dtype=np.int64)
+        used = self.num_rows - 1 if self.num_rows else 0
+        if used:
+            state[:used] = self.state_col[:used]
+            ring[:used] = self.ring_col[:used]
+            fill[:used] = self.ring_fill[:used]
+            miss[:used] = self.miss_col[:used]
+        self.state_col = state
+        self.ring_col = ring
+        self.ring_fill = fill
+        self.miss_col = miss
+        self._capacity = capacity
+
+    def _flush_columns(self) -> None:
+        """Materialise the staged active window into the persistent columns.
+
+        Finished rows queue in ``_finished_dirty`` when they expire (so the
+        expiry sweeps stay append-cheap) and drain here; active rows copy
+        straight from the slot scratch.  After this call the columns alone
+        carry the complete tracker state — :meth:`drop_scratch` relies on
+        that to rebuild the scratch from the columns.
+        """
+        state_col = self.state_col
+        ring_col = self.ring_col
+        ring_fill = self.ring_fill
+        for row, state, ring in self._finished_dirty:
+            state_col[row] = state
+            count = len(ring)
+            ring_col[row, :count] = ring
+            ring_fill[row] = count
+        self._finished_dirty.clear()
+        rows = self.active
+        for slot, row in enumerate(rows):
+            state_col[row] = self.slot_state[slot]
+            ring = self.slot_rings[slot]
+            count = len(ring)
+            ring_col[row, :count] = ring
+            ring_fill[row] = count
+        if rows:
+            self.miss_col[rows] = self.slot_miss
+
+    def drop_scratch(self) -> None:
+        """Flush and discard the slot scratch (test hook / memory release).
+
+        The next :meth:`step_batch` restages the active window from the
+        persistent columns; continuing after a drop must be bit-identical,
+        which is exactly what the array-state tests assert.
+        """
+        self._flush_columns()
+        self.slot_state = []
+        self.slot_rings = []
+        self.slot_miss = []
+        self.slot_dets = []
+        self._scratch_valid = False
+
+    def _load_scratch(self) -> None:
+        """Restage the active window from the persistent columns."""
+        state_col = self.state_col
+        ring_col = self.ring_col
+        ring_fill = self.ring_fill
+        window = Track.VELOCITY_WINDOW
+        self.slot_state = [tuple(state_col[row].tolist())
+                           for row in self.active]
+        self.slot_rings = [
+            deque([tuple(entry) for entry in
+                   ring_col[row, :int(ring_fill[row])].tolist()],
+                  maxlen=window)
+            for row in self.active]
+        self.slot_miss = [int(self.miss_col[row]) for row in self.active]
+        self.slot_dets = [self.det_indices[row] for row in self.active]
+        self._scratch_valid = True
 
     def _expire(self) -> None:
         """Move tracks whose misses exceeded max_age to the finished list.
@@ -312,33 +426,108 @@ class _BatchTrackerCore:
         so finished tracks are appended in active-list order.
         """
         max_age = self.config.max_age
-        misses = self.misses
+        slot_miss = self.slot_miss
+        slot_state = self.slot_state
+        slot_rings = self.slot_rings
+        slot_dets = self.slot_dets
+        miss_col = self.miss_col
+        dirty = self._finished_dirty
         still_active: list[int] = []
         still_categories: list[int] = []
-        for row, category in zip(self.active, self.active_categories):
-            if misses[row] > max_age:
+        still_state: list[tuple] = []
+        still_rings: list = []
+        still_miss: list[int] = []
+        still_dets: list[list[int]] = []
+        for slot, row in enumerate(self.active):
+            count = slot_miss[slot]
+            if count > max_age:
                 self.finished.append(row)
+                miss_col[row] = count
+                dirty.append((row, slot_state[slot], slot_rings[slot]))
             else:
                 still_active.append(row)
-                still_categories.append(category)
-        self.active = still_active
-        self.active_categories = still_categories
+                still_categories.append(self.active_categories[slot])
+                still_state.append(slot_state[slot])
+                still_rings.append(slot_rings[slot])
+                still_miss.append(count)
+                still_dets.append(slot_dets[slot])
+        self.active[:] = still_active
+        self.active_categories[:] = still_categories
+        slot_state[:] = still_state
+        slot_rings[:] = still_rings
+        slot_miss[:] = still_miss
+        slot_dets[:] = still_dets
 
     def _miss_step(self) -> None:
         """Advance one frame with no matched detections (all candidates miss)."""
-        active = self.active
-        if not active:
+        self._age_gap(1)
+
+    def _age_gap(self, gap: int) -> None:
+        """Advance ``gap`` consecutive empty frames in one batched pass.
+
+        Equivalent to ``gap`` scalar miss steps: every active track ages by
+        ``gap`` misses, and tracks that cross ``max_age`` part-way through
+        are finished in per-frame expiry order (crossing frame first, active
+        order within a frame) with their counters frozen at the crossing
+        value — exactly what ``gap`` sequential sweeps produce.
+        """
+        slot_miss = self.slot_miss
+        if not slot_miss or gap <= 0:
             return
         max_age = self.config.max_age
-        misses = self.misses
         expired = False
-        for row in active:
-            count = misses[row] + 1
-            misses[row] = count
+        for slot, count in enumerate(slot_miss):
+            count += gap
+            slot_miss[slot] = count
             if count > max_age:
                 expired = True
         if expired:
-            self._expire()
+            self._expire_gap(gap, max_age)
+
+    def _expire_gap(self, gap: int, max_age: int) -> None:
+        """Expire after a multi-frame gap, preserving per-frame finish order.
+
+        A track with ``m`` misses before the gap crosses ``max_age`` at gap
+        offset ``max_age + 1 - m``; sequential empty steps finish tracks
+        ordered by that offset (ties in active-list order) and stop aging a
+        track at its expiry frame, so a crossing track's final miss count is
+        exactly ``max_age + 1`` rather than ``m + gap``.
+        """
+        slot_miss = self.slot_miss
+        slot_state = self.slot_state
+        slot_rings = self.slot_rings
+        slot_dets = self.slot_dets
+        miss_col = self.miss_col
+        dirty = self._finished_dirty
+        limit = max_age + 1
+        expiring: list[tuple[int, int, int]] = []
+        still_active: list[int] = []
+        still_categories: list[int] = []
+        still_state: list[tuple] = []
+        still_rings: list = []
+        still_miss: list[int] = []
+        still_dets: list[list[int]] = []
+        for slot, row in enumerate(self.active):
+            count = slot_miss[slot]
+            if count > max_age:
+                miss_col[row] = limit
+                dirty.append((row, slot_state[slot], slot_rings[slot]))
+                expiring.append((limit - (count - gap), slot, row))
+            else:
+                still_active.append(row)
+                still_categories.append(self.active_categories[slot])
+                still_state.append(slot_state[slot])
+                still_rings.append(slot_rings[slot])
+                still_miss.append(count)
+                still_dets.append(slot_dets[slot])
+        expiring.sort()
+        self.finished.extend(row for _, _, row in expiring)
+        self.active[:] = still_active
+        self.active_categories[:] = still_categories
+        slot_state[:] = still_state
+        slot_rings[:] = still_rings
+        slot_miss[:] = still_miss
+        slot_dets[:] = still_dets
 
     # --------------------------------------------------------------- matching
 
@@ -354,145 +543,658 @@ class _BatchTrackerCore:
         total = len(batch)
         config = self.config
         threshold = config.iou_threshold
-        per_category = config.per_category
         use_motion = config.use_motion_prediction
         max_age = config.max_age
-        if total:
-            positions = batch.frame_positions
-            # Frame-major, confidence-descending stable order — the batched
-            # equivalent of the scalar per-step sort.  lexsort is stable, so
-            # fully-tied entries keep storage order, which *is* the scalar
-            # within-frame emission order (DetectionBatch storage contract).
-            order = np.lexsort((-batch.confidences, positions))
-            # boundaries[f] = number of detections in frames before f — the
-            # per-frame slice bounds of the ordered arrays.
-            boundaries = np.zeros(num_frames + 1, dtype=np.int64)
-            np.cumsum(np.bincount(positions, minlength=num_frames),
-                      out=boundaries[1:])
-            boundaries_list = boundaries.tolist()
-            boxes = batch.boxes[order]
-            boxes_list = boxes.tolist()
-            frame_index_list = batch.frame_indices[order].tolist()
-            batch_to_core = [self._core_category(label) for label in batch.categories]
-            if len(batch_to_core) == 1:
+        if not total:
+            # The whole batch is empty frames: one batched aging pass.
+            self._age_gap(num_frames)
+            if self.active:
+                self.miss_col[self.active] = self.slot_miss
+            return
+        positions = batch.frame_positions
+        batch_to_core = [self._core_category(label) for label in batch.categories]
+        single_category = len(batch_to_core) == 1
+        # The scan needs frame-major, confidence-descending stable order —
+        # the batched equivalent of the scalar per-step sort.  One Python
+        # pass over the positions finds the visited-frame boundaries (the
+        # loop below skips empty frames; the gaps between them age in
+        # batched passes) and detects whether storage is already
+        # frame-major — then the columns materialize either directly or
+        # through one stable position argsort.  Within-frame storage order
+        # is the scalar emission order by the DetectionBatch contract, so
+        # confidence order is restored afterwards, stably, only inside the
+        # few frames that carry more than one detection.
+        positions_list = positions.tolist()
+        frames_list: list[int] = []
+        ends_list: list[int] = []
+        previous_frame = -1
+        frame_major = True
+        for index, frame in enumerate(positions_list):
+            if frame != previous_frame:
+                if frame < previous_frame:
+                    frame_major = False
+                    break
+                frames_list.append(frame)
+                if index:
+                    ends_list.append(index)
+                previous_frame = frame
+        if frame_major:
+            ends_list.append(total)
+            order_list = None
+            boxes_list = batch.boxes.tolist()
+            frame_index_list = batch.frame_indices.tolist()
+            detection_ids = list(range(offset, offset + total))
+            if single_category:
                 category_list = batch_to_core * total
             else:
                 category_list = [batch_to_core[identifier]
-                                 for identifier in batch.category_ids[order].tolist()]
-            order_list = order.tolist()
+                                 for identifier in batch.category_ids.tolist()]
+        else:
+            # Entry-major storage: a stable argsort by frame position is the
+            # whole frame-major reorder (position ties keep storage order,
+            # which is the scalar within-frame emission order).
+            order_list = np.argsort(positions, kind="stable").tolist()
+            frames_list = []
+            ends_list = []
+            previous_frame = -1
+            for index, position in enumerate(order_list):
+                frame = positions_list[position]
+                if frame != previous_frame:
+                    frames_list.append(frame)
+                    if index:
+                        ends_list.append(index)
+                    previous_frame = frame
+            ends_list.append(total)
+            storage_boxes = batch.boxes.tolist()
+            boxes_list = [storage_boxes[index] for index in order_list]
+            storage_frame_indices = batch.frame_indices.tolist()
+            frame_index_list = [storage_frame_indices[index]
+                                for index in order_list]
             detection_ids = order_list if offset == 0 \
                 else [offset + index for index in order_list]
-        else:
-            boundaries_list = [0] * (num_frames + 1)
-        row_state = self.row_state
-        rings = self.rings
-        det_lists = self.det_indices
-        misses = self.misses
+            if single_category:
+                category_list = batch_to_core * total
+            else:
+                storage_ids = batch.category_ids.tolist()
+                category_list = [batch_to_core[storage_ids[index]]
+                                 for index in order_list]
+        if len(ends_list) != total:
+            # At least one frame carries several detections: restore
+            # confidence-descending order inside those frames (stable —
+            # swap/permute only on a strict upset, ties stay put).
+            storage_confidences = batch.confidences.tolist()
+            if order_list is None:
+                confidence_list = storage_confidences
+            else:
+                confidence_list = [storage_confidences[index]
+                                   for index in order_list]
+            first = 0
+            for last in ends_list:
+                span = last - first
+                if span == 2:
+                    second = first + 1
+                    if confidence_list[first] < confidence_list[second]:
+                        boxes_list[first], boxes_list[second] = \
+                            boxes_list[second], boxes_list[first]
+                        detection_ids[first], detection_ids[second] = \
+                            detection_ids[second], detection_ids[first]
+                        if not single_category:
+                            category_list[first], category_list[second] = \
+                                category_list[second], category_list[first]
+                elif span > 2:
+                    permuted = sorted(range(first, last),
+                                      key=lambda i: -confidence_list[i])
+                    boxes_list[first:last] = [boxes_list[i] for i in permuted]
+                    detection_ids[first:last] = [detection_ids[i]
+                                                 for i in permuted]
+                    if not single_category:
+                        category_list[first:last] = [category_list[i]
+                                                     for i in permuted]
+                first = last
+        # When everything the core has ever seen shares one category, the
+        # per-category guards are always-pass; hoist them out of the scan
+        # loops.  The registry is complete for this batch at this point, so
+        # the flag is loop-invariant.
+        check_categories = config.per_category and len(self.categories) > 1
+        # A zero-overlap candidate can never win a scan whose bar starts at
+        # a positive threshold, so the scalar paths below reject disjoint
+        # boxes on a 2-4 comparison axis test before any IoU arithmetic.
+        # With threshold 0.0 a zero-IoU candidate *can* win (>= keeps the
+        # last one), so those steps take the unpruned general path.
+        fast_scan = threshold > 0.0
+        # The unrolled small-frame paths below additionally assume category
+        # guards are no-ops (single category seen, or per_category off).
+        unrolled = fast_scan and not check_categories
+        if not self._scratch_valid:
+            self._load_scratch()
+        slot_state = self.slot_state
+        slot_rings = self.slot_rings
+        slot_miss = self.slot_miss
+        slot_dets = self.slot_dets
         start = 0
-        for frame in range(num_frames):
-            end = boundaries_list[frame + 1]
-            if start == end:
-                self._miss_step()
-                continue
+        prev_frame = -1
+        active = self.active
+        for frame, end in zip(frames_list, ends_list):
+            gap = frame - prev_frame - 1
+            if gap and active:
+                # Inlined _age_gap: batched aging for the empty frames
+                # between the previous handled frame and this one.
+                expired = False
+                for slot, count in enumerate(slot_miss):
+                    count += gap
+                    slot_miss[slot] = count
+                    if count > max_age:
+                        expired = True
+                if expired:
+                    self._expire_gap(gap, max_age)
+            prev_frame = frame
             frame_index = frame_index_list[start]
-            active = self.active
             num_candidates = len(active)
+            if unrolled:
+                # Fully unrolled paths for the dominant small frame shapes
+                # (one or two detections against one or two candidates):
+                # candidate state unpacks into locals exactly once per
+                # frame, aging fuses into the prep, and the greedy
+                # selection reduces to explicit comparisons with the same
+                # >=-later-wins tie-break as the scan loops.
+                if num_candidates == 2:
+                    if end == start + 1:
+                        position = start
+                        det_x1, det_y1, det_width, det_height = \
+                            boxes_list[position]
+                        det_x2 = det_x1 + det_width
+                        det_y2 = det_y1 + det_height
+                        det_area = det_width * det_height
+                        x, y, width, height, area, last_frame, vx, vy = \
+                            slot_state[0]
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x = x + vx * frames_ahead
+                            y = y + vy * frames_ahead
+                        iou_a = 0.0
+                        ref_x2 = x + width
+                        ref_y2 = y + height
+                        if det_x1 < ref_x2 and x < det_x2 \
+                                and det_y1 < ref_y2 and y < det_y2:
+                            left = det_x1 if det_x1 > x else x
+                            right = det_x2 if det_x2 < ref_x2 else ref_x2
+                            top = det_y1 if det_y1 > y else y
+                            bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                            intersection = (right - left) * (bottom - top)
+                            union = det_area + area - intersection
+                            if union > 0:
+                                iou_a = intersection / union
+                        x, y, width, height, area, last_frame, vx, vy = \
+                            slot_state[1]
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x = x + vx * frames_ahead
+                            y = y + vy * frames_ahead
+                        iou_b = 0.0
+                        ref_x2 = x + width
+                        ref_y2 = y + height
+                        if det_x1 < ref_x2 and x < det_x2 \
+                                and det_y1 < ref_y2 and y < det_y2:
+                            left = det_x1 if det_x1 > x else x
+                            right = det_x2 if det_x2 < ref_x2 else ref_x2
+                            top = det_y1 if det_y1 > y else y
+                            bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                            intersection = (right - left) * (bottom - top)
+                            union = det_area + area - intersection
+                            if union > 0:
+                                iou_b = intersection / union
+                        if iou_b >= threshold and iou_b >= iou_a:
+                            slot = 1
+                            other = 0
+                        elif iou_a >= threshold:
+                            slot = 0
+                            other = 1
+                        else:
+                            count = slot_miss[0] + 1
+                            slot_miss[0] = count
+                            expired = count > max_age
+                            count = slot_miss[1] + 1
+                            slot_miss[1] = count
+                            active.append(self._new_track(
+                                detection_ids[position],
+                                category_list[position],
+                                det_x1, det_y1, det_width, det_height,
+                                frame_index))
+                            self.active_categories.append(
+                                category_list[position])
+                            if expired or count > max_age:
+                                self._expire()
+                            start = end
+                            continue
+                        count = slot_miss[other] + 1
+                        slot_miss[other] = count
+                        ring = slot_rings[slot]
+                        ring.append((det_x1, det_y1, frame_index))
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        slot_state[slot] = (
+                            det_x1, det_y1, det_width, det_height, det_area,
+                            frame_index,
+                            (det_x1 - baseline_x) / frame_gap,
+                            (det_y1 - baseline_y) / frame_gap)
+                        slot_miss[slot] = 0
+                        slot_dets[slot].append(detection_ids[position])
+                        if count > max_age:
+                            self._expire()
+                        start = end
+                        continue
+                    if end == start + 2:
+                        position0 = start
+                        position1 = start + 1
+                        a_x1, a_y1, a_w, a_h = boxes_list[position0]
+                        a_x2 = a_x1 + a_w
+                        a_y2 = a_y1 + a_h
+                        a_area = a_w * a_h
+                        b_x1, b_y1, b_w, b_h = boxes_list[position1]
+                        b_x2 = b_x1 + b_w
+                        b_y2 = b_y1 + b_h
+                        b_area = b_w * b_h
+                        x0, y0, width, height, ar0, last_frame, vx, vy = \
+                            slot_state[0]
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x0 = x0 + vx * frames_ahead
+                            y0 = y0 + vy * frames_ahead
+                        rx0 = x0 + width
+                        ry0 = y0 + height
+                        x1, y1, width, height, ar1, last_frame, vx, vy = \
+                            slot_state[1]
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x1 = x1 + vx * frames_ahead
+                            y1 = y1 + vy * frames_ahead
+                        rx1 = x1 + width
+                        ry1 = y1 + height
+                        iou_a0 = 0.0
+                        if a_x1 < rx0 and x0 < a_x2 \
+                                and a_y1 < ry0 and y0 < a_y2:
+                            left = a_x1 if a_x1 > x0 else x0
+                            right = a_x2 if a_x2 < rx0 else rx0
+                            top = a_y1 if a_y1 > y0 else y0
+                            bottom = a_y2 if a_y2 < ry0 else ry0
+                            intersection = (right - left) * (bottom - top)
+                            union = a_area + ar0 - intersection
+                            if union > 0:
+                                iou_a0 = intersection / union
+                        iou_a1 = 0.0
+                        if a_x1 < rx1 and x1 < a_x2 \
+                                and a_y1 < ry1 and y1 < a_y2:
+                            left = a_x1 if a_x1 > x1 else x1
+                            right = a_x2 if a_x2 < rx1 else rx1
+                            top = a_y1 if a_y1 > y1 else y1
+                            bottom = a_y2 if a_y2 < ry1 else ry1
+                            intersection = (right - left) * (bottom - top)
+                            union = a_area + ar1 - intersection
+                            if union > 0:
+                                iou_a1 = intersection / union
+                        if iou_a1 >= threshold and iou_a1 >= iou_a0:
+                            best_a = 1
+                        elif iou_a0 >= threshold:
+                            best_a = 0
+                        else:
+                            best_a = -1
+                        # Detection B scans the candidates A did not take.
+                        best_b = -1
+                        if best_a != 0:
+                            iou_b0 = 0.0
+                            if b_x1 < rx0 and x0 < b_x2 \
+                                    and b_y1 < ry0 and y0 < b_y2:
+                                left = b_x1 if b_x1 > x0 else x0
+                                right = b_x2 if b_x2 < rx0 else rx0
+                                top = b_y1 if b_y1 > y0 else y0
+                                bottom = b_y2 if b_y2 < ry0 else ry0
+                                intersection = (right - left) * (bottom - top)
+                                union = b_area + ar0 - intersection
+                                if union > 0:
+                                    iou_b0 = intersection / union
+                        if best_a != 1:
+                            iou_b1 = 0.0
+                            if b_x1 < rx1 and x1 < b_x2 \
+                                    and b_y1 < ry1 and y1 < b_y2:
+                                left = b_x1 if b_x1 > x1 else x1
+                                right = b_x2 if b_x2 < rx1 else rx1
+                                top = b_y1 if b_y1 > y1 else y1
+                                bottom = b_y2 if b_y2 < ry1 else ry1
+                                intersection = (right - left) * (bottom - top)
+                                union = b_area + ar1 - intersection
+                                if union > 0:
+                                    iou_b1 = intersection / union
+                            if best_a == 0:
+                                if iou_b1 >= threshold:
+                                    best_b = 1
+                            elif iou_b1 >= threshold and iou_b1 >= iou_b0:
+                                best_b = 1
+                            elif iou_b0 >= threshold:
+                                best_b = 0
+                        elif iou_b0 >= threshold:
+                            best_b = 0
+                        if best_a >= 0:
+                            ring = slot_rings[best_a]
+                            ring.append((a_x1, a_y1, frame_index))
+                            baseline_x, baseline_y, baseline_frame = ring[0]
+                            frame_gap = frame_index - baseline_frame
+                            if frame_gap < 1:
+                                frame_gap = 1
+                            slot_state[best_a] = (
+                                a_x1, a_y1, a_w, a_h, a_area, frame_index,
+                                (a_x1 - baseline_x) / frame_gap,
+                                (a_y1 - baseline_y) / frame_gap)
+                            slot_miss[best_a] = 0
+                            slot_dets[best_a].append(
+                                detection_ids[position0])
+                        if best_b >= 0:
+                            ring = slot_rings[best_b]
+                            ring.append((b_x1, b_y1, frame_index))
+                            baseline_x, baseline_y, baseline_frame = ring[0]
+                            frame_gap = frame_index - baseline_frame
+                            if frame_gap < 1:
+                                frame_gap = 1
+                            slot_state[best_b] = (
+                                b_x1, b_y1, b_w, b_h, b_area, frame_index,
+                                (b_x1 - baseline_x) / frame_gap,
+                                (b_y1 - baseline_y) / frame_gap)
+                            slot_miss[best_b] = 0
+                            slot_dets[best_b].append(
+                                detection_ids[position1])
+                        if best_a < 0:
+                            active.append(self._new_track(
+                                detection_ids[position0],
+                                category_list[position0],
+                                a_x1, a_y1, a_w, a_h, frame_index))
+                            self.active_categories.append(
+                                category_list[position0])
+                        if best_b < 0:
+                            active.append(self._new_track(
+                                detection_ids[position1],
+                                category_list[position1],
+                                b_x1, b_y1, b_w, b_h, frame_index))
+                            self.active_categories.append(
+                                category_list[position1])
+                        expired = False
+                        if best_a != 0 and best_b != 0:
+                            count = slot_miss[0] + 1
+                            slot_miss[0] = count
+                            if count > max_age:
+                                expired = True
+                        if best_a != 1 and best_b != 1:
+                            count = slot_miss[1] + 1
+                            slot_miss[1] = count
+                            if count > max_age:
+                                expired = True
+                        if expired:
+                            self._expire()
+                        start = end
+                        continue
+                elif num_candidates == 1 and end == start + 1:
+                    position = start
+                    det_x1, det_y1, det_width, det_height = \
+                        boxes_list[position]
+                    det_x2 = det_x1 + det_width
+                    det_y2 = det_y1 + det_height
+                    det_area = det_width * det_height
+                    x, y, width, height, area, last_frame, vx, vy = \
+                        slot_state[0]
+                    if use_motion:
+                        frames_ahead = frame_index - last_frame
+                        x = x + vx * frames_ahead
+                        y = y + vy * frames_ahead
+                    ref_x2 = x + width
+                    ref_y2 = y + height
+                    matched = False
+                    if det_x1 < ref_x2 and x < det_x2 \
+                            and det_y1 < ref_y2 and y < det_y2:
+                        left = det_x1 if det_x1 > x else x
+                        right = det_x2 if det_x2 < ref_x2 else ref_x2
+                        top = det_y1 if det_y1 > y else y
+                        bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                        intersection = (right - left) * (bottom - top)
+                        union = det_area + area - intersection
+                        if union > 0 and intersection / union >= threshold:
+                            matched = True
+                    if matched:
+                        ring = slot_rings[0]
+                        ring.append((det_x1, det_y1, frame_index))
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        slot_state[0] = (
+                            det_x1, det_y1, det_width, det_height, det_area,
+                            frame_index,
+                            (det_x1 - baseline_x) / frame_gap,
+                            (det_y1 - baseline_y) / frame_gap)
+                        slot_miss[0] = 0
+                        slot_dets[0].append(detection_ids[position])
+                    else:
+                        count = slot_miss[0] + 1
+                        slot_miss[0] = count
+                        active.append(self._new_track(
+                            detection_ids[position], category_list[position],
+                            det_x1, det_y1, det_width, det_height,
+                            frame_index))
+                        self.active_categories.append(category_list[position])
+                        if count > max_age:
+                            self._expire()
+                    start = end
+                    continue
+            if fast_scan and 0 < num_candidates < VECTOR_MATCH_MIN_PAIRS:
+                if end == start + 1:
+                    # Fast path: one detection this frame — no matched flags
+                    # or new-track lists, references fuse into the candidate
+                    # loop, and candidate aging fuses into the same loop
+                    # (every candidate ages, then the winner's counter is
+                    # reset by the match — the same bookkeeping the general
+                    # path does in a second pass).
+                    position = start
+                    detection_category = category_list[position]
+                    det_x1, det_y1, det_width, det_height = boxes_list[position]
+                    det_x2 = det_x1 + det_width
+                    det_y2 = det_y1 + det_height
+                    det_area = det_width * det_height
+                    active_categories = self.active_categories
+                    best = -1
+                    best_iou = threshold
+                    expired = False
+                    for index, state in enumerate(slot_state):
+                        count = slot_miss[index] + 1
+                        slot_miss[index] = count
+                        if count > max_age:
+                            expired = True
+                        if check_categories \
+                                and active_categories[index] != detection_category:
+                            continue
+                        x, y, width, height, area, last_frame, vx, vy = state
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x = x + vx * frames_ahead
+                            y = y + vy * frames_ahead
+                        ref_x2 = x + width
+                        if det_x1 >= ref_x2 or x >= det_x2:
+                            continue
+                        ref_y2 = y + height
+                        if det_y1 >= ref_y2 or y >= det_y2:
+                            continue
+                        left = det_x1 if det_x1 > x else x
+                        right = det_x2 if det_x2 < ref_x2 else ref_x2
+                        top = det_y1 if det_y1 > y else y
+                        bottom = det_y2 if det_y2 < ref_y2 else ref_y2
+                        intersection = (right - left) * (bottom - top)
+                        union = det_area + area - intersection
+                        iou = intersection / union if union > 0 else 0.0
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best = index
+                    if best >= 0:
+                        # Inlined observe: record the matched box, advance
+                        # the velocity window (baseline = oldest ringed
+                        # observation after the append, frame gap clamped to
+                        # >= 1, same IEEE ops as the scalar twin), reset the
+                        # miss counter.  The ring holds at least the opening
+                        # observation, so it has >= 2 entries here.
+                        ring = slot_rings[best]
+                        ring.append((det_x1, det_y1, frame_index))
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        slot_state[best] = (
+                            det_x1, det_y1, det_width, det_height, det_area,
+                            frame_index,
+                            (det_x1 - baseline_x) / frame_gap,
+                            (det_y1 - baseline_y) / frame_gap)
+                        slot_miss[best] = 0
+                        slot_dets[best].append(detection_ids[position])
+                    else:
+                        active.append(self._new_track(
+                            detection_ids[position], detection_category,
+                            det_x1, det_y1, det_width, det_height, frame_index))
+                        active_categories.append(detection_category)
+                    if expired:
+                        self._expire()
+                    start = end
+                    continue
+                if end == start + 2 and num_candidates * 2 < VECTOR_MATCH_MIN_PAIRS:
+                    # Fast path: two detections — both greedy scans read the
+                    # pre-frame candidate state directly (the general path
+                    # snapshots it into `references`; deferring both match
+                    # updates until after both scans is equivalent and skips
+                    # the snapshot, matched flags and new-track lists).  The
+                    # higher-confidence detection scans first and excludes
+                    # its winner from the second scan — the greedy order.
+                    # Candidate aging fuses into the first scan; winners'
+                    # counters are reset by their matches below.
+                    position0 = start
+                    position1 = start + 1
+                    active_categories = self.active_categories
+                    cat0 = category_list[position0]
+                    a_x1, a_y1, a_w, a_h = boxes_list[position0]
+                    a_x2 = a_x1 + a_w
+                    a_y2 = a_y1 + a_h
+                    a_area = a_w * a_h
+                    best0 = -1
+                    best_iou = threshold
+                    expired = False
+                    for index, state in enumerate(slot_state):
+                        count = slot_miss[index] + 1
+                        slot_miss[index] = count
+                        if count > max_age:
+                            expired = True
+                        if check_categories \
+                                and active_categories[index] != cat0:
+                            continue
+                        x, y, width, height, area, last_frame, vx, vy = state
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x = x + vx * frames_ahead
+                            y = y + vy * frames_ahead
+                        ref_x2 = x + width
+                        if a_x1 >= ref_x2 or x >= a_x2:
+                            continue
+                        ref_y2 = y + height
+                        if a_y1 >= ref_y2 or y >= a_y2:
+                            continue
+                        left = a_x1 if a_x1 > x else x
+                        right = a_x2 if a_x2 < ref_x2 else ref_x2
+                        top = a_y1 if a_y1 > y else y
+                        bottom = a_y2 if a_y2 < ref_y2 else ref_y2
+                        intersection = (right - left) * (bottom - top)
+                        union = a_area + area - intersection
+                        iou = intersection / union if union > 0 else 0.0
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best0 = index
+                    cat1 = category_list[position1]
+                    b_x1, b_y1, b_w, b_h = boxes_list[position1]
+                    b_x2 = b_x1 + b_w
+                    b_y2 = b_y1 + b_h
+                    b_area = b_w * b_h
+                    best1 = -1
+                    best_iou = threshold
+                    for index, state in enumerate(slot_state):
+                        if index == best0:
+                            continue
+                        if check_categories \
+                                and active_categories[index] != cat1:
+                            continue
+                        x, y, width, height, area, last_frame, vx, vy = state
+                        if use_motion:
+                            frames_ahead = frame_index - last_frame
+                            x = x + vx * frames_ahead
+                            y = y + vy * frames_ahead
+                        ref_x2 = x + width
+                        if b_x1 >= ref_x2 or x >= b_x2:
+                            continue
+                        ref_y2 = y + height
+                        if b_y1 >= ref_y2 or y >= b_y2:
+                            continue
+                        left = b_x1 if b_x1 > x else x
+                        right = b_x2 if b_x2 < ref_x2 else ref_x2
+                        top = b_y1 if b_y1 > y else y
+                        bottom = b_y2 if b_y2 < ref_y2 else ref_y2
+                        intersection = (right - left) * (bottom - top)
+                        union = b_area + area - intersection
+                        iou = intersection / union if union > 0 else 0.0
+                        if iou >= best_iou:
+                            best_iou = iou
+                            best1 = index
+                    if best0 >= 0:
+                        ring = slot_rings[best0]
+                        ring.append((a_x1, a_y1, frame_index))
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        slot_state[best0] = (
+                            a_x1, a_y1, a_w, a_h, a_area, frame_index,
+                            (a_x1 - baseline_x) / frame_gap,
+                            (a_y1 - baseline_y) / frame_gap)
+                        slot_miss[best0] = 0
+                        slot_dets[best0].append(
+                            detection_ids[position0])
+                    if best1 >= 0:
+                        ring = slot_rings[best1]
+                        ring.append((b_x1, b_y1, frame_index))
+                        baseline_x, baseline_y, baseline_frame = ring[0]
+                        frame_gap = frame_index - baseline_frame
+                        if frame_gap < 1:
+                            frame_gap = 1
+                        slot_state[best1] = (
+                            b_x1, b_y1, b_w, b_h, b_area, frame_index,
+                            (b_x1 - baseline_x) / frame_gap,
+                            (b_y1 - baseline_y) / frame_gap)
+                        slot_miss[best1] = 0
+                        slot_dets[best1].append(
+                            detection_ids[position1])
+                    if best0 < 0:
+                        active.append(self._new_track(
+                            detection_ids[position0], cat0,
+                            a_x1, a_y1, a_w, a_h, frame_index))
+                        active_categories.append(cat0)
+                    if best1 < 0:
+                        active.append(self._new_track(
+                            detection_ids[position1], cat1,
+                            b_x1, b_y1, b_w, b_h, frame_index))
+                        active_categories.append(cat1)
+                    if expired:
+                        self._expire()
+                    start = end
+                    continue
             if num_candidates == 0:
                 # Fast path: no candidates — every detection opens a track.
+                active_categories = self.active_categories
                 for position in range(start, end):
                     x, y, width, height = boxes_list[position]
                     active.append(self._new_track(
                         detection_ids[position], category_list[position],
                         x, y, width, height, frame_index))
-                    self.active_categories.append(category_list[position])
-                start = end
-                continue
-            if end == start + 1 and num_candidates < VECTOR_MATCH_MIN_PAIRS:
-                # Fast path: one detection this frame — references fuse into
-                # the candidate loop (no reuse possible), no matched flags or
-                # new-track lists are needed, and the greedy policy reduces
-                # to a plain best-IoU scan with the same arithmetic and
-                # later-candidate tie-break as the general loop below.
-                position = start
-                detection_category = category_list[position]
-                det_x1, det_y1, det_width, det_height = boxes_list[position]
-                det_x2 = det_x1 + det_width
-                det_y2 = det_y1 + det_height
-                det_area = det_width * det_height
-                active_categories = self.active_categories
-                best = -1
-                best_iou = threshold
-                for index in range(num_candidates):
-                    if per_category \
-                            and active_categories[index] != detection_category:
-                        continue
-                    state = row_state[active[index]]
-                    x = state[0]
-                    y = state[1]
-                    vx = state[6]
-                    if use_motion and vx is not None:
-                        frames_ahead = frame_index - state[5]
-                        if frames_ahead > 0:
-                            x = x + vx * frames_ahead
-                            y = y + state[7] * frames_ahead
-                    ref_x2 = x + state[2]
-                    ref_y2 = y + state[3]
-                    left = det_x1 if det_x1 > x else x
-                    right = det_x2 if det_x2 < ref_x2 else ref_x2
-                    top = det_y1 if det_y1 > y else y
-                    bottom = det_y2 if det_y2 < ref_y2 else ref_y2
-                    if right > left and bottom > top:
-                        intersection = (right - left) * (bottom - top)
-                        union = det_area + state[4] - intersection
-                        iou = intersection / union if union > 0 else 0.0
-                    else:
-                        iou = 0.0
-                    if iou >= best_iou:
-                        best_iou = iou
-                        best = index
-                expired = False
-                if best >= 0:
-                    row = active[best]
-                    ring = rings[row]
-                    ring.append((det_x1, det_y1, frame_index))
-                    state = row_state[row]
-                    if len(ring) >= 2:
-                        baseline_x, baseline_y, baseline_frame = ring[0]
-                        frame_gap = frame_index - baseline_frame
-                        if frame_gap < 1:
-                            frame_gap = 1
-                        state[6] = (det_x1 - baseline_x) / frame_gap
-                        state[7] = (det_y1 - baseline_y) / frame_gap
-                    state[0] = det_x1
-                    state[1] = det_y1
-                    state[2] = det_width
-                    state[3] = det_height
-                    state[4] = det_area
-                    state[5] = frame_index
-                    misses[row] = 0
-                    det_lists[row].append(detection_ids[position])
-                    if num_candidates > 1:
-                        for index in range(num_candidates):
-                            if index != best:
-                                other = active[index]
-                                count = misses[other] + 1
-                                misses[other] = count
-                                if count > max_age:
-                                    expired = True
-                else:
-                    new_row = self._new_track(
-                        detection_ids[position], detection_category,
-                        det_x1, det_y1, det_width, det_height, frame_index)
-                    for index in range(num_candidates):
-                        other = active[index]
-                        count = misses[other] + 1
-                        misses[other] = count
-                        if count > max_age:
-                            expired = True
-                    active.append(new_row)
-                    active_categories.append(detection_category)
-                if expired:
-                    self._expire()
+                    active_categories.append(category_list[position])
                 start = end
                 continue
             matched = [False] * num_candidates
@@ -500,41 +1202,40 @@ class _BatchTrackerCore:
             new_categories: list[int] = []
             iou_matrix = None
             references: list[tuple[float, float, float, float, float]] = []
-            candidate_categories = self.active_categories if per_category else None
-            if num_candidates:
-                # Reference bounds are computed scalar-wise exactly like the
-                # scalar core's _reference_bounds (same arithmetic, same
-                # motion-prediction condition) — the wide path below then
-                # vectorizes only the IoU matrix over them.
-                for row in active:
-                    state = row_state[row]
-                    x = state[0]
-                    y = state[1]
-                    vx = state[6]
-                    if use_motion and vx is not None:
-                        frames_ahead = frame_index - state[5]
-                        if frames_ahead > 0:
-                            x = x + vx * frames_ahead
-                            y = y + state[7] * frames_ahead
-                    references.append((x, y, x + state[2], y + state[3], state[4]))
-                if (end - start) * num_candidates >= VECTOR_MATCH_MIN_PAIRS:
-                    det_x1 = boxes[start:end, 0:1]
-                    det_y1 = boxes[start:end, 1:2]
-                    det_x2 = det_x1 + boxes[start:end, 2:3]
-                    det_y2 = det_y1 + boxes[start:end, 3:4]
-                    det_area = boxes[start:end, 2:3] * boxes[start:end, 3:4]
-                    ref = np.array(references, dtype=np.float64)
-                    left = np.maximum(det_x1, ref[:, 0])
-                    right = np.minimum(det_x2, ref[:, 2])
-                    top = np.maximum(det_y1, ref[:, 1])
-                    bottom = np.minimum(det_y2, ref[:, 3])
-                    width = right - left
-                    height = bottom - top
-                    intersection = np.where((width > 0) & (height > 0),
-                                            width * height, 0.0)
-                    union = det_area + ref[:, 4] - intersection
-                    with np.errstate(divide="ignore", invalid="ignore"):
-                        iou_matrix = np.where(union > 0, intersection / union, 0.0)
+            candidate_categories = self.active_categories if check_categories \
+                else None
+            # Reference bounds are computed scalar-wise exactly like the
+            # scalar core's _reference_bounds (same arithmetic, same
+            # motion-prediction condition) — the wide path below then
+            # vectorizes only the IoU matrix over them.
+            for state in slot_state:
+                x, y, width, height, area, last_frame, vx, vy = state
+                if use_motion:
+                    frames_ahead = frame_index - last_frame
+                    x = x + vx * frames_ahead
+                    y = y + vy * frames_ahead
+                references.append((x, y, x + width, y + height, area))
+            if (end - start) * num_candidates >= VECTOR_MATCH_MIN_PAIRS:
+                # boxes_list round-tripped through float64 tolist(), so this
+                # rebuild is value-identical to slicing the source array.
+                frame_boxes = np.asarray(boxes_list[start:end], dtype=np.float64)
+                det_x1 = frame_boxes[:, 0:1]
+                det_y1 = frame_boxes[:, 1:2]
+                det_x2 = det_x1 + frame_boxes[:, 2:3]
+                det_y2 = det_y1 + frame_boxes[:, 3:4]
+                det_area = frame_boxes[:, 2:3] * frame_boxes[:, 3:4]
+                ref = np.array(references, dtype=np.float64)
+                left = np.maximum(det_x1, ref[:, 0])
+                right = np.minimum(det_x2, ref[:, 2])
+                top = np.maximum(det_y1, ref[:, 1])
+                bottom = np.minimum(det_y2, ref[:, 3])
+                width = right - left
+                height = bottom - top
+                intersection = np.where((width > 0) & (height > 0),
+                                        width * height, 0.0)
+                union = det_area + ref[:, 4] - intersection
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    iou_matrix = np.where(union > 0, intersection / union, 0.0)
             for position in range(start, end):
                 best = -1
                 best_iou = threshold
@@ -553,7 +1254,7 @@ class _BatchTrackerCore:
                         if iou >= best_iou:
                             best_iou = iou
                             best = index
-                elif num_candidates:
+                else:
                     det_x2 = det_x1 + det_width
                     det_y2 = det_y1 + det_height
                     for index in range(num_candidates):
@@ -582,26 +1283,20 @@ class _BatchTrackerCore:
                     # = oldest ringed observation, frame gap clamped to >= 1,
                     # same IEEE ops as Track._rebuild_motion_cache), reset
                     # the miss counter.
-                    row = active[best]
                     matched[best] = True
-                    ring = rings[row]
+                    ring = slot_rings[best]
                     ring.append((det_x1, det_y1, frame_index))
-                    state = row_state[row]
-                    if len(ring) >= 2:
-                        baseline_x, baseline_y, baseline_frame = ring[0]
-                        frame_gap = frame_index - baseline_frame
-                        if frame_gap < 1:
-                            frame_gap = 1
-                        state[6] = (det_x1 - baseline_x) / frame_gap
-                        state[7] = (det_y1 - baseline_y) / frame_gap
-                    state[0] = det_x1
-                    state[1] = det_y1
-                    state[2] = det_width
-                    state[3] = det_height
-                    state[4] = det_area
-                    state[5] = frame_index
-                    misses[row] = 0
-                    det_lists[row].append(detection_ids[position])
+                    baseline_x, baseline_y, baseline_frame = ring[0]
+                    frame_gap = frame_index - baseline_frame
+                    if frame_gap < 1:
+                        frame_gap = 1
+                    slot_state[best] = (
+                        det_x1, det_y1, det_width, det_height, det_area,
+                        frame_index,
+                        (det_x1 - baseline_x) / frame_gap,
+                        (det_y1 - baseline_y) / frame_gap)
+                    slot_miss[best] = 0
+                    slot_dets[best].append(detection_ids[position])
                 else:
                     new_rows.append(self._new_track(
                         detection_ids[position], detection_category,
@@ -611,9 +1306,8 @@ class _BatchTrackerCore:
             expired = False
             for index in range(num_candidates):
                 if not matched[index]:
-                    row = active[index]
-                    count = misses[row] + 1
-                    misses[row] = count
+                    count = slot_miss[index] + 1
+                    slot_miss[index] = count
                     if count > max_age:
                         expired = True
             if new_rows:
@@ -622,6 +1316,14 @@ class _BatchTrackerCore:
             if expired:
                 self._expire()
             start = end
+        tail = num_frames - 1 - frames_list[-1]
+        if tail:
+            self._age_gap(tail)
+        # Boundary sync: emission reads miss counters straight from the
+        # persistent column, so it must be current whenever step_batch
+        # returns.  Box/ring columns stay write-behind (_flush_columns).
+        if active:
+            self.miss_col[active] = slot_miss
 
     # -------------------------------------------------------------- finishing
 
@@ -665,7 +1367,7 @@ class TrackView:
 
     @property
     def misses(self) -> int:
-        return self._core.misses[self._row]
+        return int(self._core.miss_col[self._row])
 
     def is_confirmed(self, min_hits: int) -> bool:
         """True once the track has accumulated at least ``min_hits`` detections."""

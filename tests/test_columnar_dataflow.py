@@ -166,6 +166,141 @@ class TestTrackerParityAcrossScenes:
             tracker.step_batch(detections)
 
 
+def _chunk_batches(video, detector, *, duration, chunk_duration):
+    spec = ChunkSpec(window=TimeInterval(0.0, duration),
+                     chunk_duration=chunk_duration)
+    return [detector.detect_batch(chunk.frame_batch(),
+                                  frame_width=video.width,
+                                  frame_height=video.height)
+            for chunk in split_interval(video, spec)]
+
+
+def _scalar_reference(config, batches):
+    tracker = IoUTracker(config)
+    for batch in batches:
+        for frame_detections in batch.per_frame_detections():
+            tracker.step(frame_detections)
+    return tracker.finalize()
+
+
+class TestTrackerArrayState:
+    """Edge cases of the persistent track-state columns.
+
+    The batch core keeps every track's state in capacity-doubling numpy
+    columns that live across ``step_batch`` calls, with the active window
+    staged in write-behind scratch.  These tests drive the column
+    lifecycle — growth, mid-ring track death, empty batches, mass expiry
+    and regrowth — and hold the core to the scalar twin bit for bit at
+    every point, including across ``drop_scratch()`` (which discards the
+    scratch so the next batch must restage purely from the columns).
+    """
+
+    def _wave_video(self, *, first=6, second=0, gap_start=120.0,
+                    duration=300.0):
+        objects = [make_crossing_object(f"a{index}", start=4.0 * index,
+                                        duration=50.0, x=120.0 + 40.0 * index)
+                   for index in range(first)]
+        objects += [make_crossing_object(f"b{index}", start=gap_start + 4.0 * index,
+                                         duration=50.0, x=150.0 + 40.0 * index)
+                    for index in range(second)]
+        return make_simple_video(objects=objects, duration=duration)
+
+    def test_multi_batch_stream_matches_scalar(self):
+        video = self._wave_video(first=6, duration=240.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.3,
+                                                    position_jitter=3.0), seed=9)
+        batches = _chunk_batches(video, detector, duration=240.0,
+                                 chunk_duration=60.0)
+        config = TrackerConfig(max_age=2, min_hits=1)
+        tracker = IoUTracker(config)
+        for batch in batches:
+            tracker.step_batch(batch)
+        tracks = tracker.finalize()
+        assert tracks == _scalar_reference(config, batches)
+        assert len(tracks) > 0
+
+    def test_continuation_after_drop_scratch_is_bit_identical(self):
+        # drop_scratch() discards the slot scratch after flushing, so every
+        # subsequent batch restages from the persistent columns; any state
+        # the write-behind flush failed to materialise would break parity.
+        video = self._wave_video(first=6, duration=240.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.4,
+                                                    position_jitter=4.0), seed=13)
+        batches = _chunk_batches(video, detector, duration=240.0,
+                                 chunk_duration=30.0)
+        config = TrackerConfig(max_age=1, min_hits=1)
+        dropped = IoUTracker(config)
+        for batch in batches:
+            dropped.step_batch(batch)
+            dropped._core.drop_scratch()
+        assert dropped.finalize() == _scalar_reference(config, batches)
+
+    def test_zero_candidate_batches_age_and_expire_tracks(self):
+        # Batches with no detections at all (empty stretches of footage)
+        # still advance time: actives age each frame and expire on
+        # schedule, identically to the scalar twin stepping empty frames.
+        video = self._wave_video(first=3, second=3, gap_start=180.0,
+                                 duration=300.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.2), seed=7)
+        batches = _chunk_batches(video, detector, duration=300.0,
+                                 chunk_duration=30.0)
+        assert any(batch.num_detections == 0 for batch in batches)
+        config = TrackerConfig(max_age=2, min_hits=1)
+        tracker = IoUTracker(config)
+        saw_empty_active = False
+        for batch in batches:
+            tracker.step_batch(batch)
+            if batch.num_detections == 0:
+                saw_empty_active = len(tracker._core.active) == 0
+        assert saw_empty_active  # the gap really drained the active window
+        assert tracker.finalize() == _scalar_reference(config, batches)
+
+    def test_geometric_regrowth_after_mass_expiry(self):
+        # Wave one overflows the initial 16-row capacity, the gap expires
+        # every active track, wave two forces further geometric growth; the
+        # columns must stay exact through grow -> flush -> regrow.
+        video = self._wave_video(first=20, second=20, gap_start=200.0,
+                                 duration=380.0)
+        detector = SyntheticDetector(DetectorConfig(miss_rate=0.3,
+                                                    position_jitter=3.0), seed=21)
+        batches = _chunk_batches(video, detector, duration=380.0,
+                                 chunk_duration=40.0)
+        config = TrackerConfig(max_age=1, min_hits=1)
+        tracker = IoUTracker(config)
+        for batch in batches:
+            tracker.step_batch(batch)
+        core = tracker._core
+        assert core.num_rows > 16  # the initial capacity really overflowed
+        assert core._capacity >= core.num_rows
+        assert core._capacity & (core._capacity - 1) == 0  # doubled, not fit
+        assert len(core.finished) + len(core.active) == core.num_rows
+        assert tracker.finalize() == _scalar_reference(config, batches)
+
+    def test_track_death_mid_ring_flushes_complete_state(self):
+        # A track that dies before filling its velocity ring must land in
+        # the columns with exactly its observed fill, not stale capacity.
+        video = make_simple_video(objects=[
+            make_crossing_object("brief", start=10.0, duration=2.0)],
+            duration=60.0)
+        detector = SyntheticDetector(DetectorConfig(), seed=3)
+        batches = _chunk_batches(video, detector, duration=60.0,
+                                 chunk_duration=60.0)
+        config = TrackerConfig(max_age=0, min_hits=1,
+                               use_motion_prediction=False)
+        tracker = IoUTracker(config)
+        for batch in batches:
+            tracker.step_batch(batch)
+        core = tracker._core
+        core.drop_scratch()  # finished rows must already be column-complete
+        assert core.finished, "the brief track must have expired"
+        for row in core.finished:
+            hits = core.hit_count(row)
+            assert 0 < hits < 5  # genuinely mid-ring
+            assert int(core.ring_fill[row]) == hits
+            assert int(core.miss_col[row]) > config.max_age
+        assert tracker.finalize() == _scalar_reference(config, batches)
+
+
 class TestQueryReleaseParity:
     def _count_query(self, duration):
         return (QueryBuilder("parity")

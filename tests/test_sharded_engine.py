@@ -407,7 +407,7 @@ class TestFaultInjection:
                                 stats=DispatchStats(), process=None)
         engine._shards[0] = shard
         task = _ShardTask(seq=9, specs=[[0, 0, 0.0, 30.0, 1, None, None, None]],
-                          payload_path="unused", num_chunks=1)
+                          payload_ref="unused", num_chunks=1)
         engine._tasks[9] = task
         shard.pending[9] = task
         first = {"type": "result", "seq": 9,

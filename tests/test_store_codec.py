@@ -1,0 +1,280 @@
+"""Tests for the binary columnar chunk-entry codec and its store wiring.
+
+The codec's contract is *exactness*: ``decode(encode(rows))`` must reproduce
+the rows bit-for-bit — value types (bool vs int vs float vs str), ``None``
+values, missing keys, and per-row key order all survive — or ``encode``
+must refuse (returning None) so the store falls back to legacy JSON.  The
+property tests drive that contract across the whole value space; the store
+tests pin the hit-path behaviours the engines rely on: memory-mapped binary
+reads with zero JSON parsing, legacy-JSON read compatibility with in-place
+migration, and corrupt-entry self-healing.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.cache as cache_module
+from repro.core.cache import (
+    DiskChunkStore,
+    TieredChunkCache,
+    create_cache,
+    decode_binary_entry,
+    encode_binary_entry,
+    shared_spec,
+)
+
+# ------------------------------------------------------------- row strategies
+
+_INT64_MIN, _INT64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+_COLUMN_VALUES = {
+    "float": st.floats(allow_nan=True, allow_infinity=True, width=64),
+    "int": st.integers(min_value=_INT64_MIN, max_value=_INT64_MAX),
+    "bool": st.booleans(),
+    "str": st.text(max_size=24),
+}
+
+
+@st.composite
+def entry_rows(draw):
+    """Rows every binary entry must reproduce exactly.
+
+    Column names come from arbitrary text (exercising utf-8 name encoding),
+    each column holds one value kind (the codec's mixed-type fallback is
+    tested separately), and every cell is independently a value, an explicit
+    None, or missing — driving both mask flags in every combination.
+    """
+    names = draw(st.lists(st.text(min_size=1, max_size=12), max_size=5,
+                          unique=True))
+    kinds = [draw(st.sampled_from(sorted(_COLUMN_VALUES))) for _ in names]
+    num_rows = draw(st.integers(min_value=0, max_value=9))
+    rows = []
+    for _ in range(num_rows):
+        row = {}
+        for name, kind in zip(names, kinds):
+            mode = draw(st.sampled_from(("value", "none", "missing")))
+            if mode == "value":
+                row[name] = draw(_COLUMN_VALUES[kind])
+            elif mode == "none":
+                row[name] = None
+        rows.append(row)
+    return rows
+
+
+def assert_rows_exact(decoded, original):
+    """Equality check that also pins types, key order, and NaN cells."""
+    # repr-level equality covers values, key order, and NaN (repr(nan) is
+    # stable) in one shot — the same comparison the engine parity tests use.
+    assert repr(decoded) == repr(original)
+    for got, want in zip(decoded, original):
+        for key in want:
+            assert type(got[key]) is type(want[key])
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(rows=entry_rows())
+    def test_round_trip_is_exact(self, rows):
+        encoded = encode_binary_entry(rows)
+        assert encoded is not None
+        assert_rows_exact(decode_binary_entry(encoded), rows)
+
+    @settings(max_examples=120, deadline=None)
+    @given(rows=entry_rows(), cut=st.integers(min_value=0, max_value=200))
+    def test_truncation_never_decodes(self, rows, cut):
+        # A torn write can stop after any byte; every proper prefix must be
+        # rejected (ValueError), never silently decode to different rows.
+        encoded = encode_binary_entry(rows)
+        truncated = encoded[:min(cut, len(encoded) - 1)]
+        with pytest.raises(ValueError):
+            decode_binary_entry(truncated)
+
+    @settings(max_examples=120, deadline=None)
+    @given(blob=st.binary(max_size=64))
+    def test_garbage_never_crashes(self, blob):
+        # Foreign bytes either raise ValueError (the store's self-heal
+        # trigger) or — only for a forged valid layout — decode to rows.
+        try:
+            decoded = decode_binary_entry(blob)
+        except ValueError:
+            return
+        assert isinstance(decoded, list)
+
+    def test_fixed_exhaustive_entry(self):
+        rows = [
+            {"kind": "person", "dy": 1.5, "frame": 7, "entering": True,
+             "note": None},
+            {"kind": "véhicule 🚗", "dy": float("nan"), "frame": -(2 ** 62),
+             "entering": False},
+            {"kind": "", "dy": float("inf"), "frame": 2 ** 62,
+             "entering": True, "note": "多字节"},
+            {},
+        ]
+        assert_rows_exact(decode_binary_entry(encode_binary_entry(rows)), rows)
+
+    def test_empty_cases(self):
+        for rows in ([], [{}], [{}, {}]):
+            assert_rows_exact(decode_binary_entry(encode_binary_entry(rows)),
+                              rows)
+
+
+class TestCodecFallback:
+    """Rows the codec cannot reproduce exactly must refuse to encode."""
+
+    @pytest.mark.parametrize("rows", [
+        [{"x": 1}, {"x": 1.0}],              # mixed int/float column
+        [{"x": True}, {"x": 1}],             # bool is not int here
+        [{"x": 2 ** 70}],                    # beyond int64
+        [{"x": [1, 2]}],                     # non-scalar value
+        [{"x": {"nested": 1}}],              # non-scalar value
+        [{1: "x"}],                          # non-string key
+        [{"a": 1, "b": 2}, {"b": 2, "a": 1}],  # inconsistent key order
+        [["not", "a", "dict"]],              # non-dict row
+    ])
+    def test_unencodable_rows_return_none(self, rows):
+        assert encode_binary_entry(rows) is None
+
+    def test_fallback_rows_still_cached_via_json(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        rows = [{"x": 1}, {"x": 1.0}]
+        store.put("a" * 16, rows)
+        assert store._path_for("a" * 16, "json").exists()
+        assert not store._path_for("a" * 16).exists()
+        assert store.get("a" * 16) == rows
+
+
+class TestDiskStoreBinary:
+    def test_binary_write_and_mmap_read(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        rows = [{"kind": "person", "dy": 1.5}, {"kind": "car", "dy": -0.5}]
+        store.put("b" * 16, rows)
+        path = store._path_for("b" * 16)
+        assert path.exists() and path.read_bytes()[:8] == b"PVCHNK02"
+        assert_rows_exact(store.get("b" * 16), rows)
+        assert store.stats.hits == 1 and store.legacy_json_reads == 0
+
+    def test_warm_binary_hits_never_parse_json(self, tmp_path, monkeypatch):
+        # The no-json-load hook: a warm binary store must answer every hit
+        # through the mmap path without ever reaching the JSON seam.
+        store = DiskChunkStore(tmp_path)
+        keys = [f"{i:x}" * 16 for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put(key, [{"kind": "person", "seq": i}])
+
+        def _no_json(path):
+            raise AssertionError(f"JSON parse on warm binary hit: {path}")
+
+        monkeypatch.setattr(cache_module, "_read_json_entry", _no_json)
+        for i, key in enumerate(keys):
+            assert store.get(key) == [{"kind": "person", "seq": i}]
+        assert store.legacy_json_reads == 0
+
+    def test_large_entry_exercises_numpy_and_mmap_paths(self, tmp_path):
+        # Columns past _SMALL_COLUMN_VALUES decode via frombuffer and files
+        # past _MMAP_MIN_BYTES read via mmap; a 3000-row entry crosses both
+        # thresholds and must roundtrip exactly like a small one.
+        store = DiskChunkStore(tmp_path)
+        rows = [{"kind": f"k{i}", "dy": i * 0.5, "seq": i, "odd": bool(i % 2)}
+                for i in range(3000)]
+        store.put("9" * 16, rows)
+        path = store._path_for("9" * 16)
+        assert path.stat().st_size >= cache_module._MMAP_MIN_BYTES
+        assert_rows_exact(store.get("9" * 16), rows)
+
+    def test_corrupt_binary_entry_self_heals(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        store.put("c" * 16, [{"kind": "person"}])
+        path = store._path_for("c" * 16)
+        path.write_bytes(b"\x00corrupt")
+        assert store.get("c" * 16) is None
+        assert store.read_errors == 1 and not path.exists()
+        store.put("c" * 16, [{"kind": "person"}])  # slot is reusable
+        assert store.get("c" * 16) == [{"kind": "person"}]
+
+    def test_corrupt_header_fields_self_heal(self, tmp_path):
+        # Right magic, lying header (a torn write that kept the first 8
+        # bytes): still a miss plus removal, never an exception.
+        store = DiskChunkStore(tmp_path)
+        store.put("d" * 16, [{"kind": "person", "dy": 1.0}])
+        path = store._path_for("d" * 16)
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get("d" * 16) is None and store.read_errors == 1
+
+    def test_enumeration_counts_both_formats(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        store.put("e" * 16, [{"x": 1}])                # binary
+        store.put("f" * 16, [{"x": 1}, {"x": 1.0}])    # JSON fallback
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+
+
+class TestJsonCompatibilityAndMigration:
+    def _warm_json_store(self, tmp_path):
+        legacy = DiskChunkStore(tmp_path, entry_format="json")
+        rows_by_key = {
+            "1" * 16: [{"kind": "person", "dy": 1.5}],
+            "2" * 16: [{"kind": "car", "dy": -2.0}, {"kind": "car", "dy": 0.0}],
+        }
+        for key, rows in rows_by_key.items():
+            legacy.put(key, rows)
+            assert legacy._path_for(key, "json").exists()
+        return rows_by_key
+
+    def test_json_store_writes_and_reads_json(self, tmp_path):
+        store = DiskChunkStore(tmp_path, entry_format="json")
+        store.put("9" * 16, [{"kind": "person"}])
+        payload = json.loads(store._path_for("9" * 16, "json").read_text())
+        assert payload["rows"] == [{"kind": "person"}]
+        assert store.get("9" * 16) == [{"kind": "person"}]
+        assert store.migrations == 0  # json stores migrate nothing
+
+    def test_binary_store_reads_and_migrates_legacy_entries(self, tmp_path):
+        rows_by_key = self._warm_json_store(tmp_path)
+        store = DiskChunkStore(tmp_path)  # reopen with the binary default
+        for key, rows in rows_by_key.items():
+            assert store.get(key) == rows
+            # Migration happened in place: binary entry landed, JSON gone.
+            assert store._path_for(key).exists()
+            assert not store._path_for(key, "json").exists()
+        assert store.legacy_json_reads == len(rows_by_key)
+        assert store.migrations == len(rows_by_key)
+        # The second pass is parse-free — counters stop moving.
+        for key, rows in rows_by_key.items():
+            assert store.get(key) == rows
+        assert store.legacy_json_reads == len(rows_by_key)
+
+    def test_put_replaces_stale_other_format_twin(self, tmp_path):
+        store = DiskChunkStore(tmp_path, entry_format="json")
+        store.put("3" * 16, [{"x": 1}])
+        binary = DiskChunkStore(tmp_path)
+        binary.put("3" * 16, [{"x": 2}])
+        assert not binary._path_for("3" * 16, "json").exists()
+        assert binary.get("3" * 16) == [{"x": 2}]
+
+
+class TestFormatSpecs:
+    def test_specs_carry_non_default_format(self, tmp_path):
+        binary = TieredChunkCache(disk=tmp_path / "b")
+        legacy = TieredChunkCache(disk=tmp_path / "j", entry_format="json")
+        assert shared_spec(binary) == f"tiered:{tmp_path / 'b'}"
+        assert shared_spec(legacy) == f"tiered+json:{tmp_path / 'j'}"
+        reopened = create_cache(shared_spec(legacy))
+        assert isinstance(reopened, TieredChunkCache)
+        assert reopened.disk.entry_format == "json"
+
+    def test_create_cache_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            create_cache(f"disk+xml:{tmp_path}")
+
+    def test_store_constructor_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskChunkStore(tmp_path, entry_format="pickle")
+
+    def test_stats_and_health_report_format(self, tmp_path):
+        store = DiskChunkStore(tmp_path)
+        assert store.stats_dict()["entry_format"] == "binary"
+        assert store.health()["entry_format"] == "binary"
+        assert store.stats_dict()["migrations"] == 0

@@ -75,20 +75,39 @@ STORE_CHAOS = FaultPlan(name="store-chaos", seed=37, rules=(
               probability=0.15, max_fires=100),
 ))
 
-PLANS = [(TRANSPORT_CHAOS, False), (DAEMON_CRASH, True), (STORE_CHAOS, True)]
+# Same-host fast-path mayhem: binary-format store entries (the tiered
+# default) are scribbled over mid-run, exercising the mmap decoder's
+# corrupt-entry self-heal, and a pipe worker is killed *while it holds an
+# attachment to the stream's shared-memory broadcast segment*.  Both
+# triggers are deterministic (fixed op indices / seq), so the fired log
+# must replay; the per-run checks additionally assert the coordinator
+# unlinked every ``privid-bc-*`` segment at stream close — a dead worker's
+# attachment must never leak the segment.
+SHM_BINARY_CHAOS = FaultPlan(name="shm-binary-chaos", seed=51, rules=(
+    FaultRule(site="store.get", kind=FaultKind.CORRUPT, at=(3, 11),
+              max_fires=2),
+    FaultRule(site="transport.*.task", kind=FaultKind.CRASH, after_seq=6),
+))
+
+PLANS = [(TRANSPORT_CHAOS, False), (DAEMON_CRASH, True), (STORE_CHAOS, True),
+         (SHM_BINARY_CHAOS, True)]
 
 
 def replay_signature(log: tuple[str, ...]) -> list[str]:
     """The deterministic view of a fired log, for replay comparison.
 
     Each event string embeds its site, per-site op index, kind, seq and
-    token — all pure functions of the plan.  Two things are scheduler
-    placement, not schedule, and are normalized away: *which* interchangeable
-    pool worker absorbed a transport fault (``workerN`` → ``worker*``), and
-    how events from different sites interleaved in the global log (sorted).
+    token.  Three things are scheduler placement, not schedule, and are
+    normalized away: *which* interchangeable pool worker absorbed a
+    transport fault (``workerN`` → ``worker*``), how many earlier ops that
+    worker happened to carry (the per-site op index on transport sites —
+    the protocol ``seq`` stays exact), and how events from different sites
+    interleaved in the global log (sorted).
     """
-    return sorted(re.sub(r"transport\.worker\d+", "transport.worker*", line)
-                  for line in log)
+    def normalize(line: str) -> str:
+        line = re.sub(r"transport\.worker\d+", "transport.worker*", line)
+        return re.sub(r"(transport\.worker\*\.[\w.]+)#\d+", r"\1#*", line)
+    return sorted(normalize(line) for line in log)
 
 
 def check(ok: bool, label: str) -> None:
@@ -133,7 +152,8 @@ def run_serial(scenario, policy_map):
 
 
 def run_chaos(scenario, policy_map, plan: FaultPlan):
-    """One seeded chaos run; returns (outputs, budgets, fired log, health)."""
+    """One seeded chaos run; returns (outputs, budgets, injector, health,
+    dispatch stats)."""
     injector = plan.injector()
     store_dir = tempfile.mkdtemp(prefix=f"privid-chaos-{plan.name}-")
     engine = ShardedEngine(2, chunksize=1, heartbeat_interval=0.2,
@@ -147,7 +167,8 @@ def run_chaos(scenario, policy_map, plan: FaultPlan):
                                      epsilon_budget=5.0, sample_period=1.0)
             outputs, budgets = drive_queries(service)
             health = service.health()
-        return outputs, budgets, injector, health
+            dispatch = engine.dispatch_stats.as_dict()
+        return outputs, budgets, injector, health, dispatch
     finally:
         engine.shutdown()  # caller-owned: the service leaves it running
 
@@ -164,7 +185,7 @@ def main() -> int:
                 # Chaos runs warn by design (dead shards, open breakers,
                 # serial fallback); the checks below are the signal.
                 warnings.simplefilter("ignore", RuntimeWarning)
-                outputs, budgets, injector, health = run_chaos(
+                outputs, budgets, injector, health, dispatch = run_chaos(
                     scenario, policy_map, plan)
             label = f"[{plan.name} run {attempt}]"
             check(outputs == reference_outputs,
@@ -177,6 +198,18 @@ def main() -> int:
                   f"({len(injector.fired)} events: {injector.summary()})")
             check(health["status"] in ("ok", "degraded"),
                   f"{label} service stayed serving (health={health['status']})")
+            if Path("/dev/shm").exists():
+                leaked = sorted(str(entry) for entry
+                                in Path("/dev/shm").glob("privid-bc-*"))
+                check(not leaked,
+                      f"{label} every shared-memory broadcast segment "
+                      f"unlinked at stream close {leaked or ''}")
+            if plan is SHM_BINARY_CHAOS:
+                # The scenario only means anything if the fast path engaged:
+                # the killed worker must have been holding a real attachment.
+                check(dispatch["shm_segments"] > 0,
+                      f"{label} broadcasts used the shared-memory fast path "
+                      f"({dispatch['shm_segments']} segments)")
             logs.append(replay_signature(injector.log()))
         if exact_replay:
             check(logs[0] == logs[1],
