@@ -2,7 +2,13 @@
 
 from repro.core.policy import MaskPolicyMap, PrivacyPolicy
 from repro.core.noise import LaplaceMechanism
-from repro.core.budget import BudgetRequest, FrameBudgetLedger, ServiceLedger
+from repro.core.budget import (
+    BudgetRequest,
+    DurableServiceLedger,
+    FrameBudgetLedger,
+    ServiceLedger,
+)
+from repro.core.durability import QueryJournal, WriteAheadLog
 from repro.core.cache import (
     CacheStats,
     ChunkResultCache,
@@ -54,6 +60,9 @@ __all__ = [
     "FrameBudgetLedger",
     "BudgetRequest",
     "ServiceLedger",
+    "DurableServiceLedger",
+    "WriteAheadLog",
+    "QueryJournal",
     "CacheStats",
     "ChunkOutcome",
     "ChunkResultCache",

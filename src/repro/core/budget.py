@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.errors import BudgetExceededError, PolicyError, UnknownCameraError
+from repro.errors import BudgetExceededError, DurabilityError, PolicyError, \
+    UnknownCameraError
 from repro.utils.timebase import TimeInterval
 
 
@@ -216,7 +218,8 @@ class ServiceLedger:
             return tuple(sorted(self._ledgers))
 
     def admit_many(self, requests_by_camera: dict[str, list[BudgetRequest]],
-                   margins: dict[str, float], *, charge: bool = True) -> None:
+                   margins: dict[str, float], *, charge: bool = True,
+                   query_id: str | None = None) -> None:
         """Atomically admit one query's demands across all its cameras.
 
         Checks every camera first (``charge=False`` passes), then charges
@@ -224,7 +227,13 @@ class ServiceLedger:
         admission of Algorithm 1, made race-free.  Raises
         :class:`~repro.errors.BudgetExceededError` leaving every ledger
         untouched if any camera lacks budget.
+
+        ``query_id`` keys the charge for idempotent crash recovery; the
+        in-memory ledger ignores it (every charge is new), while
+        :class:`DurableServiceLedger` uses it to make a replayed or resumed
+        query's charge land exactly once.
         """
+        del query_id  # only meaningful to the durable subclass
         with self._lock:
             for camera, requests in requests_by_camera.items():
                 self.ledger(camera).admit(
@@ -251,3 +260,206 @@ class ServiceLedger:
                          "remaining_min": ledger.total_epsilon - ledger.max_consumed(),
                          "charges": len(ledger.charges)}
                 for camera, ledger in sorted(ledgers.items())}
+
+
+class DurableServiceLedger(ServiceLedger):
+    """A :class:`ServiceLedger` whose mutations survive ``kill -9``.
+
+    Every budget-bearing mutation — camera registration and the
+    all-or-nothing per-query charge set — is appended to a
+    :class:`~repro.core.durability.WriteAheadLog` (and fsynced) *before* it
+    takes effect in memory, and both the live path and crash recovery apply
+    the mutation from the same record payload, so a recovered ledger is
+    bit-exact: same charge intervals (floats round-trip through JSON
+    exactly), same order, same remaining budgets.
+
+    Charges are keyed idempotently by ``query_id`` (each interval within a
+    record additionally by ``(query_id, camera, interval, epsilon, ordinal)``),
+    so the two crash windows around a charge are both safe:
+
+    * crash *before* the append — nothing logged, nothing charged; the
+      resumed query admits and charges normally;
+    * crash *after* the append but before the in-memory apply — recovery
+      replays the record, and the resumed query's :meth:`admit_many` sees
+      its ``query_id`` already charged and skips admission entirely (no
+      double-charge, and no spurious denial from counting the charge twice).
+
+    Construction *is* recovery: the snapshot is restored, pending log
+    records are replayed (ledger ops here, ``query_*`` ops dispatched to the
+    :class:`~repro.core.durability.QueryJournal`), and :attr:`last_recovery`
+    reports what happened for ``health()``.
+    """
+
+    def __init__(self, wal: Any, *, journal: Any = None,
+                 compact_every: int = 1024) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be at least 1")
+        super().__init__()
+        self.wal = wal
+        self.journal = journal
+        self.compact_every = compact_every
+        #: query_id -> WAL seq of its charge record (applied charges).
+        self._charged_queries: dict[str, int] = {}
+        self._charge_keys: set[tuple[Any, ...]] = set()
+        #: Seq of the most recent charge record (the chaos harness uses it
+        #: to schedule a crash exactly on the charge append).
+        self.last_charge_seq: int | None = None
+        self.last_recovery = self._recover()
+
+    # --------------------------------------------------------------- recovery
+
+    def _recover(self) -> dict[str, Any]:
+        state = self.wal.snapshot_state
+        if state is not None:
+            self._restore(state.get("ledger", {}))
+            if self.journal is not None:
+                self.journal.restore(state.get("journal", {}))
+        replayed = 0
+        for record in self.wal.pending_records:
+            self._apply(record)
+            replayed += 1
+        return {"records_replayed": replayed,
+                "charged_queries": len(self._charged_queries),
+                **self.wal.recovery_info}
+
+    def _apply(self, record: dict[str, Any]) -> None:
+        op = record.get("op")
+        if op == "register":
+            self._apply_register(record)
+        elif op == "charge":
+            self._apply_charge(record)
+        elif self.journal is not None:
+            self.journal.apply(record)
+
+    def _apply_register(self, record: dict[str, Any]) -> None:
+        camera = record["camera"]
+        if camera not in self._ledgers:
+            self._ledgers[camera] = FrameBudgetLedger(
+                total_epsilon=float(record["total_epsilon"]))
+
+    def _apply_charge(self, record: dict[str, Any]) -> None:
+        query_id = record.get("query_id")
+        for camera, charges in record["cameras"].items():
+            ledger = self._ledgers.get(camera)
+            if ledger is None:
+                # A charge always follows its camera's register record; a
+                # charge for an unknown camera means lost state, not a torn
+                # tail — refuse to guess at budgets.
+                raise DurabilityError(
+                    f"WAL charge record for unregistered camera {camera!r}")
+            with ledger._lock:
+                for ordinal, (start, end, epsilon) in enumerate(charges):
+                    key = (query_id, camera, start, end, epsilon, ordinal)
+                    if query_id is not None and key in self._charge_keys:
+                        continue
+                    if query_id is not None:
+                        self._charge_keys.add(key)
+                    ledger.charges.append(
+                        (TimeInterval(float(start), float(end)), float(epsilon)))
+        if query_id is not None:
+            self._charged_queries[query_id] = int(record.get("seq", -1))
+            self.last_charge_seq = int(record.get("seq", -1))
+            if self.journal is not None:
+                self.journal.mark_charged(query_id)
+
+    def _restore(self, state: dict[str, Any]) -> None:
+        for camera, payload in state.get("cameras", {}).items():
+            ledger = FrameBudgetLedger(total_epsilon=float(payload["total_epsilon"]))
+            ledger.charges = [(TimeInterval(float(start), float(end)), float(epsilon))
+                              for start, end, epsilon in payload.get("charges", [])]
+            self._ledgers[camera] = ledger
+        self._charged_queries = {query_id: int(seq) for query_id, seq
+                                 in state.get("charged_queries", {}).items()}
+        self._charge_keys = {tuple(key) for key in state.get("charge_keys", [])}
+
+    # -------------------------------------------------------------- mutations
+
+    def register(self, camera: str, total_epsilon: float) -> FrameBudgetLedger:
+        """Get-or-create with write-ahead durability.
+
+        Only a genuinely new camera appends a record — re-registration is
+        the same idempotent get-or-create (with the same epsilon-mismatch
+        :class:`~repro.errors.PolicyError`) as the in-memory ledger, so a
+        recovered deployment re-running its setup code writes nothing.
+        """
+        with self._lock:
+            if camera not in self._ledgers:
+                if total_epsilon <= 0:
+                    # Validate before logging: a record that cannot replay
+                    # (FrameBudgetLedger rejects it) must never be written.
+                    raise PolicyError("the per-frame budget must be positive")
+                self.wal.append({"op": "register", "camera": camera,
+                                 "total_epsilon": float(total_epsilon)})
+                self._apply_register({"camera": camera,
+                                      "total_epsilon": total_epsilon})
+                self._maybe_compact()
+            return super().register(camera, total_epsilon)
+
+    def admit_many(self, requests_by_camera: dict[str, list[BudgetRequest]],
+                   margins: dict[str, float], *, charge: bool = True,
+                   query_id: str | None = None) -> None:
+        """All-or-nothing admission, logged before it takes effect.
+
+        The admission *check* runs purely in memory; on success the full
+        charge set is appended (and fsynced) as one ``charge`` record, then
+        applied from that same record.  A ``query_id`` that already charged
+        — replayed after a crash, or resubmitted with its resume token —
+        returns immediately without touching any ledger.
+        """
+        with self._lock:
+            if charge and query_id is not None \
+                    and query_id in self._charged_queries:
+                return
+            super().admit_many(requests_by_camera, margins, charge=False)
+            if not charge:
+                return
+            record = {"op": "charge", "query_id": query_id,
+                      "cameras": {camera: [[request.interval.start,
+                                            request.interval.end,
+                                            request.epsilon]
+                                           for request in requests]
+                                  for camera, requests
+                                  in sorted(requests_by_camera.items())}}
+            seq = self.wal.append(record)
+            self._apply_charge({**record, "seq": seq})
+            if query_id is None:
+                self.last_charge_seq = seq
+            self._maybe_compact()
+
+    def query_charged(self, query_id: str) -> bool:
+        """Has this query's charge set already been durably applied?"""
+        with self._lock:
+            return query_id in self._charged_queries
+
+    # ------------------------------------------------------------- compaction
+
+    def _maybe_compact(self) -> None:
+        if self.wal.appends_since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Snapshot the full ledger (+ journal) state and truncate the log."""
+        with self._lock:
+            state: dict[str, Any] = {"ledger": self._state_payload()}
+            if self.journal is not None:
+                state["journal"] = self.journal.state_payload()
+            self.wal.compact(state)
+
+    def _state_payload(self) -> dict[str, Any]:
+        cameras = {}
+        for camera, ledger in sorted(self._ledgers.items()):
+            with ledger._lock:
+                cameras[camera] = {
+                    "total_epsilon": ledger.total_epsilon,
+                    "charges": [[interval.start, interval.end, epsilon]
+                                for interval, epsilon in ledger.charges]}
+        return {"cameras": cameras,
+                "charged_queries": dict(self._charged_queries),
+                "charge_keys": [list(key) for key in sorted(self._charge_keys,
+                                                            key=repr)]}
+
+    # ---------------------------------------------------------------- health
+
+    def durability_health(self) -> dict[str, Any]:
+        """WAL status + last recovery, the ``health()`` durability section."""
+        return {"wal": self.wal.status(), "last_recovery": dict(self.last_recovery)}

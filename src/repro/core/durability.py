@@ -1,0 +1,489 @@
+"""Crash-consistent durability: a write-ahead log and the per-query journal.
+
+The privacy guarantee is only as strong as the budget accounting, and until
+this module existed the accounting lived purely in memory: a ``kill -9`` of
+an always-on :class:`~repro.service.QueryService` reset every camera's
+budget, letting an adversary replay queries past epsilon.  This module makes
+the accounting survive process death:
+
+* :class:`WriteAheadLog` — an append-only, fsync-disciplined log of
+  CRC-framed JSON records.  Mutations are logged (and flushed to stable
+  storage) *before* they take effect in memory, so recovery replays exactly
+  the mutations that were acknowledged.  The tail of the log may be torn by
+  a crash mid-write; recovery stops at the first damaged frame, repairs the
+  file back to its last intact record, and reports what was dropped.
+  :meth:`~WriteAheadLog.compact` folds the applied state into an atomically
+  renamed snapshot and truncates the log, bounding replay time.
+* :class:`QueryJournal` — per-query progress over the same log: which query
+  seq a resume token maps to, how many chunks completed, whether the charge
+  landed, whether the query finished.  ``submit(..., resume_token=)``
+  resumes an interrupted query from this state.
+
+The ledger side lives in :class:`repro.core.budget.DurableServiceLedger`,
+which owns WAL replay and dispatches journal records here.
+
+Record framing
+==============
+
+Each record is ``<u32 payload length><u32 CRC-32 of payload><payload>`` with
+a little-endian header and a UTF-8 JSON payload carrying its monotonically
+increasing ``seq``.  Decoding stops — without raising — at the first frame
+that is short, oversized, fails its CRC, or does not parse: a crash tears at
+most the *tail* of an append-only file, so everything before the damage is
+trustworthy and everything after it is not (a flipped byte mid-file
+invalidates its frame and all framing after it).  Snapshots are whole JSON
+files written to a temp name, fsynced, and atomically renamed, so they are
+either entirely old or entirely new; a snapshot that fails to parse is
+raised as :class:`~repro.errors.DurabilityError` — unlike a torn tail it
+means acknowledged charges may be gone, which must never pass silently.
+
+Fsync discipline
+================
+
+``append(..., sync=True)`` (the default, used for registrations, charges,
+and journal start/finish) returns only after ``os.fsync``; ``sync=False``
+(chunk-progress checkpoints) writes through the OS cache — losing a
+progress record costs re-executing a warm chunk, never a budget.
+
+Fault sites
+===========
+
+``wal.append`` / ``wal.fsync`` / ``wal.read`` are polled on the configured
+:class:`~repro.core.faults.FaultInjector` (IO_ERROR raises :class:`OSError`,
+DELAY sleeps, CORRUPT flips a byte of the loaded log image), and
+``service.crash_at_seq`` is polled after every durable append with the
+record's seq — a CRASH rule there invokes :attr:`WriteAheadLog.crash_hook`
+(default: raise :class:`~repro.errors.SimulatedCrashError`; the chaos
+harness installs a real ``SIGKILL``), which is how the PR-7 fault machinery
+deterministically kills the service at an exact WAL position.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import DurabilityError, SimulatedCrashError
+
+_HEADER = struct.Struct("<II")
+
+#: Sanity bound on one record's payload: a length field larger than this is
+#: framing garbage, not a record that has not finished arriving.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+def encode_record(payload: dict[str, Any]) -> bytes:
+    """One CRC-framed WAL record: ``<len><crc32><canonical JSON>``."""
+    try:
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise DurabilityError(f"WAL payload is not JSON-serializable: {exc}") from exc
+    if len(body) > MAX_RECORD_BYTES:
+        raise DurabilityError(
+            f"WAL payload of {len(body)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte record bound")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_records(data: bytes) -> tuple[list[dict[str, Any]], int]:
+    """Decode a log image, tolerating a torn or garbage tail.
+
+    Returns ``(records, clean_offset)``: every intact record in order, and
+    the byte offset of the first damage (== ``len(data)`` for a clean log).
+    Never raises on damaged input — a short header, an insane length, a CRC
+    mismatch, or unparseable JSON all end the trustworthy prefix, exactly
+    the failure an append torn by a crash leaves behind.
+    """
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if length > MAX_RECORD_BYTES or start + length > len(data):
+            break
+        body = data[start:start + length]
+        if zlib.crc32(body) != crc:
+            break
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            break
+        if not isinstance(payload, dict):
+            break
+        records.append(payload)
+        offset = start + length
+    return records, offset
+
+
+def _default_crash_hook() -> None:
+    raise SimulatedCrashError(
+        "injected crash at service.crash_at_seq (kill -9 stand-in); "
+        "abandon this instance and recover over the same WAL directory")
+
+
+class WriteAheadLog:
+    """Append-only, fsync-disciplined record log with snapshot compaction.
+
+    One instance owns one directory holding ``wal.log`` (the live segment)
+    and ``snapshot.json`` (the last compaction).  Opening the directory *is*
+    recovery: the snapshot state (if any) is exposed as
+    :attr:`snapshot_state`, the intact log records appended after it as
+    :attr:`pending_records`, a torn tail is truncated away so new appends
+    never follow damage, and :attr:`recovery_info` reports what happened.
+    Thread-safe; record seqs increase monotonically across compactions and
+    reopenings.
+    """
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True,
+                 fault_injector: Any = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.directory / "wal.log"
+        self.snapshot_path = self.directory / "snapshot.json"
+        self.fsync_enabled = fsync
+        self._lock = threading.RLock()
+        # Set before recovery so open-time reads poll ``wal.read`` too.
+        self._injector: Any = fault_injector
+        self._closed = False
+        #: Invoked when a ``service.crash_at_seq`` CRASH rule fires; the
+        #: default raises SimulatedCrashError, the chaos driver installs
+        #: ``os.kill(os.getpid(), SIGKILL)`` for a genuine dirty death.
+        self.crash_hook: Callable[[], None] = _default_crash_hook
+        self.appends = 0
+        self.fsyncs = 0
+        self.compactions = 0
+        self.appends_since_compact = 0
+
+        self.snapshot_state, snapshot_seq = self._load_snapshot()
+        records, clean_offset, log_bytes = self._load_log()
+        #: Records appended after the snapshot, awaiting replay by the owner.
+        self.pending_records = [record for record in records
+                                if record.get("seq", 0) > snapshot_seq]
+        seqs = [snapshot_seq] + [record.get("seq", 0) for record in records]
+        self._next_seq = max(seqs) + 1
+        self._snapshot_seq = snapshot_seq
+        self.recovery_info = {
+            "snapshot_loaded": self.snapshot_state is not None,
+            "snapshot_seq": snapshot_seq,
+            "log_records": len(records),
+            "pending_records": len(self.pending_records),
+            "torn_bytes_dropped": log_bytes - clean_offset,
+        }
+        # Open for append at the last intact record: a torn tail is cut off
+        # here so the next append extends trustworthy framing, never garbage.
+        self._file = open(self.log_path, "a+b")
+        if clean_offset != log_bytes:
+            self._file.truncate(clean_offset)
+        self._file.seek(0, os.SEEK_END)
+
+    # ------------------------------------------------------------- fault seam
+
+    def set_fault_injector(self, injector: Any) -> None:
+        """Adopt the deployment's shared injector (``wal.*`` sites)."""
+        self._injector = injector
+
+    def _poll(self, site: str, *, seq: int | None = None) -> Any:
+        if self._injector is None:
+            return None
+        rule = self._injector.poll(site, seq=seq)
+        if rule is None:
+            return None
+        kind = getattr(rule.kind, "value", rule.kind)
+        if kind == "delay":
+            time.sleep(rule.delay)
+            return None
+        if kind == "io_error":
+            raise OSError(f"injected WAL failure at {site}")
+        return rule
+
+    # --------------------------------------------------------------- recovery
+
+    def _load_snapshot(self) -> tuple[dict[str, Any] | None, int]:
+        if not self.snapshot_path.exists():
+            return None, 0
+        try:
+            snapshot = json.loads(self.snapshot_path.read_bytes().decode("utf-8"))
+            state = snapshot["state"]
+            seq = int(snapshot["wal_seq"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A snapshot is atomically renamed into place, so damage here is
+            # not a torn write — acknowledged charges may be missing, and
+            # silently starting fresh would refill spent budgets.
+            raise DurabilityError(
+                f"WAL snapshot {self.snapshot_path} is unreadable: {exc}") from exc
+        return state, seq
+
+    def _load_log(self) -> tuple[list[dict[str, Any]], int, int]:
+        rule = self._poll("wal.read")
+        if not self.log_path.exists():
+            return [], 0, 0
+        data = self.log_path.read_bytes()
+        if rule is not None and getattr(rule.kind, "value",
+                                        rule.kind) == "corrupt" and data:
+            # Injected bit rot: flip the middle byte of the loaded image so
+            # the torn-prefix recovery path runs against real damage.
+            position = len(data) // 2
+            data = data[:position] + bytes([data[position] ^ 0xFF]) \
+                + data[position + 1:]
+        records, clean_offset = decode_records(data)
+        return records, clean_offset, len(data)
+
+    # ----------------------------------------------------------------- append
+
+    def append(self, payload: dict[str, Any], *, sync: bool = True) -> int:
+        """Durably append one record; returns its seq.
+
+        The record is written (and, with ``sync``, fsynced) before this
+        returns — the write-ahead contract callers rely on: *log first, then
+        mutate memory*.  After a durable append the ``service.crash_at_seq``
+        fault site is polled with the new seq, the deterministic kill point
+        of the chaos plans.
+        """
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("WriteAheadLog is closed")
+            seq = self._next_seq
+            record = dict(payload)
+            record["seq"] = seq
+            blob = encode_record(record)
+            self._poll("wal.append", seq=seq)
+            self._file.write(blob)
+            self._file.flush()
+            if sync and self.fsync_enabled:
+                self._poll("wal.fsync", seq=seq)
+                os.fsync(self._file.fileno())
+                self.fsyncs += 1
+            self._next_seq = seq + 1
+            self.appends += 1
+            self.appends_since_compact += 1
+            crash = self._poll("service.crash_at_seq", seq=seq)
+            if crash is not None and getattr(crash.kind, "value",
+                                             crash.kind) == "crash":
+                self.crash_hook()
+            return seq
+
+    def sync(self) -> None:
+        """Flush and fsync the log (group-commit for unsynced appends)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            self._poll("wal.fsync")
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+
+    # ------------------------------------------------------------- compaction
+
+    def compact(self, state: dict[str, Any]) -> None:
+        """Fold applied state into a snapshot and truncate the log.
+
+        The snapshot (carrying ``wal_seq`` = the last appended record, so a
+        crash between rename and truncate leaves only records the snapshot
+        already covers — replay skips them by seq) is written to a temp
+        file, fsynced, atomically renamed, and the directory fsynced before
+        the log is truncated.  At no instant does stable storage lack a full
+        account of every acknowledged mutation.
+        """
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("WriteAheadLog is closed")
+            last_seq = self._next_seq - 1
+            body = json.dumps({"wal_seq": last_seq, "state": state},
+                              sort_keys=True, separators=(",", ":")).encode("utf-8")
+            temp_path = self.snapshot_path.with_name(self.snapshot_path.name + ".tmp")
+            with open(temp_path, "wb") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.snapshot_path)
+            self._fsync_directory()
+            self._file.truncate(0)
+            self._file.seek(0)
+            os.fsync(self._file.fileno())
+            self._snapshot_seq = last_seq
+            self.compactions += 1
+            self.appends_since_compact = 0
+
+    def _fsync_directory(self) -> None:
+        try:
+            directory_fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
+    # ------------------------------------------------------------------ state
+
+    def status(self) -> dict[str, Any]:
+        """Ops snapshot for ``health()``: position, sizes, fsync accounting."""
+        with self._lock:
+            try:
+                log_bytes = self.log_path.stat().st_size
+            except OSError:
+                log_bytes = 0
+            return {"path": str(self.directory),
+                    "last_seq": self._next_seq - 1,
+                    "snapshot_seq": self._snapshot_seq,
+                    "log_bytes": log_bytes,
+                    "appends": self.appends,
+                    "fsyncs": self.fsyncs,
+                    "compactions": self.compactions,
+                    "appends_since_compact": self.appends_since_compact,
+                    "closed": self._closed}
+
+    def close(self) -> None:
+        """Release the log file handle.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - close on a dead fd
+                pass
+
+
+class QueryJournal:
+    """Per-query durable progress: the state ``resume_token`` resumes from.
+
+    One entry per journaled query: its resume token, the query seq its noise
+    stream is keyed by (resume must reuse it for byte-identity), completed
+    chunk count, and the charged/finished flags.  Entries mutate through the
+    WAL — :meth:`start` and :meth:`finish` are synced appends,
+    :meth:`checkpoint` rides the OS cache (losing one costs a warm chunk
+    re-execution, never a budget) — and are rebuilt on recovery by
+    :meth:`apply` / :meth:`restore`, both idempotent.
+
+    The ``charged`` flag is *not* journal-owned: the ledger's charge record
+    is the ground truth, and :class:`~repro.core.budget.DurableServiceLedger`
+    calls :meth:`mark_charged` when it applies one (live or during replay).
+    """
+
+    def __init__(self, wal: WriteAheadLog | None = None) -> None:
+        self.wal = wal
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ reads
+
+    def entry(self, token: str) -> dict[str, Any] | None:
+        """A snapshot of one journal entry, or None."""
+        with self._lock:
+            entry = self._entries.get(token)
+            return dict(entry) if entry is not None else None
+
+    def tokens(self) -> tuple[str, ...]:
+        """Every journaled resume token, sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def next_query_seq(self) -> int:
+        """The first query seq no journaled query has used.
+
+        A recovered service starts numbering here so a resumed query's
+        reused seq can never collide with a fresh submission's — seq keys
+        the per-query noise stream, and a collision would correlate noise
+        across queries.
+        """
+        with self._lock:
+            if not self._entries:
+                return 0
+            return max(entry["query_seq"] for entry in self._entries.values()) + 1
+
+    # ------------------------------------------------------------- mutations
+
+    def start(self, token: str, query_seq: int, query_name: str) -> dict[str, Any]:
+        """Journal a query start; idempotent on resume (same token)."""
+        with self._lock:
+            existing = self._entries.get(token)
+            if existing is not None:
+                existing["resumes"] += 1
+                snapshot = dict(existing)
+            else:
+                entry = {"token": token, "query_seq": query_seq,
+                         "query": query_name, "chunks_done": 0,
+                         "charged": False, "finished": False, "resumes": 0}
+                self._entries[token] = entry
+                snapshot = dict(entry)
+        if existing is None:
+            if self.wal is not None:
+                self.wal.append({"op": "query_start", "token": token,
+                                 "query_seq": query_seq, "query": query_name})
+        return snapshot
+
+    def checkpoint(self, token: str, chunks_done: int) -> None:
+        """Record chunk progress (unsynced — advisory, never budget-bearing)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                return
+            entry["chunks_done"] = max(entry["chunks_done"], chunks_done)
+        if self.wal is not None:
+            self.wal.append({"op": "query_progress", "token": token,
+                             "chunks_done": chunks_done}, sync=False)
+
+    def mark_charged(self, token: str) -> None:
+        """The ledger applied this query's charge (live or replayed)."""
+        with self._lock:
+            entry = self._entries.setdefault(
+                token, {"token": token, "query_seq": -1, "query": "",
+                        "chunks_done": 0, "charged": False,
+                        "finished": False, "resumes": 0})
+            entry["charged"] = True
+
+    def finish(self, token: str) -> None:
+        """Journal successful completion (synced)."""
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is None:
+                return
+            entry["finished"] = True
+        if self.wal is not None:
+            self.wal.append({"op": "query_finish", "token": token})
+
+    # --------------------------------------------------------------- recovery
+
+    def apply(self, record: dict[str, Any]) -> None:
+        """Replay one journal record (idempotent; unknown ops are ignored)."""
+        op = record.get("op")
+        token = record.get("token")
+        if not isinstance(token, str):
+            return
+        with self._lock:
+            if op == "query_start":
+                self._entries.setdefault(token, {
+                    "token": token,
+                    "query_seq": int(record.get("query_seq", -1)),
+                    "query": record.get("query", ""),
+                    "chunks_done": 0, "charged": False,
+                    "finished": False, "resumes": 0})
+            elif op == "query_progress":
+                entry = self._entries.get(token)
+                if entry is not None:
+                    entry["chunks_done"] = max(entry["chunks_done"],
+                                               int(record.get("chunks_done", 0)))
+            elif op == "query_finish":
+                entry = self._entries.get(token)
+                if entry is not None:
+                    entry["finished"] = True
+
+    def state_payload(self) -> dict[str, Any]:
+        """JSON-safe journal state for snapshot compaction."""
+        with self._lock:
+            return {token: dict(entry)
+                    for token, entry in sorted(self._entries.items())}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Load journal state from a compaction snapshot."""
+        with self._lock:
+            self._entries = {token: dict(entry)
+                             for token, entry in state.items()}

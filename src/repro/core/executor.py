@@ -304,7 +304,8 @@ class PrividSystem:
         return chunk_sets
 
     def _run_processes(self, query: PrividQuery, chunk_sets: dict[str, _ChunkSet],
-                       cancel: "CancellationToken | None" = None
+                       cancel: "CancellationToken | None" = None,
+                       on_chunk: "Callable[[int], None] | None" = None
                        ) -> tuple[PlanContext, dict[str, _TableSource]]:
         """Run every PROCESS statement as an incremental streaming consumer.
 
@@ -362,6 +363,7 @@ class PrividSystem:
         # the stream within one chunk — before any budget is charged (the
         # ledger is only touched after every stream completes), keeping
         # admission all-or-nothing under cancellation.
+        completed = 0
         try:
             while streams:
                 if cancel is not None:
@@ -372,6 +374,11 @@ class PrividSystem:
                     continue
                 table.extend(chunk_rows)
                 streams.append((table, stream))
+                completed += 1
+                if on_chunk is not None:
+                    # The durable service journals chunk progress here, so a
+                    # crash resumes with every completed chunk disk-warm.
+                    on_chunk(completed)
         except BaseException:
             for _, stream in streams:
                 close = getattr(stream, "close", None)
@@ -443,7 +450,9 @@ class PrividSystem:
 
     def execute(self, query: PrividQuery, *, default_epsilon: float = 1.0,
                 add_noise: bool = True, charge_budget: bool = True,
-                cancel: "CancellationToken | None" = None) -> QueryResult:
+                cancel: "CancellationToken | None" = None,
+                query_id: str | None = None,
+                on_chunk: "Callable[[int], None] | None" = None) -> QueryResult:
         """Run a query end to end and return its (noisy) releases.
 
         ``add_noise=False`` returns the raw chunked-pipeline outputs (the
@@ -457,11 +466,17 @@ class PrividSystem:
         :class:`~repro.errors.QueryTimeoutError`, manual cancels
         :class:`~repro.errors.QueryCancelledError` — always *before* budget
         admission, so a cancelled query never charges a ledger.
+
+        ``query_id`` keys this query's budget charge idempotently on a
+        durable ledger (a resumed query never double-charges); ``on_chunk``
+        observes streaming progress (called with the completed-chunk count
+        after each chunk's rows land) — the durable service journals it.
         """
         if cancel is not None:
             cancel.check()
         chunk_sets = self._run_splits(query)
-        plan_context, sources = self._run_processes(query, chunk_sets, cancel)
+        plan_context, sources = self._run_processes(query, chunk_sets, cancel,
+                                                    on_chunk)
 
         prepared: list[tuple[SelectStatement, list[Release], GroupSpec | None,
                              TimeBucket | None, list[_TableSource], float]] = []
@@ -498,7 +513,8 @@ class PrividSystem:
             # (possibly service-shared) ledger's cross-camera lock: check
             # every camera, then charge every camera, with no window for a
             # concurrent query to interleave.
-            self.ledger.admit_many(requests_by_camera, margins)
+            self.ledger.admit_many(requests_by_camera, margins,
+                                   query_id=query_id)
             budget_remaining = {
                 camera_name: self.camera(camera_name).ledger.remaining_over(
                     _requests_span(requests))

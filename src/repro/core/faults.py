@@ -176,7 +176,20 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._op_counts: dict[str, int] = {}
         self._rule_fires: dict[int, int] = {}
-        self.fired: list[FaultEvent] = []
+        self._fired: list[FaultEvent] = []
+
+    @property
+    def fired(self) -> list[FaultEvent]:
+        """A snapshot of the fired events, safe to iterate while polling.
+
+        One injector is shared by the engine, the store, and the WAL, all of
+        which may poll from concurrent query threads — so the backing list
+        mutates under readers.  Returning a copy taken under the lock keeps
+        ``len(injector.fired)`` and iteration race-free; appends happen only
+        inside :meth:`poll`, which already holds the same lock.
+        """
+        with self._lock:
+            return list(self._fired)
 
     def poll(self, site: str, *, seq: int | None = None,
              token: str | None = None) -> FaultRule | None:
@@ -193,8 +206,8 @@ class FaultInjector:
                 if not self._rule_fires_now(rule, site, index, seq, token):
                     continue
                 self._rule_fires[rule_index] = self._rule_fires.get(rule_index, 0) + 1
-                self.fired.append(FaultEvent(site=site, kind=rule.kind,
-                                             index=index, seq=seq, token=token))
+                self._fired.append(FaultEvent(site=site, kind=rule.kind,
+                                              index=index, seq=seq, token=token))
                 return rule
             return None
 
@@ -221,13 +234,13 @@ class FaultInjector:
     def log(self) -> tuple[str, ...]:
         """The fired events as stable strings, for replay comparison."""
         with self._lock:
-            return tuple(event.describe() for event in self.fired)
+            return tuple(event.describe() for event in self._fired)
 
     def summary(self) -> dict[str, int]:
         """Fired-event counts by (site, kind) — the chaos report shape."""
         with self._lock:
             counts: dict[str, int] = {}
-            for event in self.fired:
+            for event in self._fired:
                 label = f"{event.site}:{event.kind.value}"
                 counts[label] = counts.get(label, 0) + 1
             return counts

@@ -106,6 +106,7 @@ import argparse
 import json
 import os
 import queue
+import signal
 import socket
 import struct
 import subprocess
@@ -501,7 +502,8 @@ def _handle_task(message: dict[str, Any], store: "ChunkStore | None") -> dict[st
     return {"type": "result", "seq": message["seq"], "outcomes": outcomes}
 
 
-def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
+def serve(stdin: BinaryIO, stdout: BinaryIO,
+          tasks: "queue.Queue[dict[str, Any] | None] | None" = None) -> None:
     """The shard worker loop: read frames, execute tasks, write frames.
 
     Runs until ``shutdown`` or EOF.  Tasks execute on a separate thread so
@@ -512,9 +514,16 @@ def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
     serving — a bad payload path must not take the whole shard down with
     it.  Unknown message types are ignored so older workers tolerate newer
     coordinators.
+
+    Callers may supply the ``tasks`` queue to observe the in-flight work
+    from outside: every queued task is accounted with ``task_done()`` only
+    after its result (or error) frame has been flushed, so
+    ``tasks.join()`` is exactly "every accepted task has been answered" —
+    the primitive the daemon's SIGTERM graceful drain is built on.
     """
     write_lock = threading.Lock()
-    tasks: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+    if tasks is None:
+        tasks = queue.Queue()
     state: dict[str, "ChunkStore | None"] = {"store": None}
 
     def send(message: dict[str, Any]) -> None:
@@ -525,27 +534,32 @@ def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
         while True:
             message = tasks.get()
             if message is None:
+                tasks.task_done()
                 return
             try:
-                reply = _handle_task(message, state["store"])
-            except Exception:
-                reply = {"type": "error", "seq": message.get("seq"),
-                         "message": traceback.format_exc(limit=20)}
-            try:
-                send(reply)
-            except Exception:
-                # The reply itself could not be serialized or written (e.g.
-                # a result frame over MAX_FRAME_BYTES).  Report it as a task
-                # error so the coordinator can retry/fail the seq; if even
-                # that fails the pipe is gone — exit so the coordinator sees
-                # EOF and reassigns, rather than hanging behind a read loop
-                # that keeps answering pings.
                 try:
-                    send({"type": "error", "seq": message.get("seq"),
-                          "message": "shard could not send its result frame:\n"
-                                     + traceback.format_exc(limit=5)})
+                    reply = _handle_task(message, state["store"])
                 except Exception:
-                    os._exit(1)
+                    reply = {"type": "error", "seq": message.get("seq"),
+                             "message": traceback.format_exc(limit=20)}
+                try:
+                    send(reply)
+                except Exception:
+                    # The reply itself could not be serialized or written
+                    # (e.g. a result frame over MAX_FRAME_BYTES).  Report it
+                    # as a task error so the coordinator can retry/fail the
+                    # seq; if even that fails the pipe is gone — exit so the
+                    # coordinator sees EOF and reassigns, rather than hanging
+                    # behind a read loop that keeps answering pings.
+                    try:
+                        send({"type": "error", "seq": message.get("seq"),
+                              "message":
+                              "shard could not send its result frame:\n"
+                              + traceback.format_exc(limit=5)})
+                    except Exception:
+                        os._exit(1)
+            finally:
+                tasks.task_done()
 
     executor = threading.Thread(target=execute_loop, name="privid-shard-executor",
                                 daemon=True)
@@ -582,12 +596,14 @@ def serve(stdin: BinaryIO, stdout: BinaryIO) -> None:
         executor.join(timeout=5.0)
 
 
-def _serve_connection(connection: socket.socket) -> None:
+def _serve_connection(connection: socket.socket,
+                      tasks: "queue.Queue[dict[str, Any] | None] | None" = None,
+                      ) -> None:
     """Serve one coordinator connection of a TCP daemon until it ends."""
     rfile = connection.makefile("rb")
     wfile = connection.makefile("wb")
     try:
-        serve(rfile, wfile)
+        serve(rfile, wfile, tasks)
     except OSError:
         pass
     finally:
@@ -606,20 +622,73 @@ def listen(address: str) -> None:
     serves every accepted connection on its own thread — a long-lived shard
     host several coordinators can attach to concurrently, each getting an
     independent worker loop.  Runs until the process is terminated.
+
+    ``SIGTERM`` triggers a *graceful drain* rather than an abrupt death: the
+    listening socket closes (no new coordinators), every connection's
+    in-flight task runs to completion and its result frame is flushed
+    (``tasks.join()`` — see :func:`serve`), the connections are then shut
+    down so each worker loop sees EOF, and the process exits 0.  A
+    coordinator mid-task therefore gets its answer instead of a torn
+    stream, and orchestrators (systemd, Kubernetes) observe a clean stop.
     """
     host, port = parse_address(address)
     server = socket.create_server((host, port))
     bound = server.getsockname()
+
+    draining = threading.Event()
+    registry_lock = threading.Lock()
+    connections: list[tuple[socket.socket,
+                            "queue.Queue[dict[str, Any] | None]",
+                            threading.Thread]] = []
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        draining.set()
+        # Closing the listening socket is async-signal-safe enough here (it
+        # only marks the fd) and unblocks accept() with OSError, which is
+        # the drain's entry into the finally block below.
+        server.close()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread (embedded/test use): run without a drain
+        # hook; the process-level default disposition applies.
+        pass
+
     print(f"{_LISTENING_MARKER} {bound[0]} {bound[1]}", flush=True)
     try:
         while True:
-            connection, _ = server.accept()
-            threading.Thread(target=_serve_connection, args=(connection,),
-                             name="privid-shard-connection", daemon=True).start()
+            try:
+                connection, _ = server.accept()
+            except OSError:
+                if draining.is_set():
+                    break
+                raise
+            tasks: "queue.Queue[dict[str, Any] | None]" = queue.Queue()
+            thread = threading.Thread(target=_serve_connection,
+                                      args=(connection, tasks),
+                                      name="privid-shard-connection",
+                                      daemon=True)
+            with registry_lock:
+                connections.append((connection, tasks, thread))
+            thread.start()
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         pass
     finally:
         server.close()
+        if draining.is_set():
+            with registry_lock:
+                pending = list(connections)
+            for connection, tasks, thread in pending:
+                # Every accepted task answers before the stream closes:
+                # join() returns once the worker has flushed each result
+                # (or error) frame, so nothing in flight is torn.
+                tasks.join()
+                try:
+                    connection.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+                thread.join(timeout=5.0)
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -120,6 +120,26 @@ class ServiceOverloadedError(PrividError):
         self.limit = limit
 
 
+class DurabilityError(PrividError):
+    """Persistent ledger state could not be recovered or written.
+
+    Raised by :mod:`repro.core.durability` when a snapshot file is damaged
+    beyond the write-ahead log's self-repair (torn log *tails* are repaired
+    silently; a corrupt snapshot means charges may have been lost, which must
+    never pass unnoticed), or when a record cannot be encoded.
+    """
+
+
+class SimulatedCrashError(PrividError):
+    """An injected ``service.crash_at_seq`` fault fired (kill -9 stand-in).
+
+    The default :attr:`repro.core.durability.WriteAheadLog.crash_hook`: tests
+    catch this, abandon the service instance, and recover a fresh one over
+    the same WAL directory.  The chaos harness replaces the hook with a real
+    ``SIGKILL`` so recovery is exercised against a genuinely dead process.
+    """
+
+
 class UnknownCameraError(PrividError):
     """A SPLIT statement referenced a camera that is not registered."""
 

@@ -44,10 +44,12 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
 from typing import Any
 
-from repro.core.budget import ServiceLedger
+from repro.core.budget import DurableServiceLedger, ServiceLedger
 from repro.core.cache import ChunkStore, store_health
+from repro.core.durability import QueryJournal, WriteAheadLog
 from repro.core.engine import ExecutionEngine
 from repro.core.executor import CameraRegistration, PrividSystem, cache_stats_dict, \
     engine_stats_dict
@@ -80,6 +82,8 @@ class QueryService:
                  engine: ExecutionEngine | str | None = None,
                  cache: ChunkStore | str | None = None,
                  ledger: ServiceLedger | None = None,
+                 wal_dir: str | Path | None = None,
+                 compact_every: int = 1024,
                  max_concurrent_queries: int = 4,
                  max_queue_depth: int | None = None,
                  default_query_timeout: float | None = None,
@@ -91,6 +95,23 @@ class QueryService:
             raise ValueError("max_queue_depth must be >= 0 (or None)")
         if default_query_timeout is not None and default_query_timeout <= 0:
             raise ValueError("default_query_timeout must be positive (or None)")
+        # ``wal_dir`` makes the deployment crash-consistent: registrations
+        # and charges are write-ahead logged (and fsynced) before they take
+        # effect, every query is journaled under a resume token, and opening
+        # a service over an existing WAL directory *is* recovery — budgets
+        # come back bit-exactly, and interrupted queries resume via
+        # ``submit(..., resume_token=)``.
+        self.wal: WriteAheadLog | None = None
+        self.journal: QueryJournal | None = None
+        if wal_dir is not None:
+            if ledger is not None:
+                raise ValueError(
+                    "pass either wal_dir (the service builds its durable "
+                    "ledger over it) or ledger, not both")
+            self.wal = WriteAheadLog(wal_dir, fault_injector=fault_injector)
+            self.journal = QueryJournal(self.wal)
+            ledger = DurableServiceLedger(self.wal, journal=self.journal,
+                                          compact_every=compact_every)
         self.ledger = ledger if ledger is not None else ServiceLedger()
         # The template system owns the shared resources: it builds the
         # engine/store from specs, wires share_store for engines it built,
@@ -110,15 +131,21 @@ class QueryService:
         self.fault_injector = fault_injector
         if fault_injector is not None:
             # Opt-in chaos: any shared resource that exposes the hook gets
-            # the same injector, so one seeded plan drives the whole stack.
-            for resource in (self.engine, self.cache):
+            # the same injector, so one seeded plan drives the whole stack
+            # (the WAL already received it at construction so recovery-time
+            # reads poll too).
+            for resource in (self.engine, self.cache, self.wal):
                 hook = getattr(resource, "set_fault_injector", None)
                 if hook is not None:
                     hook(fault_injector)
         self._pool = ThreadPoolExecutor(max_workers=max_concurrent_queries,
                                         thread_name_prefix="privid-query")
         self._lock = threading.Lock()
-        self._next_query = 0
+        # A recovered service numbers fresh queries past every journaled
+        # seq: a resumed query reuses its original seq (its noise stream),
+        # which must never collide with a new submission's.
+        self._next_query = self.journal.next_query_seq() \
+            if self.journal is not None else 0
         self._submitted = 0
         self._completed = 0
         self._denied = 0
@@ -172,7 +199,8 @@ class QueryService:
         return system
 
     def _run_query(self, query_seq: int, query: PrividQuery,
-                   kwargs: dict[str, Any]) -> QueryResult:
+                   kwargs: dict[str, Any], token: str | None = None,
+                   resumed: bool = False) -> QueryResult:
         try:
             result = self._query_system(query_seq).execute(query, **kwargs)
         except BudgetExceededError:
@@ -197,10 +225,15 @@ class QueryService:
             self._completed += 1
             self._active -= 1
         result.metadata["query_seq"] = query_seq
+        if token is not None and self.journal is not None:
+            self.journal.finish(token)
+            result.metadata["resume_token"] = token
+            result.metadata["resumed"] = resumed
         return result
 
     def submit(self, query: PrividQuery, *, timeout: float | None = None,
                cancel: CancellationToken | None = None,
+               resume_token: str | None = None,
                **kwargs: Any) -> "Future[QueryResult]":
         """Enqueue a query; returns a future resolving to its result.
 
@@ -222,7 +255,21 @@ class QueryService:
         sheds load immediately with
         :class:`~repro.errors.ServiceOverloadedError` instead of growing the
         backlog without bound.
+
+        On a durable service (``wal_dir=``) every query is journaled under a
+        ``resume_token`` (auto-generated ``query-{seq}`` unless supplied).
+        Re-submitting the *same query* with the token of a journaled query —
+        typically after a crash and restart over the same WAL directory —
+        resumes it byte-identically: the original query seq (and therefore
+        its noise stream) is reused, chunks completed before the interruption
+        are served warm from the shared chunk store, and a charge that
+        already landed durably is skipped instead of charged twice.  The
+        token and a ``resumed`` flag are reported in
+        ``result.metadata``.
         """
+        if resume_token is not None and self.journal is None:
+            raise ValueError(
+                "resume_token requires a durable service (wal_dir=...)")
         effective_timeout = timeout if timeout is not None \
             else self.default_query_timeout
         token = cancel
@@ -231,6 +278,9 @@ class QueryService:
                 token = CancellationToken.with_timeout(effective_timeout)
             else:
                 token.set_timeout(effective_timeout)
+        resumed_entry = None
+        if resume_token is not None:
+            resumed_entry = self.journal.entry(resume_token)
         with self._lock:
             if self._closed:
                 raise RuntimeError("QueryService is closed")
@@ -244,13 +294,28 @@ class QueryService:
                         f"(max_queue_depth={self.max_queue_depth})",
                         active=self._active, queue_depth=queued,
                         limit=self.max_queue_depth)
-            query_seq = self._next_query
-            self._next_query += 1
+            if resumed_entry is not None:
+                # Resume: reuse the interrupted query's seq so its noise
+                # stream — a pure function of (service seed, seq) — replays.
+                query_seq = resumed_entry["query_seq"]
+            else:
+                query_seq = self._next_query
+                self._next_query += 1
             self._submitted += 1
             self._active += 1
         if token is not None:
             kwargs = dict(kwargs, cancel=token)
-        return self._pool.submit(self._run_query, query_seq, query, kwargs)
+        journal_token: str | None = None
+        if self.journal is not None:
+            journal_token = resume_token if resume_token is not None \
+                else f"query-{query_seq}"
+            self.journal.start(journal_token, query_seq, query.name)
+            journal = self.journal
+            kwargs = dict(kwargs, query_id=journal_token,
+                          on_chunk=lambda done, _token=journal_token:
+                          journal.checkpoint(_token, done))
+        return self._pool.submit(self._run_query, query_seq, query, kwargs,
+                                 journal_token, resumed_entry is not None)
 
     def execute(self, query: PrividQuery, **kwargs: Any) -> QueryResult:
         """Submit and wait: the blocking single-query convenience path."""
@@ -289,6 +354,12 @@ class QueryService:
         or with cold caches), or ``"closed"``.  ``queries`` splits ``active``
         into ``running`` (holding one of the ``capacity`` pool slots) and
         ``queued`` (waiting for a slot, bounded by ``queue_limit``).
+
+        On a durable service ``durability`` reports the write-ahead log's
+        status (path, record counts, torn bytes dropped at open) and the
+        outcome of the last recovery — how many records replayed and whether
+        a snapshot seeded the state — so an operator can confirm after a
+        restart that the ledger came back from disk rather than from zero.
         """
         with self._lock:
             closed = self._closed
@@ -300,6 +371,11 @@ class QueryService:
         store = store_health(self.cache)
         degraded = bool(engine.get("degraded")) or \
             not store.get("writable", True)
+        durability: dict[str, Any] = {"enabled": self.wal is not None}
+        if self.wal is not None:
+            durability["wal"] = self.wal.status()
+            durability["last_recovery"] = getattr(
+                self.ledger, "last_recovery", None)
         return {"status": "closed" if closed
                 else ("degraded" if degraded else "ok"),
                 "queries": {"active": active, "running": running,
@@ -308,6 +384,7 @@ class QueryService:
                             "queue_limit": self.max_queue_depth},
                 "engine": engine,
                 "store": store,
+                "durability": durability,
                 "budgets": self.ledger.snapshot()}
 
     # -------------------------------------------------------------- lifecycle
@@ -324,6 +401,8 @@ class QueryService:
             self._closed = True
         self._pool.shutdown(wait=wait)
         self._template.close()
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,457 @@
+"""Tests for the write-ahead log, journal, and crash-consistent ledger.
+
+The contract under test, bottom-up:
+
+* **record codec** — ``decode_records(encode_record(p) + ...)`` reproduces
+  every payload exactly, and *any* damage (truncation, a flipped byte) ends
+  the trustworthy prefix without raising — never yields a wrong record;
+* **WriteAheadLog** — opening a directory *is* recovery: torn tails are
+  truncated away, seqs stay monotonic across reopen and compaction, and the
+  ``wal.*`` / ``service.crash_at_seq`` fault sites thread the PR-7 chaos
+  machinery through the durability layer;
+* **DurableServiceLedger** — registrations and charges are logged before
+  they take effect, recover bit-exactly, and replay idempotently: the same
+  ``query_id`` can never charge twice, whichever side of the charge append
+  a crash lands on;
+* **snapshot equivalence** — compacting at any point mid-history changes
+  nothing observable: snapshot+log replay equals pure-log replay.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budget import BudgetRequest, DurableServiceLedger
+from repro.core.durability import (
+    MAX_RECORD_BYTES,
+    QueryJournal,
+    WriteAheadLog,
+    decode_records,
+    encode_record,
+)
+from repro.core.faults import FaultKind, FaultPlan, FaultRule
+from repro.errors import (
+    BudgetExceededError,
+    DurabilityError,
+    PolicyError,
+    SimulatedCrashError,
+)
+from repro.utils.timebase import TimeInterval
+
+# ---------------------------------------------------------- codec strategies
+
+_JSON_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=24),
+)
+
+#: WAL payloads are JSON objects; keep them shallow but varied.
+_PAYLOADS = st.dictionaries(st.text(min_size=1, max_size=12), _JSON_SCALARS,
+                            max_size=5)
+
+
+def _encode_all(payloads):
+    frames = [encode_record(payload) for payload in payloads]
+    offsets = []
+    position = 0
+    for frame in frames:
+        offsets.append((position, position + len(frame)))
+        position += len(frame)
+    return b"".join(frames), offsets
+
+
+class TestRecordCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_PAYLOADS, max_size=8))
+    def test_roundtrip_is_exact(self, payloads):
+        data, _ = _encode_all(payloads)
+        records, clean_offset = decode_records(data)
+        assert records == payloads
+        assert clean_offset == len(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_PAYLOADS, min_size=1, max_size=6), st.data())
+    def test_truncated_tail_recovers_the_intact_prefix(self, payloads, data):
+        image, offsets = _encode_all(payloads)
+        cut = data.draw(st.integers(min_value=0, max_value=len(image) - 1))
+        records, clean_offset = decode_records(image[:cut])
+        # Every frame that survived the cut in full decodes; the torn one
+        # (and anything after it) is dropped, never misread.
+        intact = sum(1 for _, end in offsets if end <= cut)
+        assert records == payloads[:intact]
+        assert clean_offset == offsets[intact - 1][1] if intact else clean_offset == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_PAYLOADS, min_size=1, max_size=6), st.data())
+    def test_garbage_byte_ends_the_trustworthy_prefix(self, payloads, data):
+        image, offsets = _encode_all(payloads)
+        position = data.draw(st.integers(min_value=0, max_value=len(image) - 1))
+        damaged = image[:position] \
+            + bytes([image[position] ^ 0xFF]) + image[position + 1:]
+        records, _ = decode_records(damaged)
+        # The prefix property: whatever decodes equals the original records
+        # verbatim (CRC framing never lets a damaged frame masquerade as a
+        # record), and every frame strictly before the damage survives.
+        before_damage = sum(1 for _, end in offsets if end <= position)
+        assert records[:before_damage] == payloads[:before_damage]
+        assert records == payloads[:len(records)]
+
+    def test_unserializable_payload_is_refused(self):
+        with pytest.raises(DurabilityError):
+            encode_record({"bad": object()})
+
+    def test_oversized_payload_is_refused(self):
+        with pytest.raises(DurabilityError):
+            encode_record({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+
+    def test_non_dict_payload_ends_the_prefix(self):
+        body = json.dumps([1, 2, 3]).encode("utf-8")
+        import struct
+        import zlib
+        frame = struct.pack("<II", len(body), zlib.crc32(body)) + body
+        records, clean_offset = decode_records(
+            encode_record({"ok": 1}) + frame)
+        assert records == [{"ok": 1}]
+        assert clean_offset == len(encode_record({"ok": 1}))
+
+
+# ------------------------------------------------------------ write-ahead log
+
+
+class TestWriteAheadLog:
+    def test_reopen_replays_appends_and_continues_seqs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        seqs = [wal.append({"op": "x", "n": n}) for n in range(3)]
+        assert seqs == [1, 2, 3]
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)
+        assert [r["n"] for r in reopened.pending_records] == [0, 1, 2]
+        assert reopened.recovery_info["torn_bytes_dropped"] == 0
+        assert reopened.append({"op": "x", "n": 3}) == 4
+        reopened.close()
+
+    def test_torn_tail_is_truncated_and_overwritten(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "keep"})
+        wal.close()
+        intact_size = (tmp_path / "wal.log").stat().st_size
+        with open(tmp_path / "wal.log", "ab") as handle:
+            handle.write(encode_record({"op": "torn", "seq": 2})[:-3])
+        reopened = WriteAheadLog(tmp_path)
+        assert [r["op"] for r in reopened.pending_records] == ["keep"]
+        assert reopened.recovery_info["torn_bytes_dropped"] > 0
+        # The damage was cut away: the next append lands where the torn
+        # record began, and a third open sees a fully clean log.
+        assert (tmp_path / "wal.log").stat().st_size == intact_size
+        reopened.append({"op": "next"})
+        reopened.close()
+        final = WriteAheadLog(tmp_path)
+        assert [r["op"] for r in final.pending_records] == ["keep", "next"]
+        assert final.recovery_info["torn_bytes_dropped"] == 0
+        final.close()
+
+    def test_compaction_snapshots_and_truncates(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "a"})
+        last = wal.append({"op": "b"})
+        wal.compact({"applied": ["a", "b"]})
+        assert (tmp_path / "wal.log").stat().st_size == 0
+        assert not list(tmp_path.glob("*.tmp"))
+        after = wal.append({"op": "c"})
+        assert after == last + 1
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.snapshot_state == {"applied": ["a", "b"]}
+        # Only records past the snapshot replay.
+        assert [r["op"] for r in reopened.pending_records] == ["c"]
+        reopened.close()
+
+    def test_damaged_snapshot_refuses_to_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "a"})
+        wal.compact({"applied": 1})
+        wal.close()
+        (tmp_path / "snapshot.json").write_bytes(b"{not json")
+        with pytest.raises(DurabilityError):
+            WriteAheadLog(tmp_path)
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(DurabilityError):
+            wal.append({"op": "late"})
+
+    def test_append_and_fsync_fault_sites_raise_os_error(self, tmp_path):
+        plan = FaultPlan(name="wal-io", seed=1, rules=(
+            FaultRule(site="wal.append", kind=FaultKind.IO_ERROR, at=(1,),
+                      max_fires=1),
+            FaultRule(site="wal.fsync", kind=FaultKind.IO_ERROR, at=(1,),
+                      max_fires=1),
+        ))
+        wal = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        wal.append({"op": "fine"})
+        with pytest.raises(OSError):
+            wal.append({"op": "doomed-write"})
+        with pytest.raises(OSError):
+            wal.append({"op": "doomed-sync"})
+        wal.append({"op": "fine-again"})
+        wal.close()
+
+    def test_read_corrupt_fault_drops_the_damaged_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for n in range(4):
+            wal.append({"op": "x", "n": n})
+        wal.close()
+        plan = FaultPlan(name="wal-rot", seed=1, rules=(
+            FaultRule(site="wal.read", kind=FaultKind.CORRUPT, at=(0,),
+                      max_fires=1),))
+        rotted = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        assert rotted.recovery_info["torn_bytes_dropped"] > 0
+        survived = [r["n"] for r in rotted.pending_records]
+        assert survived == list(range(len(survived)))  # intact prefix only
+        rotted.close()
+
+    def test_crash_at_seq_invokes_the_crash_hook(self, tmp_path):
+        plan = FaultPlan(name="kill", seed=1, rules=(
+            FaultRule(site="service.crash_at_seq", kind=FaultKind.CRASH,
+                      after_seq=2),))
+        wal = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        wal.append({"op": "a"})
+        with pytest.raises(SimulatedCrashError):
+            wal.append({"op": "b"})
+        wal.close()
+        # The record was durable before the "kill": recovery sees it.
+        recovered = WriteAheadLog(tmp_path)
+        assert [r["op"] for r in recovered.pending_records] == ["a", "b"]
+        recovered.close()
+
+
+# ------------------------------------------------------------ durable ledger
+
+
+def _request(start=0.0, end=10.0, epsilon=1.0):
+    return BudgetRequest(interval=TimeInterval(start, end), epsilon=epsilon)
+
+
+def _open_ledger(directory, **kwargs):
+    wal = WriteAheadLog(directory)
+    return wal, DurableServiceLedger(wal, **kwargs)
+
+
+class TestDurableServiceLedger:
+    def test_recovery_is_bit_exact(self, tmp_path):
+        wal, ledger = _open_ledger(tmp_path)
+        ledger.register("cam-a", 5.0)
+        ledger.register("cam-b", 3.0)
+        ledger.admit_many({"cam-a": [_request(0, 10, 1.0)],
+                           "cam-b": [_request(5, 25, 0.25)]},
+                          {"cam-a": 2.0, "cam-b": 2.0}, query_id="q-0")
+        ledger.admit_many({"cam-a": [_request(30, 40, 0.5)]}, {},
+                          query_id="q-1")
+        snapshot = ledger.snapshot()
+        wal.close()
+        wal2, recovered = _open_ledger(tmp_path)
+        assert recovered.snapshot() == snapshot
+        assert recovered.query_charged("q-0")
+        assert recovered.query_charged("q-1")
+        assert recovered.last_recovery["records_replayed"] == 4
+        wal2.close()
+
+    def test_replayed_query_id_never_charges_twice(self, tmp_path):
+        wal, ledger = _open_ledger(tmp_path)
+        ledger.register("cam", 5.0)
+        ledger.admit_many({"cam": [_request()]}, {}, query_id="q-0")
+        snapshot = ledger.snapshot()
+        # Resubmission (the resume path) is a no-op, not a second charge —
+        # even when the duplicate would otherwise be denied for budget.
+        ledger.admit_many({"cam": [_request(epsilon=4.9)]}, {}, query_id="q-0")
+        assert ledger.snapshot() == snapshot
+        wal.close()
+
+    def test_crash_between_append_and_apply_recovers_the_charge(self, tmp_path):
+        # The nastiest window: the charge record hit stable storage but the
+        # in-memory ledger never applied it.  Replay must reconstruct the
+        # charge, and the resumed query must skip admission.
+        plan = FaultPlan(name="kill-at-charge", seed=1, rules=(
+            FaultRule(site="service.crash_at_seq", kind=FaultKind.CRASH,
+                      after_seq=2),))
+        wal = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        ledger = DurableServiceLedger(wal)
+        ledger.register("cam", 5.0)
+        with pytest.raises(SimulatedCrashError):
+            ledger.admit_many({"cam": [_request()]}, {}, query_id="q-0")
+        assert not ledger.query_charged("q-0")  # memory never saw it
+        wal.close()
+        wal2, recovered = _open_ledger(tmp_path)
+        assert recovered.query_charged("q-0")
+        remaining = recovered.snapshot()["cam"]["remaining_min"]
+        assert remaining == pytest.approx(4.0)
+        # ... and the resume is idempotent on top of the replay.
+        recovered.admit_many({"cam": [_request()]}, {}, query_id="q-0")
+        assert recovered.snapshot()["cam"]["remaining_min"] == pytest.approx(4.0)
+        wal2.close()
+
+    def test_denied_admission_logs_and_charges_nothing(self, tmp_path):
+        wal, ledger = _open_ledger(tmp_path)
+        ledger.register("cam", 1.0)
+        appends_before = wal.appends
+        with pytest.raises(BudgetExceededError):
+            ledger.admit_many({"cam": [_request(epsilon=2.0)]}, {},
+                              query_id="q-0")
+        assert wal.appends == appends_before
+        wal.close()
+        wal2, recovered = _open_ledger(tmp_path)
+        assert not recovered.query_charged("q-0")
+        assert recovered.snapshot()["cam"]["remaining_min"] == pytest.approx(1.0)
+        wal2.close()
+
+    def test_invalid_register_writes_no_record(self, tmp_path):
+        wal, ledger = _open_ledger(tmp_path)
+        with pytest.raises(PolicyError):
+            ledger.register("cam", 0.0)
+        assert wal.appends == 0
+        ledger.register("cam", 5.0)
+        with pytest.raises(PolicyError):
+            ledger.register("cam", 7.0)  # epsilon mismatch, as in-memory
+        assert wal.appends == 1  # re-registration attempts write nothing
+        wal.close()
+
+    def test_charge_for_unregistered_camera_fails_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "charge", "query_id": "q",
+                    "cameras": {"ghost": [[0.0, 1.0, 0.5]]}})
+        wal.close()
+        wal2 = WriteAheadLog(tmp_path)
+        with pytest.raises(DurabilityError):
+            DurableServiceLedger(wal2)
+        wal2.close()
+
+    def test_compaction_threshold_folds_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        ledger = DurableServiceLedger(wal, compact_every=3)
+        ledger.register("cam", 50.0)
+        for n in range(4):
+            ledger.admit_many({"cam": [_request(10.0 * n, 10.0 * n + 5)]},
+                              {}, query_id=f"q-{n}")
+        assert wal.compactions >= 1
+        snapshot = ledger.snapshot()
+        wal.close()
+        wal2, recovered = _open_ledger(tmp_path)
+        assert recovered.last_recovery["snapshot_loaded"] is True
+        assert recovered.snapshot() == snapshot
+        assert all(recovered.query_charged(f"q-{n}") for n in range(4))
+        wal2.close()
+
+
+# ------------------------------------------- snapshot/log replay equivalence
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("register"),
+                  st.sampled_from(["cam-a", "cam-b", "cam-c"]),
+                  st.floats(min_value=1.0, max_value=50.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("charge"),
+                  st.sampled_from(["cam-a", "cam-b", "cam-c"]),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False)),
+    ),
+    min_size=1, max_size=12)
+
+
+class TestSnapshotLogEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(_OPS, st.data())
+    def test_snapshot_plus_log_equals_pure_log_replay(self, ops, data):
+        """Compacting mid-history must not change what recovery rebuilds."""
+        compact_after = data.draw(
+            st.integers(min_value=0, max_value=len(ops) - 1))
+        with tempfile.TemporaryDirectory() as pure_dir, \
+                tempfile.TemporaryDirectory() as compacted_dir:
+            ledgers = {}
+            for name, directory in (("pure", pure_dir),
+                                    ("compacted", compacted_dir)):
+                wal = WriteAheadLog(directory)
+                ledger = DurableServiceLedger(
+                    wal, journal=QueryJournal(wal))
+                ledgers[name] = (wal, ledger)
+                for index, (op, camera, value) in enumerate(ops):
+                    try:
+                        if op == "register":
+                            ledger.register(camera, value)
+                        else:
+                            ledger.admit_many(
+                                {camera: [_request(value, value + 5.0, 0.1)]},
+                                {}, query_id=f"q-{index}")
+                    except Exception:
+                        # Epsilon-mismatch re-registration, unknown camera,
+                        # over budget: all rejected before logging anything.
+                        pass
+                    if name == "compacted" and index == compact_after:
+                        ledger.compact()
+                wal.close()
+            recovered = {}
+            for name, directory in (("pure", pure_dir),
+                                    ("compacted", compacted_dir)):
+                wal = WriteAheadLog(directory)
+                journal = QueryJournal(wal)
+                ledger = DurableServiceLedger(wal, journal=journal)
+                recovered[name] = (ledger.snapshot(), journal.state_payload())
+                wal.close()
+            assert recovered["pure"] == recovered["compacted"]
+
+
+# ----------------------------------------------------------------- journal
+
+
+class TestQueryJournal:
+    def test_journal_round_trips_through_the_wal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        journal = QueryJournal(wal)
+        journal.start("tok-a", 0, "q")
+        journal.checkpoint("tok-a", 3)
+        journal.checkpoint("tok-a", 7)
+        journal.start("tok-b", 1, "r")
+        journal.finish("tok-b")
+        wal.close()
+        wal2 = WriteAheadLog(tmp_path)
+        replayed = QueryJournal(wal2)
+        for record in wal2.pending_records:
+            replayed.apply(record)
+        assert replayed.entry("tok-a") == {
+            "token": "tok-a", "query_seq": 0, "query": "q",
+            "chunks_done": 7, "charged": False, "finished": False,
+            "resumes": 0}
+        assert replayed.entry("tok-b")["finished"] is True
+        assert replayed.next_query_seq() == 2
+        assert replayed.tokens() == ("tok-a", "tok-b")
+        wal2.close()
+
+    def test_progress_never_regresses_and_replay_is_idempotent(self, tmp_path):
+        journal = QueryJournal()  # journal works without a WAL too
+        journal.start("tok", 0, "q")
+        journal.checkpoint("tok", 5)
+        journal.checkpoint("tok", 2)  # late/duplicate delivery
+        assert journal.entry("tok")["chunks_done"] == 5
+        record = {"op": "query_progress", "token": "tok", "chunks_done": 5}
+        journal.apply(record)
+        journal.apply(record)
+        assert journal.entry("tok")["chunks_done"] == 5
+
+    def test_resume_increments_the_resume_counter_without_logging(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        journal = QueryJournal(wal)
+        journal.start("tok", 0, "q")
+        appends = wal.appends
+        journal.start("tok", 0, "q")  # the resume path
+        assert wal.appends == appends  # idempotent: no second record
+        assert journal.entry("tok")["resumes"] == 1
+        wal.close()

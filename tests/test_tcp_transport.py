@@ -9,6 +9,7 @@ mid-stream disconnects, and reassign a killed daemon's work to the
 survivors.
 """
 
+import signal
 import socket
 import subprocess
 import sys
@@ -281,6 +282,50 @@ class TestDaemonMode:
             transport.write({"type": "ping", "token": 9})
             assert transport.read() == {"type": "pong", "token": 9}
             transport.close()
+        finally:
+            process.kill()
+            process.wait()
+
+    def test_sigterm_drains_idle_daemon_to_clean_exit(self):
+        # Orchestrators stop daemons with SIGTERM; an idle daemon must
+        # close its connections cleanly (EOF, not a torn stream) and exit 0.
+        process, host, port = _start_listening_daemon()
+        try:
+            transport = TcpTransport(host, port)
+            transport.write({"type": "ping", "token": 7})
+            assert transport.read() == {"type": "pong", "token": 7}
+            process.send_signal(signal.SIGTERM)
+            assert transport.read() is None  # clean EOF, no exception
+            assert process.wait(timeout=10) == 0
+            transport.kill()
+        finally:
+            process.kill()
+            process.wait()
+
+    def test_sigterm_answers_accepted_tasks_before_exit(self):
+        # The graceful-drain contract: every task frame the daemon accepted
+        # before SIGTERM gets its reply frame (here: error frames for a
+        # bogus payload) before the stream closes — a coordinator mid-task
+        # is answered, never torn.
+        process, host, port = _start_listening_daemon()
+        try:
+            transport = TcpTransport(host, port)
+            for seq in (1, 2, 3):
+                transport.write({"type": "task", "seq": seq,
+                                 "payload": "/nonexistent-payload",
+                                 "specs": []})
+            time.sleep(0.2)  # let the read loop enqueue the frames
+            process.send_signal(signal.SIGTERM)
+            answered = set()
+            while True:
+                frame = transport.read()
+                if frame is None:
+                    break
+                assert frame["type"] == "error"
+                answered.add(frame["seq"])
+            assert answered == {1, 2, 3}
+            assert process.wait(timeout=10) == 0
+            transport.kill()
         finally:
             process.kill()
             process.wait()

@@ -14,14 +14,31 @@ The robustness contract under test, for every :class:`FaultPlan` below:
    of the same plan + seed;
 4. **typed degradation** — a query deadline raises
    :class:`~repro.errors.QueryTimeoutError` with nothing charged, and the
-   clean rerun admits normally.
+   clean rerun admits normally;
+5. **crash consistency** — a durable service (``wal_dir=``) killed with a
+   *real* ``SIGKILL`` mid-query (the ``service.crash_at_seq`` fault site
+   with the WAL's crash hook swapped for ``os.kill``), then restarted over
+   the same WAL directory, recovers per-camera budgets exactly equal to a
+   never-crashed run's, never double-charges, and resumes the interrupted
+   query byte-identically with its pre-crash chunks served warm from the
+   shared store.  The crash-restart cycle runs twice and both iterations
+   must produce identical bytes (replay determinism), with no stranded
+   ``*.tmp`` files in the WAL directories and no leaked
+   ``/dev/shm/privid-bc-*`` segments.
 
 Run with: ``python tools/chaos_smoke.py``
+(``--crash-driver`` is the internal child-process mode of the
+crash-restart plan — the process that actually gets SIGKILLed.)
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import re
+import signal
+import subprocess
 import sys
 import tempfile
 import warnings
@@ -173,6 +190,164 @@ def run_chaos(scenario, policy_map, plan: FaultPlan):
         engine.shutdown()  # caller-owned: the service leaves it running
 
 
+# --------------------------------------------------------- crash-restart plan
+
+#: Journal token of the crash-restart plan's query: naming it up front is
+#: what lets the restarted process find and resume the interrupted query.
+CRASH_TOKEN = "crash-q"
+
+
+def crash_driver(args: argparse.Namespace) -> int:
+    """Child-process mode: one durable service run that may get SIGKILLed.
+
+    Opens a :class:`~repro.service.QueryService` over ``--wal-dir`` (opening
+    *is* recovery when the directory already holds a log), registers the
+    scenario camera, and executes the fixed query under ``--token``.  With
+    ``--crash-at-seq N`` a ``service.crash_at_seq`` CRASH rule is armed and
+    the WAL's crash hook swapped for a genuine ``os.kill(getpid(), SIGKILL)``
+    — the process dies dirty at the exact WAL append the plan names, leaving
+    whatever the fsync discipline made durable.  On survival, writes a JSON
+    report (results, budgets, charge seq, recovery info, warm-store hits) to
+    ``--out`` and exits 0; the parent distinguishes crash from completion by
+    the exit status and the report's existence.
+    """
+    scenario = build_scenario("campus", scale=0.2, duration_hours=0.2, seed=7)
+    policy_map = scenario_policy_map(scenario, k_segments=1)
+    injector = None
+    if args.crash_at_seq is not None:
+        injector = FaultPlan(name="crash-restart", seed=5, rules=(
+            FaultRule(site="service.crash_at_seq", kind=FaultKind.CRASH,
+                      after_seq=args.crash_at_seq),)).injector()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        service = QueryService(seed=3, cache=f"tiered:{args.store_dir}",
+                               wal_dir=args.wal_dir, fault_injector=injector)
+        service.wal.crash_hook = lambda: os.kill(os.getpid(), signal.SIGKILL)
+        register_scenario_camera(service, scenario, policy_map=policy_map,
+                                 epsilon_budget=5.0, sample_period=1.0)
+        result = service.execute(people_query("crashy"),
+                                 resume_token=args.token)
+        report = {
+            "raw": repr(result.raw_series_unsafe()),
+            "noisy": repr(result.series()),
+            "budgets": service.stats()["budgets"],
+            "charge_seq": service.ledger.last_charge_seq,
+            "metadata": {"resumed": result.metadata["resumed"],
+                         "resume_token": result.metadata["resume_token"]},
+            "recovery": service.ledger.last_recovery,
+            "warm_hits": service.stats()["cache"].get("hits", 0),
+        }
+        service.close()
+    Path(args.out).write_text(json.dumps(report, sort_keys=True))
+    return 0
+
+
+def _drive_crash_run(wal_dir: str, store_dir: str,
+                     crash_at: int | None = None):
+    """Run one ``--crash-driver`` child; returns (returncode, report|None)."""
+    out = Path(tempfile.mkdtemp(prefix="privid-crash-out-")) / "report.json"
+    cmd = [sys.executable, str(Path(__file__).resolve()), "--crash-driver",
+           "--wal-dir", wal_dir, "--store-dir", store_dir,
+           "--token", CRASH_TOKEN, "--out", str(out)]
+    if crash_at is not None:
+        cmd += ["--crash-at-seq", str(crash_at)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    report = json.loads(out.read_text()) if out.exists() else None
+    if proc.returncode not in (0, -signal.SIGKILL):
+        print(proc.stdout[-2000:], file=sys.stderr)
+        print(proc.stderr[-2000:], file=sys.stderr)
+    return proc.returncode, report
+
+
+def run_crash_restart() -> None:
+    """The crash-restart plan: kill -9 mid-query, restart, resume, compare.
+
+    Two crash windows per iteration, each against a never-crashed reference
+    run over its own fresh WAL + store directories:
+
+    * **mid-stream** — the kill lands among the per-chunk journal
+      checkpoints, before the charge record exists: recovery must show the
+      query uncharged and the resume must admit (and charge) normally.
+    * **at-charge** — the kill lands on the very append that made the
+      charge durable, before the in-memory ledger ever applied it: replay
+      must reconstruct the charge from the WAL alone and the resume must
+      *skip* admission (charging again would double-bill the analyst).
+
+    Both windows must end with budgets exactly equal to the reference and
+    the resumed query byte-identical, with pre-crash chunks served warm
+    from the shared disk store.  The whole cycle runs twice; everything
+    observable must replay bit-identically across iterations.
+    """
+    signatures = []
+    for iteration in range(2):
+        label = f"[crash-restart iter {iteration}]"
+        observed: list[object] = []
+        ref_code, ref = _drive_crash_run(
+            tempfile.mkdtemp(prefix="privid-crwal-ref-"),
+            tempfile.mkdtemp(prefix="privid-crstore-ref-"))
+        check(ref_code == 0 and ref is not None,
+              f"{label} never-crashed reference run completed")
+        if ref is None:
+            return
+        check(ref["charge_seq"] > 0,
+              f"{label} reference charged at WAL seq {ref['charge_seq']}")
+        observed.append((ref["raw"], ref["noisy"], ref["budgets"]))
+        windows = (("mid-stream", max(3, ref["charge_seq"] - 5)),
+                   ("at-charge", ref["charge_seq"]))
+        for window, crash_at in windows:
+            wal_dir = tempfile.mkdtemp(prefix=f"privid-crwal-{window}-")
+            store_dir = tempfile.mkdtemp(prefix=f"privid-crstore-{window}-")
+            code, report = _drive_crash_run(wal_dir, store_dir,
+                                            crash_at=crash_at)
+            check(code == -signal.SIGKILL,
+                  f"{label} {window}: service died by SIGKILL at WAL seq "
+                  f"{crash_at} (rc={code})")
+            check(report is None,
+                  f"{label} {window}: killed run released no result")
+            code, resumed = _drive_crash_run(wal_dir, store_dir)
+            check(code == 0 and resumed is not None,
+                  f"{label} {window}: restart over the same WAL recovered "
+                  f"and finished")
+            if resumed is None:
+                continue
+            check(resumed["metadata"]["resumed"] is True
+                  and resumed["metadata"]["resume_token"] == CRASH_TOKEN,
+                  f"{label} {window}: query resumed under its token")
+            check(resumed["raw"] == ref["raw"]
+                  and resumed["noisy"] == ref["noisy"],
+                  f"{label} {window}: resumed raw + noisy releases "
+                  f"byte-identical to the never-crashed run")
+            check(resumed["budgets"] == ref["budgets"],
+                  f"{label} {window}: budgets exactly conserved — "
+                  f"no double-charge (remaining_min="
+                  f"{resumed['budgets']['campus']['remaining_min']})")
+            check(resumed["recovery"]["records_replayed"] > 0,
+                  f"{label} {window}: recovery replayed "
+                  f"{resumed['recovery']['records_replayed']} WAL records")
+            if window == "at-charge":
+                check(resumed["recovery"]["charged_queries"] == 1,
+                      f"{label} at-charge: the durable charge was "
+                      f"reconstructed from the WAL alone")
+            check(resumed["warm_hits"] > 0,
+                  f"{label} {window}: resume served {resumed['warm_hits']} "
+                  f"pre-crash chunks warm from the shared store")
+            stranded = sorted(str(p) for p in Path(wal_dir).glob("*.tmp"))
+            check(not stranded,
+                  f"{label} {window}: no stranded WAL temp files "
+                  f"{stranded or ''}")
+            observed.append((resumed["raw"], resumed["noisy"],
+                             resumed["budgets"], resumed["recovery"]))
+        if Path("/dev/shm").exists():
+            leaked = sorted(str(entry) for entry
+                            in Path("/dev/shm").glob("privid-bc-*"))
+            check(not leaked,
+                  f"{label} no leaked shared-memory segments {leaked or ''}")
+        signatures.append(json.dumps(observed, sort_keys=True))
+    check(signatures[0] == signatures[1],
+          "[crash-restart] both iterations byte-identical (replay "
+          "determinism)")
+
+
 def main() -> int:
     scenario = build_scenario("campus", scale=0.2, duration_hours=0.2, seed=7)
     policy_map = scenario_policy_map(scenario, k_segments=1)
@@ -235,6 +410,9 @@ def main() -> int:
         check(counters["timed_out"] == 1 and counters["completed"] == 1,
               f"[deadline] counters typed correctly: {counters}")
 
+    # ---- crash consistency: kill -9 mid-query, recover, resume, compare.
+    run_crash_restart()
+
     if FAILURES:
         print(f"\n{len(FAILURES)} chaos check(s) failed")
         return 1
@@ -243,4 +421,16 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--crash-driver", action="store_true",
+                        help="internal: run one durable-service child of the "
+                             "crash-restart plan")
+    parser.add_argument("--wal-dir")
+    parser.add_argument("--store-dir")
+    parser.add_argument("--token", default=CRASH_TOKEN)
+    parser.add_argument("--crash-at-seq", type=int, default=None)
+    parser.add_argument("--out")
+    parsed = parser.parse_args()
+    if parsed.crash_driver:
+        sys.exit(crash_driver(parsed))
     sys.exit(main())
