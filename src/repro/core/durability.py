@@ -69,7 +69,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.errors import DurabilityError, SimulatedCrashError
+from repro.errors import DurabilityError, ResumeMismatchError, \
+    SimulatedCrashError
 
 _HEADER = struct.Struct("<II")
 
@@ -162,11 +163,17 @@ class WriteAheadLog:
         self.appends_since_compact = 0
 
         self.snapshot_state, snapshot_seq = self._load_snapshot()
-        records, clean_offset, log_bytes = self._load_log()
+        records, clean_offset, durable_records, durable_clean, log_bytes = \
+            self._load_log()
         #: Records appended after the snapshot, awaiting replay by the owner.
         self.pending_records = [record for record in records
                                 if record.get("seq", 0) > snapshot_seq]
-        seqs = [snapshot_seq] + [record.get("seq", 0) for record in records]
+        # Seqs are allocated past every record on the *real* file, not the
+        # possibly chaos-doctored replay image: an injected mid-file flip
+        # drops records from this run's replay, but they are still framed on
+        # disk and a reused seq would collide with them at the next open.
+        seqs = [snapshot_seq] + [record.get("seq", 0)
+                                 for record in durable_records]
         self._next_seq = max(seqs) + 1
         self._snapshot_seq = snapshot_seq
         self.recovery_info = {
@@ -174,13 +181,18 @@ class WriteAheadLog:
             "snapshot_seq": snapshot_seq,
             "log_records": len(records),
             "pending_records": len(self.pending_records),
-            "torn_bytes_dropped": log_bytes - clean_offset,
+            "torn_bytes_dropped": log_bytes - durable_clean,
+            "injected_damage_bytes": durable_clean - clean_offset,
         }
         # Open for append at the last intact record: a torn tail is cut off
         # here so the next append extends trustworthy framing, never garbage.
+        # Only *genuine* on-disk damage is repaired — damage simulated by an
+        # injected wal.read CORRUPT fault exists in the loaded image alone,
+        # and truncating the file for it would permanently discard intact,
+        # fsynced records (acknowledged charges included).
         self._file = open(self.log_path, "a+b")
-        if clean_offset != log_bytes:
-            self._file.truncate(clean_offset)
+        if durable_clean != log_bytes:
+            self._file.truncate(durable_clean)
         self._file.seek(0, os.SEEK_END)
 
     # ------------------------------------------------------------- fault seam
@@ -220,20 +232,35 @@ class WriteAheadLog:
                 f"WAL snapshot {self.snapshot_path} is unreadable: {exc}") from exc
         return state, seq
 
-    def _load_log(self) -> tuple[list[dict[str, Any]], int, int]:
+    def _load_log(self) -> tuple[list[dict[str, Any]], int,
+                                 list[dict[str, Any]], int, int]:
+        """Load the log image, twice when chaos doctors it.
+
+        Returns ``(records, clean_offset, durable_records, durable_clean,
+        log_bytes)``.  ``records``/``clean_offset`` describe the image
+        *recovery replays* — possibly doctored by an injected ``wal.read``
+        CORRUPT fault, which flips a byte of the in-memory copy so the
+        torn-prefix path runs against damage.  ``durable_records`` /
+        ``durable_clean`` always describe the undoctored on-disk bytes:
+        physical repair (truncation) and seq allocation must follow the real
+        file, or a chaos plan against a live WAL directory would discard
+        intact, fsynced charge records — silently refilling spent budgets —
+        and hand out seqs that duplicate records still on disk.
+        """
         rule = self._poll("wal.read")
         if not self.log_path.exists():
-            return [], 0, 0
+            return [], 0, [], 0, 0
         data = self.log_path.read_bytes()
+        durable_records, durable_clean = decode_records(data)
         if rule is not None and getattr(rule.kind, "value",
                                         rule.kind) == "corrupt" and data:
-            # Injected bit rot: flip the middle byte of the loaded image so
-            # the torn-prefix recovery path runs against real damage.
             position = len(data) // 2
-            data = data[:position] + bytes([data[position] ^ 0xFF]) \
+            doctored = data[:position] + bytes([data[position] ^ 0xFF]) \
                 + data[position + 1:]
-        records, clean_offset = decode_records(data)
-        return records, clean_offset, len(data)
+            records, clean_offset = decode_records(doctored)
+        else:
+            records, clean_offset = durable_records, durable_clean
+        return records, clean_offset, durable_records, durable_clean, len(data)
 
     # ----------------------------------------------------------------- append
 
@@ -253,13 +280,33 @@ class WriteAheadLog:
             record = dict(payload)
             record["seq"] = seq
             blob = encode_record(record)
+            # Polled before anything touches the file: an injected IO_ERROR
+            # here models open/write refusal, with nothing to roll back.
             self._poll("wal.append", seq=seq)
-            self._file.write(blob)
-            self._file.flush()
-            if sync and self.fsync_enabled:
-                self._poll("wal.fsync", seq=seq)
-                os.fsync(self._file.fileno())
-                self.fsyncs += 1
+            offset = self._file.tell()
+            try:
+                self._file.write(blob)
+                self._file.flush()
+                if sync and self.fsync_enabled:
+                    self._poll("wal.fsync", seq=seq)
+                    os.fsync(self._file.fileno())
+                    self.fsyncs += 1
+            except BaseException:
+                # The caller will treat this append as failed, but the bytes
+                # may already be in the file (fsync raised after the write
+                # landed, e.g. ENOSPC or an injected wal.fsync IO_ERROR).
+                # Left in place they would replay on recovery as a phantom
+                # mutation nobody acknowledged, so roll the file back to the
+                # pre-write offset.  The seq is burned either way: if the
+                # truncate itself fails the record may survive on disk, and
+                # reusing its seq would frame a duplicate.
+                self._next_seq = seq + 1
+                try:
+                    self._file.truncate(offset)
+                    self._file.seek(offset)
+                except OSError:  # pragma: no cover - rollback on a dead fd
+                    pass
+                raise
             self._next_seq = seq + 1
             self.appends += 1
             self.appends_since_compact += 1
@@ -401,23 +448,44 @@ class QueryJournal:
 
     # ------------------------------------------------------------- mutations
 
-    def start(self, token: str, query_seq: int, query_name: str) -> dict[str, Any]:
-        """Journal a query start; idempotent on resume (same token)."""
+    def start(self, token: str, query_seq: int, query_name: str,
+              fingerprint: str | None = None) -> dict[str, Any]:
+        """Journal a query start; idempotent on resume (same token).
+
+        ``fingerprint`` is the canonical hash of the query (AST plus the
+        release-affecting execute options) journaled with the start record.
+        A resume (existing token) whose fingerprint differs from the
+        journaled one raises :class:`~repro.errors.ResumeMismatchError`
+        *before* anything runs: the token's charge may already have landed
+        idempotently, so letting a different query ride it would execute
+        with zero budget charge and share the original noise stream — a
+        privacy-budget bypass, given the analyst is the adversary.
+        """
         with self._lock:
             existing = self._entries.get(token)
             if existing is not None:
+                journaled = existing.get("fingerprint")
+                if fingerprint is not None and journaled is not None \
+                        and fingerprint != journaled:
+                    raise ResumeMismatchError(
+                        f"resume token {token!r} was journaled for a "
+                        f"different query (fingerprint {journaled[:12]}..., "
+                        f"resubmitted {fingerprint[:12]}...); a charged "
+                        f"token admits only the exact query it charged")
                 existing["resumes"] += 1
                 snapshot = dict(existing)
             else:
                 entry = {"token": token, "query_seq": query_seq,
-                         "query": query_name, "chunks_done": 0,
-                         "charged": False, "finished": False, "resumes": 0}
+                         "query": query_name, "fingerprint": fingerprint,
+                         "chunks_done": 0, "charged": False,
+                         "finished": False, "resumes": 0}
                 self._entries[token] = entry
                 snapshot = dict(entry)
         if existing is None:
             if self.wal is not None:
                 self.wal.append({"op": "query_start", "token": token,
-                                 "query_seq": query_seq, "query": query_name})
+                                 "query_seq": query_seq, "query": query_name,
+                                 "fingerprint": fingerprint})
         return snapshot
 
     def checkpoint(self, token: str, chunks_done: int) -> None:
@@ -436,8 +504,8 @@ class QueryJournal:
         with self._lock:
             entry = self._entries.setdefault(
                 token, {"token": token, "query_seq": -1, "query": "",
-                        "chunks_done": 0, "charged": False,
-                        "finished": False, "resumes": 0})
+                        "fingerprint": None, "chunks_done": 0,
+                        "charged": False, "finished": False, "resumes": 0})
             entry["charged"] = True
 
     def finish(self, token: str) -> None:
@@ -464,6 +532,7 @@ class QueryJournal:
                     "token": token,
                     "query_seq": int(record.get("query_seq", -1)),
                     "query": record.get("query", ""),
+                    "fingerprint": record.get("fingerprint"),
                     "chunks_done": 0, "charged": False,
                     "finished": False, "resumes": 0})
             elif op == "query_progress":

@@ -130,6 +130,31 @@ class DurabilityError(PrividError):
     """
 
 
+class ResumeMismatchError(PrividError):
+    """A resume token was resubmitted with a *different* query.
+
+    Raised synchronously from :meth:`repro.service.QueryService.submit` when
+    the fingerprint of the resubmitted query (its canonical AST plus the
+    release-affecting execute options) does not match the one journaled at
+    the original submission.  Without this check a resubmission under a
+    token whose charge already landed would run an arbitrary new query with
+    zero budget charge *and* reuse the original query's noise stream — in
+    Privid's threat model the analyst is the adversary, so a mismatch is a
+    privacy-budget bypass attempt, not a convenience to paper over.
+    """
+
+
+class ResumeConflictError(PrividError):
+    """A resume token was submitted while already in flight.
+
+    Raised synchronously from :meth:`repro.service.QueryService.submit` when
+    a second submission arrives for a token whose query is still running:
+    two concurrent executions of one journaled query would share a noise
+    stream (same query seq) and race on one idempotent charge key.  Wait
+    for the first future instead.
+    """
+
+
 class SimulatedCrashError(PrividError):
     """An injected ``service.crash_at_seq`` fault fired (kill -9 stand-in).
 

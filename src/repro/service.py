@@ -42,6 +42,7 @@ For genuinely remote shards, start daemons with
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
@@ -58,10 +59,32 @@ from repro.core.noise import LaplaceMechanism
 from repro.core.resilience import CancellationToken
 from repro.core.result import QueryResult
 from repro.errors import BudgetExceededError, QueryCancelledError, \
-    QueryTimeoutError, ServiceOverloadedError
+    QueryTimeoutError, ResumeConflictError, ServiceOverloadedError
 from repro.query.ast import PrividQuery
 from repro.sandbox.registry import ExecutableRegistry
 from repro.utils.rng import RandomSource
+
+
+#: The ``execute`` options that change what a query releases or charges —
+#: the part of a submission, beyond the AST itself, a resume must replay
+#: verbatim for byte-identity and exactly-once charging to be meaningful.
+_RELEASE_KWARGS = ("default_epsilon", "add_noise", "charge_budget")
+
+
+def query_fingerprint(query: PrividQuery, kwargs: dict[str, Any]) -> str:
+    """Canonical hash binding a resume token to one exact submission.
+
+    Hashes the query's AST (every statement is a plain dataclass, so
+    ``repr`` is a deterministic, address-free canonical form that is stable
+    across processes — required, since resume happens after a restart)
+    together with the release-affecting execute options.  Journaled at
+    ``query_start``; a resume whose fingerprint differs is rejected, because
+    a token whose charge already landed would otherwise run an arbitrary
+    different query with zero budget charge on a shared noise stream.
+    """
+    options = [(key, kwargs[key]) for key in _RELEASE_KWARGS if key in kwargs]
+    body = repr((query, options))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 class QueryService:
@@ -154,6 +177,11 @@ class QueryService:
         self._cancelled = 0
         self._rejected = 0
         self._active = 0
+        # Journal tokens with a submission currently in flight: a second
+        # submit for one of these would run the same journaled query twice
+        # concurrently — same query seq, same noise stream, racing on one
+        # idempotent charge key — so it is rejected at submit time.
+        self._inflight_tokens: set[str] = set()
         self._closed = False
 
     # ------------------------------------------------------------------ setup
@@ -202,34 +230,39 @@ class QueryService:
                    kwargs: dict[str, Any], token: str | None = None,
                    resumed: bool = False) -> QueryResult:
         try:
-            result = self._query_system(query_seq).execute(query, **kwargs)
-        except BudgetExceededError:
+            try:
+                result = self._query_system(query_seq).execute(query, **kwargs)
+            except BudgetExceededError:
+                with self._lock:
+                    self._denied += 1
+                    self._active -= 1
+                raise
+            except QueryCancelledError as exc:
+                with self._lock:
+                    if isinstance(exc, QueryTimeoutError):
+                        self._timed_out += 1
+                    else:
+                        self._cancelled += 1
+                    self._active -= 1
+                raise
+            except BaseException:
+                with self._lock:
+                    self._failed += 1
+                    self._active -= 1
+                raise
             with self._lock:
-                self._denied += 1
+                self._completed += 1
                 self._active -= 1
-            raise
-        except QueryCancelledError as exc:
-            with self._lock:
-                if isinstance(exc, QueryTimeoutError):
-                    self._timed_out += 1
-                else:
-                    self._cancelled += 1
-                self._active -= 1
-            raise
-        except BaseException:
-            with self._lock:
-                self._failed += 1
-                self._active -= 1
-            raise
-        with self._lock:
-            self._completed += 1
-            self._active -= 1
-        result.metadata["query_seq"] = query_seq
-        if token is not None and self.journal is not None:
-            self.journal.finish(token)
-            result.metadata["resume_token"] = token
-            result.metadata["resumed"] = resumed
-        return result
+            result.metadata["query_seq"] = query_seq
+            if token is not None and self.journal is not None:
+                self.journal.finish(token)
+                result.metadata["resume_token"] = token
+                result.metadata["resumed"] = resumed
+            return result
+        finally:
+            if token is not None:
+                with self._lock:
+                    self._inflight_tokens.discard(token)
 
     def submit(self, query: PrividQuery, *, timeout: float | None = None,
                cancel: CancellationToken | None = None,
@@ -266,6 +299,17 @@ class QueryService:
         already landed durably is skipped instead of charged twice.  The
         token and a ``resumed`` flag are reported in
         ``result.metadata``.
+
+        A resume token admits only the exact submission it journaled: the
+        query's canonical fingerprint (AST plus the release-affecting
+        options) is journaled at first submission, and a resubmission whose
+        fingerprint differs is rejected with
+        :class:`~repro.errors.ResumeMismatchError` — otherwise a token whose
+        charge already landed would run an arbitrary different query with
+        zero budget charge on the original noise stream.  A token whose
+        query is still in flight is rejected with
+        :class:`~repro.errors.ResumeConflictError`; wait on the first
+        future instead.
         """
         if resume_token is not None and self.journal is None:
             raise ValueError(
@@ -278,9 +322,8 @@ class QueryService:
                 token = CancellationToken.with_timeout(effective_timeout)
             else:
                 token.set_timeout(effective_timeout)
-        resumed_entry = None
-        if resume_token is not None:
-            resumed_entry = self.journal.entry(resume_token)
+        fingerprint = query_fingerprint(query, kwargs) \
+            if self.journal is not None else None
         with self._lock:
             if self._closed:
                 raise RuntimeError("QueryService is closed")
@@ -294,6 +337,13 @@ class QueryService:
                         f"(max_queue_depth={self.max_queue_depth})",
                         active=self._active, queue_depth=queued,
                         limit=self.max_queue_depth)
+            # The journal lookup happens under the service lock, and the
+            # token is claimed before the lock drops: two racing submits for
+            # one resume token must not both reach execution, or the same
+            # journaled query runs twice concurrently on one noise stream.
+            resumed_entry = None
+            if resume_token is not None:
+                resumed_entry = self.journal.entry(resume_token)
             if resumed_entry is not None:
                 # Resume: reuse the interrupted query's seq so its noise
                 # stream — a pure function of (service seed, seq) — replays.
@@ -301,21 +351,44 @@ class QueryService:
             else:
                 query_seq = self._next_query
                 self._next_query += 1
+            journal_token: str | None = None
+            if self.journal is not None:
+                journal_token = resume_token if resume_token is not None \
+                    else f"query-{query_seq}"
+                if journal_token in self._inflight_tokens:
+                    raise ResumeConflictError(
+                        f"resume token {journal_token!r} already has a "
+                        f"submission in flight; wait for its future instead "
+                        f"of racing a second execution onto the same query "
+                        f"seq and noise stream")
+                self._inflight_tokens.add(journal_token)
             self._submitted += 1
             self._active += 1
         if token is not None:
             kwargs = dict(kwargs, cancel=token)
-        journal_token: str | None = None
-        if self.journal is not None:
-            journal_token = resume_token if resume_token is not None \
-                else f"query-{query_seq}"
-            self.journal.start(journal_token, query_seq, query.name)
-            journal = self.journal
-            kwargs = dict(kwargs, query_id=journal_token,
-                          on_chunk=lambda done, _token=journal_token:
-                          journal.checkpoint(_token, done))
-        return self._pool.submit(self._run_query, query_seq, query, kwargs,
-                                 journal_token, resumed_entry is not None)
+        try:
+            if self.journal is not None:
+                # May raise ResumeMismatchError (resubmitted query differs
+                # from the journaled one) or a WAL write failure.
+                self.journal.start(journal_token, query_seq, query.name,
+                                   fingerprint)
+                journal = self.journal
+                kwargs = dict(kwargs, query_id=journal_token,
+                              on_chunk=lambda done, _token=journal_token:
+                              journal.checkpoint(_token, done))
+            return self._pool.submit(self._run_query, query_seq, query,
+                                     kwargs, journal_token,
+                                     resumed_entry is not None)
+        except BaseException:
+            # Nothing was enqueued: roll back the admission accounting, or
+            # a failed submit would inflate `active` forever and eventually
+            # shed load spuriously.
+            with self._lock:
+                self._submitted -= 1
+                self._active -= 1
+                if journal_token is not None:
+                    self._inflight_tokens.discard(journal_token)
+            raise
 
     def execute(self, query: PrividQuery, **kwargs: Any) -> QueryResult:
         """Submit and wait: the blocking single-query convenience path."""

@@ -37,6 +37,7 @@ from repro.errors import (
     BudgetExceededError,
     DurabilityError,
     PolicyError,
+    ResumeMismatchError,
     SimulatedCrashError,
 )
 from repro.utils.timebase import TimeInterval
@@ -204,6 +205,29 @@ class TestWriteAheadLog:
         wal.append({"op": "fine-again"})
         wal.close()
 
+    def test_failed_fsync_leaves_no_phantom_record(self, tmp_path):
+        # An fsync that fails *after* the write landed must not leave the
+        # record behind: the caller saw the charge fail, so replaying it on
+        # recovery would apply a mutation nobody acknowledged.  The burned
+        # seq must also never be reused — a duplicate-seq record would
+        # shadow or double-apply on replay.
+        plan = FaultPlan(name="wal-sync", seed=1, rules=(
+            FaultRule(site="wal.fsync", kind=FaultKind.IO_ERROR, at=(1,),
+                      max_fires=1),))
+        wal = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        first = wal.append({"op": "fine"})
+        with pytest.raises(OSError):
+            wal.append({"op": "phantom-charge"})
+        third = wal.append({"op": "fine-again"})
+        assert third > first + 1  # the failed append's seq was burned
+        wal.close()
+        recovered = WriteAheadLog(tmp_path)
+        ops = [r["op"] for r in recovered.pending_records]
+        assert ops == ["fine", "fine-again"]
+        seqs = [r["seq"] for r in recovered.pending_records]
+        assert seqs == sorted(set(seqs))
+        recovered.close()
+
     def test_read_corrupt_fault_drops_the_damaged_tail(self, tmp_path):
         wal = WriteAheadLog(tmp_path)
         for n in range(4):
@@ -213,10 +237,33 @@ class TestWriteAheadLog:
             FaultRule(site="wal.read", kind=FaultKind.CORRUPT, at=(0,),
                       max_fires=1),))
         rotted = WriteAheadLog(tmp_path, fault_injector=plan.injector())
-        assert rotted.recovery_info["torn_bytes_dropped"] > 0
+        assert rotted.recovery_info["injected_damage_bytes"] > 0
         survived = [r["n"] for r in rotted.pending_records]
         assert survived == list(range(len(survived)))  # intact prefix only
+        assert len(survived) < 4  # the injected flip really dropped records
         rotted.close()
+
+    def test_injected_corruption_never_repairs_the_real_file(self, tmp_path):
+        # The CORRUPT fault doctors only the loaded image; the on-disk
+        # records are intact and fsynced (acknowledged charges!), so the
+        # open must not truncate them away, and new appends must not reuse
+        # the seqs of records the doctored replay skipped.
+        wal = WriteAheadLog(tmp_path)
+        for n in range(4):
+            wal.append({"op": "x", "n": n})
+        wal.close()
+        plan = FaultPlan(name="wal-rot", seed=1, rules=(
+            FaultRule(site="wal.read", kind=FaultKind.CORRUPT, at=(0,),
+                      max_fires=1),))
+        rotted = WriteAheadLog(tmp_path, fault_injector=plan.injector())
+        assert rotted.recovery_info["torn_bytes_dropped"] == 0
+        rotted.append({"op": "x", "n": 4})
+        rotted.close()
+        clean = WriteAheadLog(tmp_path)
+        assert [r["n"] for r in clean.pending_records] == [0, 1, 2, 3, 4]
+        seqs = [r["seq"] for r in clean.pending_records]
+        assert seqs == sorted(set(seqs))  # no duplicate seqs after the rot
+        clean.close()
 
     def test_crash_at_seq_invokes_the_crash_hook(self, tmp_path):
         plan = FaultPlan(name="kill", seed=1, rules=(
@@ -428,8 +475,8 @@ class TestQueryJournal:
             replayed.apply(record)
         assert replayed.entry("tok-a") == {
             "token": "tok-a", "query_seq": 0, "query": "q",
-            "chunks_done": 7, "charged": False, "finished": False,
-            "resumes": 0}
+            "fingerprint": None, "chunks_done": 7, "charged": False,
+            "finished": False, "resumes": 0}
         assert replayed.entry("tok-b")["finished"] is True
         assert replayed.next_query_seq() == 2
         assert replayed.tokens() == ("tok-a", "tok-b")
@@ -455,3 +502,25 @@ class TestQueryJournal:
         assert wal.appends == appends  # idempotent: no second record
         assert journal.entry("tok")["resumes"] == 1
         wal.close()
+
+    def test_resume_with_a_different_fingerprint_is_rejected(self, tmp_path):
+        # A charged token admits only the query it charged: a resume whose
+        # fingerprint differs is a budget bypass, not a convenience.
+        wal = WriteAheadLog(tmp_path)
+        journal = QueryJournal(wal)
+        journal.start("tok", 0, "q", "fp-original")
+        journal.start("tok", 0, "q", "fp-original")  # genuine resume: fine
+        with pytest.raises(ResumeMismatchError):
+            journal.start("tok", 0, "q", "fp-other")
+        assert journal.entry("tok")["resumes"] == 1  # rejection is not a resume
+        wal.close()
+        # The fingerprint rides the query_start record, so the check still
+        # holds after a crash and replay.
+        wal2 = WriteAheadLog(tmp_path)
+        replayed = QueryJournal(wal2)
+        for record in wal2.pending_records:
+            replayed.apply(record)
+        with pytest.raises(ResumeMismatchError):
+            replayed.start("tok", 0, "q", "fp-other")
+        replayed.start("tok", 0, "q", "fp-original")
+        wal2.close()

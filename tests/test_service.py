@@ -293,6 +293,9 @@ class _GateExecutable:
     def fresh_instance(self):
         return self  # the shared events ARE the point
 
+    def config_fingerprint(self):
+        return ("gate",)  # cache-key contract, needed on cached services
+
     def process(self, chunk, context):
         self.started.set()
         self.release.wait(timeout=10.0)
@@ -526,6 +529,73 @@ class TestDurableService:
                 repr(reference.raw_series_unsafe())
             assert recovered.stats()["budgets"] == reference_budgets
             assert recovered.stats()["cache"]["hits"] > 0  # warm chunks
+
+    def test_resume_with_a_different_query_is_rejected(self, tmp_path):
+        # The analyst is the adversary: once a token's charge landed, a
+        # *different* query resubmitted under it would execute with zero
+        # budget charge on the original noise stream.  The journaled
+        # fingerprint must reject it — across a restart too.
+        from repro.errors import ResumeMismatchError
+
+        video = _walker_video()
+        with self._durable(video, tmp_path / "wal", tmp_path / "store") as service:
+            service.execute(_count_query())
+        with self._durable(video, tmp_path / "wal", tmp_path / "store") as reopened:
+            budgets = reopened.stats()["budgets"]
+            with pytest.raises(ResumeMismatchError):
+                reopened.submit(_count_query(epsilon=0.25),
+                                resume_token="query-0")
+            # Same query, different release-affecting options: also rejected.
+            with pytest.raises(ResumeMismatchError):
+                reopened.submit(_count_query(), resume_token="query-0",
+                                default_epsilon=0.5)
+            assert reopened.stats()["budgets"] == budgets  # nothing charged
+            # The rejection left no phantom admission behind.
+            assert reopened.health()["queries"]["active"] == 0
+            # The genuine query still resumes.
+            result = reopened.execute(_count_query(), resume_token="query-0")
+            assert result.metadata["resumed"] is True
+
+    def test_concurrent_resume_of_one_token_is_rejected(self, tmp_path):
+        # Two in-flight submissions for one token would share a query seq
+        # (one noise stream) and race on one idempotent charge key.
+        from repro.errors import ResumeConflictError
+
+        gate = _GateExecutable()
+        video = _walker_video()
+        with self._durable(video, tmp_path / "wal", tmp_path / "store",
+                           max_concurrent_queries=2) as service:
+            service.register_executable("gate.py", gate)
+            running = service.submit(_gate_query())
+            assert gate.started.wait(5.0)
+            with pytest.raises(ResumeConflictError):
+                service.submit(_gate_query(), resume_token="query-0")
+            gate.release.set()
+            running.result()
+            # Once the first execution finished, the token is free again.
+            result = service.execute(_gate_query(), resume_token="query-0")
+            assert result.metadata["resumed"] is True
+            assert service.health()["queries"]["active"] == 0
+
+    def test_failed_journal_start_rolls_back_admission(self, tmp_path):
+        # A WAL failure between admission accounting and enqueue must not
+        # strand `active`: before the rollback existed, every such failure
+        # inflated the counter until load-shedding rejected everything.
+        from repro.core.faults import FaultKind, FaultPlan, FaultRule
+
+        video = _walker_video()
+        plan = FaultPlan(name="start-io", seed=1, rules=(
+            FaultRule(site="wal.append", kind=FaultKind.IO_ERROR, at=(1,),
+                      max_fires=1),))
+        with self._durable(video, tmp_path / "wal", tmp_path / "store",
+                           fault_injector=plan.injector()) as service:
+            with pytest.raises(OSError):
+                service.submit(_count_query())
+            health = service.health()
+            assert health["queries"]["active"] == 0
+            assert service.stats()["queries"]["submitted"] == 0
+            # The service still serves queries after the rollback.
+            service.execute(_count_query())
 
     def test_resume_token_requires_a_durable_service(self):
         video = _walker_video()
