@@ -1,0 +1,352 @@
+"""Replay driver: a workload schedule against a live :class:`QueryService`.
+
+The harness is the piece that turns a :class:`~repro.bench.serving.workload.
+WorkloadSchedule` into measurements.  It owns three jobs:
+
+* **Replay.**  Open-loop schedules are submitted from a single dispatcher
+  thread in event order (optionally paced to the schedule's virtual clock via
+  ``time_scale``).  Because the service assigns query seqs — and therefore
+  per-query noise streams — in submission order, an unpaced, unshed open-loop
+  replay is *byte-deterministic*: same schedule, same seed, same releases,
+  noisy values included.  Closed-loop schedules run one thread per tenant
+  (each waits for its previous query before thinking and submitting the
+  next); global interleaving then depends on the scheduler, so only the raw
+  values — keyed by ``(tenant, tenant_seq)`` — replay, which is exactly what
+  :meth:`HarnessReport.raw_digest` fingerprints.
+* **Classification.**  Every arrival ends in exactly one outcome —
+  ``completed``, ``denied`` (budget), ``shed`` (admission control raised
+  :class:`~repro.errors.ServiceOverloadedError` at submit), ``deadline_missed``,
+  ``cancelled``, or ``failed`` — so outcome counts always sum to the event
+  count and reconcile exactly against the service's own counters.
+* **Reduction.**  Latency samples (submit→slot, submit→first-row,
+  submit→result, straight from ``result.metadata["timing"]``), per-camera
+  ledger charge counts (one per release source interval — the leakage check),
+  release fingerprints, and the service/ledger stats snapshot collapse into a
+  :class:`HarnessReport`, whose :meth:`~HarnessReport.as_dict` is the core of
+  the ``BENCH_serving.json`` payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.bench.serving.metrics import latency_summary
+from repro.bench.serving.workload import ArrivalEvent, WorkloadSchedule
+from repro.errors import BudgetExceededError, QueryCancelledError, \
+    QueryTimeoutError, ServiceOverloadedError
+from repro.query.ast import PrividQuery
+from repro.query.builder import QueryBuilder
+
+__all__ = [
+    "HarnessReport",
+    "QueryRecord",
+    "ServingLoadHarness",
+    "scenario_query_factory",
+]
+
+#: Outcome labels in reporting order; every record lands in exactly one.
+OUTCOMES = ("completed", "denied", "shed", "deadline_missed", "cancelled",
+            "failed")
+
+#: Default analyst executable per scenario camera (all ship in the default
+#: registry); ``scenario_query_factory(executables=...)`` overrides.
+_SCENARIO_EXECUTABLES = {
+    "campus": "count_entering_people.py",
+    "highway": "count_entering_cars.py",
+    "urban": "count_entering_people.py",
+}
+
+
+def scenario_query_factory(*, window_s: float = 240.0, chunk_s: float = 60.0,
+                           window_slots: int = 3, slide_s: float = 120.0,
+                           epsilon: float = 0.1, max_rows: int = 5,
+                           mask: str | None = "owner",
+                           executables: dict[str, str] | None = None,
+                           ) -> Callable[[ArrivalEvent], PrividQuery]:
+    """Map workload events onto concrete queries over scenario cameras.
+
+    Each event becomes a SPLIT/PROCESS/SELECT query against its camera: the
+    window slides over ``window_slots`` deterministic offsets (a pure
+    function of the event seq, so replays build identical queries *and*
+    overlapping windows from different tenants hit the shared chunk store —
+    the cache-tier hit-rates in the report come from this overlap), and the
+    event's ``kind`` picks the SELECT: ``count`` (single release),
+    ``count_bucketed`` (one release per half-window bucket — more ledger
+    charges per admission), or ``sum`` (range-bounded SUM over the detector's
+    ``dy`` column).
+    """
+    table = dict(_SCENARIO_EXECUTABLES)
+    if executables:
+        table.update(executables)
+
+    def factory(event: ArrivalEvent) -> PrividQuery:
+        executable = table.get(event.camera)
+        if executable is None:
+            raise ValueError(f"no executable mapped for camera {event.camera!r}")
+        begin = (event.seq % window_slots) * slide_s
+        builder = (QueryBuilder(f"load-{event.seq}-{event.kind}")
+                   .split(event.camera, begin=begin, end=begin + window_s,
+                          chunk_duration=chunk_s, mask=mask, into="chunks")
+                   .process("chunks", executable=executable, max_rows=max_rows,
+                            schema=[("kind", "STRING", ""),
+                                    ("dy", "NUMBER", 0.0)], into="rows"))
+        if event.kind == "count":
+            builder.select_count(table="rows", epsilon=epsilon)
+        elif event.kind == "count_bucketed":
+            builder.select_count(table="rows", bucket_seconds=window_s / 2,
+                                 epsilon=epsilon)
+        elif event.kind == "sum":
+            builder.select_sum("dy", 0.0, 5.0, table="rows", epsilon=epsilon)
+        else:
+            raise ValueError(f"unknown query kind {event.kind!r}")
+        return builder.build()
+
+    return factory
+
+
+@dataclass
+class QueryRecord:
+    """One arrival's fate: outcome, timing, and what it released/charged."""
+
+    event: ArrivalEvent
+    outcome: str
+    error: str | None = None
+    timing: dict[str, float | None] | None = None
+    releases: str | None = None      # canonical repr of (key, noisy, raw) rows
+    raw_releases: str | None = None  # canonical repr of (key, raw) rows only
+    charges: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seq": self.event.seq, "tenant": self.event.tenant,
+                "tenant_seq": self.event.tenant_seq,
+                "camera": self.event.camera, "kind": self.event.kind,
+                "outcome": self.outcome, "error": self.error,
+                "timing": self.timing, "charges": dict(self.charges)}
+
+
+@dataclass
+class HarnessReport:
+    """Everything one replay measured, reducible to the bench payload."""
+
+    schedule: WorkloadSchedule
+    records: list[QueryRecord]
+    wall_s: float
+    stats: dict[str, Any]
+    health: dict[str, Any]
+    ledger: dict[str, Any]
+
+    def outcomes(self) -> dict[str, int]:
+        """Outcome counts; values always sum to ``len(records)``."""
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def latency_samples(self, metric: str) -> list[float]:
+        """Samples of one timing metric (``queue_s``/``first_row_s``/
+        ``total_s``) over completed records, in event order."""
+        return [record.timing[metric] for record in self.records
+                if record.timing is not None
+                and record.timing.get(metric) is not None]
+
+    def charges_by_camera(self) -> dict[str, int]:
+        """Ledger charges per camera implied by the completed releases.
+
+        Each release charges exactly its ``source_intervals``, one ledger
+        charge per interval — so these counts are what the ledger *must*
+        have recorded; any mismatch is budget leakage.
+        """
+        totals: dict[str, int] = {}
+        for record in self.records:
+            for camera, count in record.charges.items():
+                totals[camera] = totals.get(camera, 0) + count
+        return dict(sorted(totals.items()))
+
+    def releases_digest(self) -> str:
+        """sha256 over every completed release (noisy *and* raw) in event
+        order — the byte-identity fingerprint of an open-loop replay."""
+        body = repr([(record.event.seq, record.releases)
+                     for record in self.records
+                     if record.outcome == "completed"])
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def raw_digest(self) -> str:
+        """sha256 over completed *raw* rows keyed by ``(tenant, tenant_seq)``
+        — the fingerprint that also replays for closed-loop runs, where
+        global submission order (hence noise) is scheduler-dependent."""
+        rows = sorted((record.event.tenant, record.event.tenant_seq,
+                       record.raw_releases)
+                      for record in self.records
+                      if record.outcome == "completed")
+        return hashlib.sha256(repr(rows).encode("utf-8")).hexdigest()
+
+    def as_dict(self, *, timeline_tail: int = 50) -> dict[str, Any]:
+        """The report's JSON core (the bench runner adds environment info)."""
+        timeline = self.ledger.get("timeline", [])
+        return {
+            "workload": {
+                "digest": self.schedule.digest(),
+                "mode": self.schedule.config.mode,
+                "seed": self.schedule.config.seed,
+                "num_tenants": self.schedule.config.num_tenants,
+                "num_events": len(self.schedule.events),
+                "events_by_kind": self.schedule.counts_by("kind"),
+                "events_by_camera": self.schedule.counts_by("camera"),
+                "virtual_duration_s": self.schedule.duration_s,
+            },
+            "outcomes": self.outcomes(),
+            "latency": {
+                "queue": latency_summary(self.latency_samples("queue_s")),
+                "first_row": latency_summary(
+                    self.latency_samples("first_row_s")),
+                "total": latency_summary(self.latency_samples("total_s")),
+            },
+            "releases": {"digest": self.releases_digest(),
+                         "raw_digest": self.raw_digest()},
+            "charges_by_camera": self.charges_by_camera(),
+            "ledger": {
+                **{key: value for key, value in self.ledger.items()
+                   if key != "timeline"},
+                "timeline_events": len(timeline),
+                "timeline_tail": timeline[-timeline_tail:],
+            },
+            "service": self.stats,
+            "health": self.health,
+            "wall_s": self.wall_s,
+        }
+
+
+class ServingLoadHarness:
+    """Replays a workload schedule against one shared service.
+
+    ``query_factory`` maps each :class:`ArrivalEvent` to the
+    :class:`~repro.query.ast.PrividQuery` it submits (see
+    :func:`scenario_query_factory`).  ``execute_kwargs`` are forwarded to
+    every ``submit`` (``default_epsilon``, ``charge_budget``, ``add_noise``,
+    ``timeout``...).
+
+    ``time_scale`` maps virtual schedule time to wall time: ``0.0`` (the
+    default) replays as fast as the dispatcher can submit — maximum
+    contention, still in order — while ``1.0`` replays in real time.  For
+    byte-identical open-loop replays leave the service's ``max_queue_depth``
+    unset (shedding depends on wall-clock interleaving and skips seq
+    allocation, which would shift every later query onto a different noise
+    stream) and give cameras ample budget (a budget denial near the
+    exhaustion boundary is a completion-order race).
+    """
+
+    def __init__(self, service: Any,
+                 query_factory: Callable[[ArrivalEvent], PrividQuery], *,
+                 time_scale: float = 0.0,
+                 execute_kwargs: dict[str, Any] | None = None) -> None:
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.service = service
+        self.query_factory = query_factory
+        self.time_scale = time_scale
+        self.execute_kwargs = dict(execute_kwargs or {})
+
+    # ------------------------------------------------------------------ replay
+
+    def run(self, schedule: WorkloadSchedule) -> HarnessReport:
+        """Replay the schedule to completion and reduce it to a report."""
+        records: list[QueryRecord | None] = [None] * len(schedule.events)
+        started = time.perf_counter()
+        if schedule.config.mode == "open":
+            self._run_open(schedule, records, started)
+        else:
+            self._run_closed(schedule, records, started)
+        wall_s = time.perf_counter() - started
+        assert all(record is not None for record in records)
+        return HarnessReport(
+            schedule=schedule, records=list(records), wall_s=wall_s,
+            stats=self.service.stats(), health=self.service.health(),
+            ledger=self.service.ledger.contention_stats(include_timeline=True))
+
+    def _run_open(self, schedule: WorkloadSchedule,
+                  records: list[QueryRecord | None], started: float) -> None:
+        """Single dispatcher, event order == submission order == seq order."""
+        pending: list[tuple[ArrivalEvent, Any]] = []
+        for event in schedule.events:
+            self._pace(event.offset_s, started)
+            try:
+                future = self.service.submit(self.query_factory(event),
+                                             **self.execute_kwargs)
+            except ServiceOverloadedError as exc:
+                records[event.seq] = QueryRecord(event=event, outcome="shed",
+                                                 error=str(exc))
+                continue
+            pending.append((event, future))
+        for event, future in pending:
+            records[event.seq] = self._classify(event, future)
+
+    def _run_closed(self, schedule: WorkloadSchedule,
+                    records: list[QueryRecord | None], started: float) -> None:
+        """One thread per tenant; each session is serial, tenants race."""
+        by_tenant: dict[int, list[ArrivalEvent]] = {}
+        for event in schedule.events:
+            by_tenant.setdefault(event.tenant, []).append(event)
+
+        def session(events: list[ArrivalEvent]) -> None:
+            events = sorted(events, key=lambda e: e.tenant_seq)
+            for event in events:
+                self._pace(event.offset_s, started)
+                try:
+                    future = self.service.submit(self.query_factory(event),
+                                                 **self.execute_kwargs)
+                except ServiceOverloadedError as exc:
+                    records[event.seq] = QueryRecord(
+                        event=event, outcome="shed", error=str(exc))
+                    continue
+                # Closed loop: the tenant blocks on its own query before
+                # thinking about the next one.
+                records[event.seq] = self._classify(event, future)
+
+        threads = [threading.Thread(target=session, args=(events,),
+                                    name=f"tenant-{tenant}", daemon=True)
+                   for tenant, events in sorted(by_tenant.items())]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _pace(self, offset_s: float, started: float) -> None:
+        if self.time_scale <= 0:
+            return
+        delay = offset_s * self.time_scale - (time.perf_counter() - started)
+        if delay > 0:
+            time.sleep(delay)
+
+    # ---------------------------------------------------------- classification
+
+    def _classify(self, event: ArrivalEvent, future: Any) -> QueryRecord:
+        try:
+            result = future.result()
+        except BudgetExceededError as exc:
+            return QueryRecord(event=event, outcome="denied", error=str(exc))
+        except QueryTimeoutError as exc:
+            return QueryRecord(event=event, outcome="deadline_missed",
+                               error=str(exc))
+        except QueryCancelledError as exc:
+            return QueryRecord(event=event, outcome="cancelled",
+                               error=str(exc))
+        except BaseException as exc:
+            return QueryRecord(event=event, outcome="failed",
+                               error=f"{type(exc).__name__}: {exc}")
+        charges: dict[str, int] = {}
+        for release in result.releases:
+            for camera, intervals in (release.source_intervals or {}).items():
+                charges[camera] = charges.get(camera, 0) + len(intervals)
+        return QueryRecord(
+            event=event, outcome="completed",
+            timing=result.metadata.get("timing"),
+            releases=repr([(release.group_key, release.noisy_value,
+                            release.raw_value_unsafe)
+                           for release in result.releases]),
+            raw_releases=repr([(release.group_key, release.raw_value_unsafe)
+                               for release in result.releases]),
+            charges=charges)

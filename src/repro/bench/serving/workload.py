@@ -1,0 +1,261 @@
+"""Seeded multi-tenant workload models for the serving load harness.
+
+A workload is a *schedule*: a sorted sequence of arrival events, each naming
+the tenant that submits, the camera it targets, the query kind it draws from
+the configured mix, and the virtual-time offset at which it arrives.  Two
+modeling choices follow the methodology exemplars in PAPERS.md:
+
+* **Skewed popularity.**  Real tenant populations are never uniform: a few
+  analysts issue most queries and a few cameras absorb most load.  Both
+  tenant activity and camera popularity follow zipf distributions
+  (``weight(rank) = 1 / rank**s``), the standard heavy-tail model.
+* **Open-loop Poisson arrivals.**  Open-loop load (arrivals keep coming
+  whether or not the service keeps up) is what exposes queueing collapse;
+  inter-arrival gaps are exponential draws, making the arrival process
+  Poisson.  Closed-loop mode instead models per-tenant *sessions*: each
+  tenant waits for its previous query before thinking for an exponential
+  gap and submitting the next — the schedule records the think times and
+  the harness enforces the completion ordering at run time.
+
+Determinism is the non-negotiable property: every draw is
+``unit_draw(stream_key(seed, tokens...), counter)`` — the same splitmix64
+counter-hash discipline as the synthetic detector — so a schedule is a pure
+function of its :class:`WorkloadConfig`, independent of Python hash seeds,
+dict order, numpy versions or wall clocks, and two generations are
+byte-identical (``WorkloadSchedule.digest`` pins it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.utils.hashing import stream_key, string_token, unit_draw
+
+__all__ = [
+    "ArrivalEvent",
+    "WorkloadConfig",
+    "WorkloadSchedule",
+    "generate_schedule",
+    "zipf_weights",
+]
+
+
+def zipf_weights(count: int, exponent: float) -> tuple[float, ...]:
+    """Normalized zipf weights for ``count`` ranks: ``1 / rank**exponent``.
+
+    ``exponent=0`` degenerates to uniform; larger exponents concentrate mass
+    on the first ranks (at 1.0, rank 1 of 8 carries ~37% of the load).
+    """
+    if count <= 0:
+        raise ValueError("zipf_weights needs at least one rank")
+    raw = [1.0 / float(rank) ** exponent for rank in range(1, count + 1)]
+    total = math.fsum(raw)
+    return tuple(weight / total for weight in raw)
+
+
+def _cumulative(weights: tuple[float, ...]) -> list[float]:
+    edges: list[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        edges.append(acc)
+    edges[-1] = 1.0 + 1e-12  # guard the u≈1.0 edge against fsum round-off
+    return edges
+
+
+def _pick(edges: list[float], u: float) -> int:
+    """Index of the category whose cumulative-weight slot contains ``u``."""
+    return min(bisect_right(edges, u), len(edges) - 1)
+
+
+def _exponential(u: float, mean: float) -> float:
+    """Inverse-CDF exponential draw with the given mean from ``u ∈ [0, 1)``."""
+    return -mean * math.log1p(-u)
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One query arrival of the workload.
+
+    ``offset_s`` is virtual time from the start of the run.  In open-loop
+    mode it is the absolute submission instant; in closed-loop mode it is
+    the earliest instant the tenant *could* submit (its think time has
+    elapsed), with the session ordering enforced by the harness.
+    ``tenant_seq`` numbers the event within its tenant's session — the key
+    under which closed-loop results stay comparable across runs even though
+    global completion order does not replay.
+    """
+
+    seq: int
+    tenant: int
+    tenant_seq: int
+    offset_s: float
+    camera: str
+    kind: str
+
+    def canonical(self) -> tuple:
+        """The tuple the schedule digest hashes — every field, exactly."""
+        return (self.seq, self.tenant, self.tenant_seq,
+                self.offset_s.hex(), self.camera, self.kind)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Everything that determines a workload schedule, and nothing else.
+
+    ``arrival_rate_per_s`` drives open-loop mode (mean arrivals per virtual
+    second over the whole population); ``queries_per_tenant`` and
+    ``think_time_mean_s`` drive closed-loop mode.  ``query_mix`` maps query
+    kind → weight; kinds are resolved to concrete queries by the harness's
+    query factory, so the workload model stays independent of the query
+    language.
+    """
+
+    seed: int
+    num_tenants: int
+    cameras: tuple[str, ...]
+    mode: str = "open"                    # "open" | "closed"
+    duration_s: float = 60.0              # open-loop: virtual run length
+    arrival_rate_per_s: float = 4.0       # open-loop: population-wide rate
+    queries_per_tenant: int = 4           # closed-loop: session length
+    think_time_mean_s: float = 1.0        # closed-loop: mean think gap
+    tenant_skew: float = 1.0              # zipf exponent over tenants
+    camera_skew: float = 0.8              # zipf exponent over cameras
+    query_mix: tuple[tuple[str, float], ...] = (("count", 3.0),
+                                                ("count_bucketed", 2.0),
+                                                ("sum", 1.0))
+    max_events: int = 100_000             # open-loop runaway guard
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', not {self.mode!r}")
+        if self.num_tenants <= 0:
+            raise ValueError("num_tenants must be positive")
+        if not self.cameras:
+            raise ValueError("at least one camera is required")
+        if not self.query_mix:
+            raise ValueError("query_mix must name at least one kind")
+        if self.mode == "open" and self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.mode == "closed" and self.queries_per_tenant <= 0:
+            raise ValueError("queries_per_tenant must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSchedule:
+    """A generated workload: the config plus its sorted arrival events."""
+
+    config: WorkloadConfig
+    events: tuple[ArrivalEvent, ...] = field(default_factory=tuple)
+
+    def digest(self) -> str:
+        """sha256 over the canonical event tuples — the replay fingerprint.
+
+        Floats enter as ``float.hex()`` so the digest is exact, not
+        formatted: two schedules share a digest iff they are byte-identical.
+        """
+        body = repr([event.canonical() for event in self.events])
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def counts_by(self, attribute: str) -> dict:
+        """Event counts grouped by an event attribute (``camera``, ``tenant``,
+        ``kind``) — the inputs to the zipf frequency checks."""
+        counts: dict = {}
+        for event in self.events:
+            key = getattr(event, attribute)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @property
+    def duration_s(self) -> float:
+        """Offset of the last event (0.0 for an empty schedule)."""
+        return self.events[-1].offset_s if self.events else 0.0
+
+
+def generate_schedule(config: WorkloadConfig) -> WorkloadSchedule:
+    """Generate the deterministic arrival schedule of a workload config."""
+    tenant_edges = _cumulative(zipf_weights(config.num_tenants,
+                                            config.tenant_skew))
+    camera_edges = _cumulative(zipf_weights(len(config.cameras),
+                                            config.camera_skew))
+    mix_total = math.fsum(weight for _, weight in config.query_mix)
+    mix_edges = _cumulative(tuple(weight / mix_total
+                                  for _, weight in config.query_mix))
+    kinds = tuple(kind for kind, _ in config.query_mix)
+
+    if config.mode == "open":
+        events = _open_loop(config, tenant_edges, camera_edges, mix_edges, kinds)
+    else:
+        events = _closed_loop(config, camera_edges, mix_edges, kinds)
+    return WorkloadSchedule(config=config, events=tuple(events))
+
+
+def _open_loop(config: WorkloadConfig, tenant_edges: list[float],
+               camera_edges: list[float], mix_edges: list[float],
+               kinds: tuple[str, ...]) -> list[ArrivalEvent]:
+    """One population-wide Poisson clock; every draw keyed by arrival index."""
+    gap_key = stream_key(config.seed, string_token("serving/open/gap"))
+    tenant_key = stream_key(config.seed, string_token("serving/open/tenant"))
+    camera_key = stream_key(config.seed, string_token("serving/open/camera"))
+    kind_key = stream_key(config.seed, string_token("serving/open/kind"))
+    mean_gap = 1.0 / config.arrival_rate_per_s
+
+    events: list[ArrivalEvent] = []
+    tenant_seqs: dict[int, int] = {}
+    offset = 0.0
+    for index in range(config.max_events):
+        offset += _exponential(unit_draw(gap_key, index), mean_gap)
+        if offset > config.duration_s:
+            break
+        tenant = _pick(tenant_edges, unit_draw(tenant_key, index))
+        tenant_seq = tenant_seqs.get(tenant, 0)
+        tenant_seqs[tenant] = tenant_seq + 1
+        events.append(ArrivalEvent(
+            seq=index, tenant=tenant, tenant_seq=tenant_seq, offset_s=offset,
+            camera=config.cameras[_pick(camera_edges, unit_draw(camera_key, index))],
+            kind=kinds[_pick(mix_edges, unit_draw(kind_key, index))]))
+    return events
+
+
+def _closed_loop(config: WorkloadConfig, camera_edges: list[float],
+                 mix_edges: list[float], kinds: tuple[str, ...]
+                 ) -> list[ArrivalEvent]:
+    """Per-tenant sessions; every draw keyed by (tenant, session position).
+
+    Tenant skew surfaces as session length here: tenant rank ``t`` runs
+    ``ceil(queries_per_tenant * weight_t / mean_weight)`` queries, so heavy
+    tenants issue proportionally more — the closed-loop analogue of skewed
+    arrival attribution.
+    """
+    weights = zipf_weights(config.num_tenants, config.tenant_skew)
+    mean_weight = 1.0 / config.num_tenants
+    per_tenant: list[ArrivalEvent] = []
+    for tenant in range(config.num_tenants):
+        session_key = stream_key(config.seed,
+                                 string_token("serving/closed/think"), tenant)
+        camera_key = stream_key(config.seed,
+                                string_token("serving/closed/camera"), tenant)
+        kind_key = stream_key(config.seed,
+                              string_token("serving/closed/kind"), tenant)
+        session_length = max(1, math.ceil(
+            config.queries_per_tenant * weights[tenant] / mean_weight))
+        offset = 0.0
+        for position in range(session_length):
+            offset += _exponential(unit_draw(session_key, position),
+                                   config.think_time_mean_s)
+            per_tenant.append(ArrivalEvent(
+                seq=-1, tenant=tenant, tenant_seq=position, offset_s=offset,
+                camera=config.cameras[_pick(camera_edges,
+                                            unit_draw(camera_key, position))],
+                kind=kinds[_pick(mix_edges, unit_draw(kind_key, position))]))
+    # Global seq follows the deterministic (offset, tenant, position) order;
+    # ties cannot survive the float exponential draws, but the tuple keeps
+    # the sort total anyway.
+    per_tenant.sort(key=lambda e: (e.offset_s, e.tenant, e.tenant_seq))
+    return [ArrivalEvent(seq=index, tenant=event.tenant,
+                         tenant_seq=event.tenant_seq, offset_s=event.offset_s,
+                         camera=event.camera, kind=event.kind)
+            for index, event in enumerate(per_tenant)]

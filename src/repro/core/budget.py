@@ -179,9 +179,25 @@ class ServiceLedger:
     over-charged, or a denied query leaves partial charges behind).
     """
 
+    #: Admission-timeline entries kept before the timeline stops growing (the
+    #: counters keep counting).  Bounds memory on always-on deployments while
+    #: leaving any realistic benchmark run fully recorded.
+    MAX_TIMELINE_EVENTS = 100_000
+
     def __init__(self) -> None:
         self._ledgers: dict[str, FrameBudgetLedger] = {}
         self._lock = threading.RLock()
+        # Contention accounting for the serving load harness: how often
+        # queries queued on the cross-camera lock, how admissions resolved,
+        # and a per-admission timeline of worst-frame remaining budgets (the
+        # budget-exhaustion curve of a run).  Mutated only while holding
+        # ``_lock``.
+        self._admit_calls = 0
+        self._admitted = 0
+        self._denied = 0
+        self._lock_contended = 0
+        self._timeline: list[dict[str, Any]] = []
+        self._timeline_dropped = 0
 
     def register(self, camera: str, total_epsilon: float) -> FrameBudgetLedger:
         """Get or create the ledger of ``camera`` (idempotent).
@@ -234,15 +250,89 @@ class ServiceLedger:
         query's charge land exactly once.
         """
         del query_id  # only meaningful to the durable subclass
-        with self._lock:
-            for camera, requests in requests_by_camera.items():
-                self.ledger(camera).admit(
-                    requests, margin=margins.get(camera, 0.0), charge=False)
+        contended = self._acquire_measured()
+        try:
+            try:
+                for camera, requests in requests_by_camera.items():
+                    self.ledger(camera).admit(
+                        requests, margin=margins.get(camera, 0.0), charge=False)
+            except BudgetExceededError:
+                if charge:
+                    self._note_admission("denied", requests_by_camera, contended)
+                raise
             if not charge:
                 return
             for camera, requests in requests_by_camera.items():
                 self.ledger(camera).admit(
                     requests, margin=margins.get(camera, 0.0), charge=True)
+            self._note_admission("admitted", requests_by_camera, contended)
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------- contention stats
+
+    def _acquire_measured(self) -> bool:
+        """Take the cross-camera lock, recording whether we had to wait.
+
+        Returns True when the lock was held by another thread at arrival —
+        the contention signal the serving benchmarks report.  Re-entrant
+        acquisitions by the owning thread never count (RLock semantics), so
+        internal nesting is invisible.  The caller must release the lock.
+        """
+        if self._lock.acquire(blocking=False):
+            return False
+        self._lock.acquire()
+        self._lock_contended += 1
+        return True
+
+    def _note_admission(self, outcome: str,
+                        requests_by_camera: dict[str, list[BudgetRequest]],
+                        contended: bool) -> None:
+        """Record one charge-bearing admission attempt (holding ``_lock``)."""
+        self._admit_calls += 1
+        if outcome == "admitted":
+            self._admitted += 1
+        else:
+            self._denied += 1
+        if len(self._timeline) >= self.MAX_TIMELINE_EVENTS:
+            self._timeline_dropped += 1
+            return
+        remaining = {}
+        for camera in sorted(requests_by_camera):
+            ledger = self._ledgers.get(camera)
+            if ledger is not None:
+                remaining[camera] = ledger.total_epsilon - ledger.max_consumed()
+        self._timeline.append({"event": self._admit_calls - 1,
+                               "outcome": outcome,
+                               "contended": contended,
+                               "remaining_min": remaining})
+
+    def contention_stats(self, *, include_timeline: bool = True
+                         ) -> dict[str, Any]:
+        """Admission/contention accounting for the load harness.
+
+        ``admit_calls`` counts charge-bearing :meth:`admit_many` attempts
+        (``admitted`` + ``denied`` partitions them); ``lock_contended`` the
+        attempts that queued behind another thread on the cross-camera lock.
+        ``timeline`` (optional) lists one entry per attempt — outcome,
+        whether it contended, and the worst-frame remaining budget of every
+        touched camera *after* the attempt — the budget-exhaustion curve a
+        ``BENCH_serving.json`` run reports.  Timeline recording stops after
+        ``MAX_TIMELINE_EVENTS`` entries (``timeline_dropped`` counts the
+        overflow); the counters keep counting.
+        """
+        with self._lock:
+            stats: dict[str, Any] = {
+                "admit_calls": self._admit_calls,
+                "admitted": self._admitted,
+                "denied": self._denied,
+                "lock_contended": self._lock_contended,
+                "timeline_dropped": self._timeline_dropped,
+            }
+            if include_timeline:
+                stats["timeline"] = [dict(entry, remaining_min=dict(
+                    entry["remaining_min"])) for entry in self._timeline]
+            return stats
 
     def remaining_over(self, camera: str, interval: TimeInterval) -> float:
         """Minimum remaining budget of ``camera`` over ``interval``."""
@@ -406,11 +496,18 @@ class DurableServiceLedger(ServiceLedger):
         — replayed after a crash, or resubmitted with its resume token —
         returns immediately without touching any ledger.
         """
-        with self._lock:
+        contended = self._acquire_measured()
+        try:
             if charge and query_id is not None \
                     and query_id in self._charged_queries:
                 return
-            super().admit_many(requests_by_camera, margins, charge=False)
+            try:
+                super().admit_many(requests_by_camera, margins, charge=False)
+            except BudgetExceededError:
+                if charge:
+                    self._note_admission("denied", requests_by_camera,
+                                         contended)
+                raise
             if not charge:
                 return
             record = {"op": "charge", "query_id": query_id,
@@ -424,7 +521,10 @@ class DurableServiceLedger(ServiceLedger):
             self._apply_charge({**record, "seq": seq})
             if query_id is None:
                 self.last_charge_seq = seq
+            self._note_admission("admitted", requests_by_camera, contended)
             self._maybe_compact()
+        finally:
+            self._lock.release()
 
     def query_charged(self, query_id: str) -> bool:
         """Has this query's charge set already been durably applied?"""

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
@@ -228,7 +229,10 @@ class QueryService:
 
     def _run_query(self, query_seq: int, query: PrividQuery,
                    kwargs: dict[str, Any], token: str | None = None,
-                   resumed: bool = False) -> QueryResult:
+                   resumed: bool = False,
+                   timing: dict[str, float] | None = None) -> QueryResult:
+        if timing is not None:
+            timing["started_at"] = time.perf_counter()
         try:
             try:
                 result = self._query_system(query_seq).execute(query, **kwargs)
@@ -254,6 +258,18 @@ class QueryService:
                 self._completed += 1
                 self._active -= 1
             result.metadata["query_seq"] = query_seq
+            if timing is not None:
+                # Pure observation for the serving load harness: wall-clock
+                # deltas measured around the execution, never fed back into
+                # it — results stay byte-identical with or without a reader.
+                submitted_at = timing["submitted_at"]
+                first_chunk_at = timing.get("first_chunk_at")
+                result.metadata["timing"] = {
+                    "queue_s": timing["started_at"] - submitted_at,
+                    "first_row_s": first_chunk_at - submitted_at
+                    if first_chunk_at is not None else None,
+                    "total_s": time.perf_counter() - submitted_at,
+                }
             if token is not None and self.journal is not None:
                 self.journal.finish(token)
                 result.metadata["resume_token"] = token
@@ -300,6 +316,14 @@ class QueryService:
         token and a ``resumed`` flag are reported in
         ``result.metadata``.
 
+        Every completed result carries ``metadata["timing"]`` — ``queue_s``
+        (submit → a pool slot), ``first_row_s`` (submit → first chunk's rows
+        landed, ``None`` for a query with no chunk progress) and ``total_s``
+        (submit → result).  Timing is pure observation: the marks are taken
+        around the execution and never feed back into it, so results are
+        byte-identical with or without a reader (pinned by the
+        serving-harness regression tests).
+
         A resume token admits only the exact submission it journaled: the
         query's canonical fingerprint (AST plus the release-affecting
         options) is journaled at first submission, and a resubmission whose
@@ -314,6 +338,11 @@ class QueryService:
         if resume_token is not None and self.journal is None:
             raise ValueError(
                 "resume_token requires a durable service (wal_dir=...)")
+        # Submit→first-row / submit→result timing for the serving load
+        # harness (``result.metadata["timing"]``): absolute perf_counter
+        # marks, written by at most one thread at a time (submit here, the
+        # query's own worker thereafter), reduced to deltas in _run_query.
+        timing: dict[str, float] = {"submitted_at": time.perf_counter()}
         effective_timeout = timeout if timeout is not None \
             else self.default_query_timeout
         token = cancel
@@ -366,19 +395,27 @@ class QueryService:
             self._active += 1
         if token is not None:
             kwargs = dict(kwargs, cancel=token)
+        journal = self.journal
+
+        def on_chunk(done: int, _token: str | None = journal_token) -> None:
+            # First completed chunk == first rows landed: the submit→
+            # first-row mark.  Called from the query's worker thread only.
+            if "first_chunk_at" not in timing:
+                timing["first_chunk_at"] = time.perf_counter()
+            if journal is not None and _token is not None:
+                journal.checkpoint(_token, done)
+
+        kwargs = dict(kwargs, on_chunk=on_chunk)
         try:
             if self.journal is not None:
                 # May raise ResumeMismatchError (resubmitted query differs
                 # from the journaled one) or a WAL write failure.
                 self.journal.start(journal_token, query_seq, query.name,
                                    fingerprint)
-                journal = self.journal
-                kwargs = dict(kwargs, query_id=journal_token,
-                              on_chunk=lambda done, _token=journal_token:
-                              journal.checkpoint(_token, done))
+                kwargs = dict(kwargs, query_id=journal_token)
             return self._pool.submit(self._run_query, query_seq, query,
                                      kwargs, journal_token,
-                                     resumed_entry is not None)
+                                     resumed_entry is not None, timing)
         except BaseException:
             # Nothing was enqueued: roll back the admission accounting, or
             # a failed submit would inflate `active` forever and eventually
@@ -404,7 +441,9 @@ class QueryService:
         :func:`~repro.core.executor.engine_stats_dict` over the shared
         engine (per-shard byte breakdown for sharded specs); ``cache``
         is the shared store's tier counters; ``budgets`` the ledger's
-        per-camera remaining-budget snapshot.
+        per-camera remaining-budget snapshot; ``ledger`` its admission and
+        lock-contention counters (the full per-admission timeline is on
+        :meth:`~repro.core.budget.ServiceLedger.contention_stats`).
         """
         with self._lock:
             queries = {"submitted": self._submitted, "completed": self._completed,
@@ -416,7 +455,8 @@ class QueryService:
         return {"queries": queries,
                 "engine": engine_stats_dict(self.engine),
                 "cache": cache_stats_dict(self.cache),
-                "budgets": self.ledger.snapshot()}
+                "budgets": self.ledger.snapshot(),
+                "ledger": self.ledger.contention_stats(include_timeline=False)}
 
     def health(self) -> dict[str, Any]:
         """A liveness/degradation snapshot suitable for an ops probe.

@@ -267,10 +267,12 @@ class TestQueryService:
         with self._service(video, engine="thread:2", cache="memory") as service:
             service.execute(_count_query(bucket=120.0), charge_budget=False)
             stats = service.stats()
-        assert set(stats) == {"queries", "engine", "cache", "budgets"}
+        assert set(stats) == {"queries", "engine", "cache", "budgets", "ledger"}
         assert stats["engine"]["engine"] == "thread"
         assert stats["budgets"]["cam"]["total_epsilon"] == 100.0
         assert stats["queries"]["completed"] == 1
+        assert stats["ledger"]["admitted"] == 0    # charge_budget=False run
+        assert "timeline" not in stats["ledger"]   # counters only in stats()
 
     def test_submit_after_close_is_refused(self):
         video = _walker_video()

@@ -1,0 +1,247 @@
+"""Service-under-load tests driven by the serving harness.
+
+Three contracts:
+
+* **Conservation.**  Every arrival ends in exactly one outcome, shed counts
+  reconcile exactly against the service's own ``rejected`` counter, and
+  ``completed + denied + timed_out + cancelled + failed == submitted`` with
+  ``active == 0`` once the storm drains — no query is lost or double-counted
+  even when admission control is actively shedding.
+* **Observability under fire.**  ``health()`` taken mid-storm is internally
+  consistent (``active == running + queued``, ``running <= capacity``,
+  ``queued <= queue_limit``) and ``stats()`` stays consistent under
+  concurrent submitters.
+* **No-perturb regression.**  The per-query timing hooks are pure
+  observation: a loaded run (4-wide pool, saturating open-loop schedule)
+  releases byte-identical values — noisy included — to the same schedule
+  replayed on a same-seed single-slot service.  If a timing hook ever feeds
+  back into execution or noise, this digest comparison breaks.
+"""
+
+import threading
+from concurrent.futures import wait
+
+import pytest
+
+from repro.bench.serving import (
+    ServingLoadHarness,
+    WorkloadConfig,
+    generate_schedule,
+    scenario_query_factory,
+)
+from repro.core.policy import PrivacyPolicy
+from repro.errors import ServiceOverloadedError
+from repro.query.builder import QueryBuilder
+from repro.service import QueryService
+
+from tests.conftest import make_crossing_object, make_simple_video
+
+
+def _walker_video(num_walkers: int = 6, duration: float = 600.0):
+    objects = [make_crossing_object(f"w{i}", start=20.0 + 80.0 * i,
+                                    duration=35.0, x=450.0 + 40.0 * i)
+               for i in range(num_walkers)]
+    return make_simple_video(duration=duration, objects=objects)
+
+
+def _service(video, *, epsilon_budget: float = 100.0,
+             **kwargs) -> QueryService:
+    service = QueryService(seed=5, **kwargs)
+    service.register_camera("cam", video,
+                            policy=PrivacyPolicy(rho=30.0, k_segments=1),
+                            epsilon_budget=epsilon_budget)
+    return service
+
+
+def _factory(**overrides):
+    settings = dict(executables={"cam": "count_entering_people.py"},
+                    epsilon=0.2, mask=None)
+    settings.update(overrides)
+    return scenario_query_factory(**settings)
+
+
+def _schedule(seed: int = 17, *, mode: str = "open", **overrides):
+    settings = dict(seed=seed, num_tenants=8, cameras=("cam",), mode=mode,
+                    duration_s=6.0, arrival_rate_per_s=3.0,
+                    queries_per_tenant=2)
+    settings.update(overrides)
+    return generate_schedule(WorkloadConfig(**settings))
+
+
+class _GateExecutable:
+    """Blocks every chunk on an event — holds pool slots open for storms."""
+
+    name = "gate"
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def fresh_instance(self):
+        return self
+
+    def config_fingerprint(self):
+        return ("gate",)
+
+    def process(self, chunk, context):
+        self.started.set()
+        self.release.wait(timeout=10.0)
+        return []
+
+
+def _gate_query(name: str = "gated"):
+    return (QueryBuilder(name)
+            .split("cam", begin=0, end=600.0, chunk_duration=60.0,
+                   into="chunks")
+            .process("chunks", executable="gate.py", max_rows=5,
+                     schema=[("kind", "STRING", ""), ("dy", "NUMBER", 0.0)],
+                     into="t")
+            .select_count(table="t", bucket_seconds=600.0, epsilon=0.2)
+            .build())
+
+
+class TestStormReconciliation:
+    def test_sheds_reconcile_exactly_and_nothing_is_lost(self):
+        # Two slots, one queue position: the first three submissions are
+        # accepted (the _active counter admits until 2 running + 1 queued),
+        # every later one must shed — deterministically, because shedding
+        # reads the submit-side counter, not worker timing.
+        video = _walker_video()
+        gate = _GateExecutable()
+        with _service(video, max_concurrent_queries=2,
+                      max_queue_depth=1) as service:
+            service.register_executable("gate.py", gate)
+            futures, sheds = [], 0
+            for index in range(8):
+                try:
+                    futures.append(service.submit(_gate_query(f"g{index}")))
+                except ServiceOverloadedError as exc:
+                    sheds += 1
+                    assert exc.limit == 1
+            assert sheds == 5 and len(futures) == 3
+
+            # ---- health mid-storm: internally consistent while saturated.
+            gate.started.wait(timeout=5.0)
+            health = service.health()
+            queries = health["queries"]
+            assert queries["active"] == queries["running"] + queries["queued"]
+            assert queries["running"] <= queries["capacity"] == 2
+            assert queries["queued"] <= queries["queue_limit"] == 1
+            assert queries["active"] == 3
+
+            gate.release.set()
+            wait(futures)
+            stats = service.stats()["queries"]
+            assert stats["rejected"] == sheds
+            assert stats["submitted"] == 8 - sheds
+            assert stats["completed"] + stats["denied"] + stats["failed"] \
+                + stats["timed_out"] + stats["cancelled"] == stats["submitted"]
+            assert stats["active"] == 0
+
+    def test_stats_consistent_under_concurrent_submitters(self):
+        video = _walker_video()
+        with _service(video, max_concurrent_queries=4) as service:
+            futures, lock = [], threading.Lock()
+
+            def submitter(worker: int) -> None:
+                for index in range(3):
+                    future = service.submit(
+                        _factory()(_schedule().events[0]))
+                    with lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=submitter, args=(worker,))
+                       for worker in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wait(futures)
+            stats = service.stats()
+            queries = stats["queries"]
+            assert queries["submitted"] == 12
+            assert queries["completed"] == 12
+            assert queries["active"] == 0
+            # The ledger saw exactly one admission per completed query.
+            assert stats["ledger"]["admitted"] == 12
+            assert stats["ledger"]["admit_calls"] == 12
+
+
+class TestHarnessReplay:
+    def _run(self, schedule, *, max_concurrent: int,
+             epsilon_budget: float = 500.0, execute_kwargs=None):
+        video = _walker_video()
+        with _service(video, epsilon_budget=epsilon_budget,
+                      max_concurrent_queries=max_concurrent) as service:
+            harness = ServingLoadHarness(service, _factory(),
+                                         execute_kwargs=execute_kwargs or {})
+            return harness.run(schedule)
+
+    def test_loaded_run_releases_byte_identical_to_serial(self):
+        # The timing-hook no-perturb regression (satellite 4): same schedule,
+        # same seed, 4-wide loaded pool vs single-slot serial pool — every
+        # release (noisy AND raw) must match byte for byte.
+        schedule = _schedule()
+        assert len(schedule.events) >= 10
+        loaded = self._run(schedule, max_concurrent=4)
+        serial = self._run(schedule, max_concurrent=1)
+        assert loaded.outcomes()["completed"] == len(schedule.events)
+        assert serial.outcomes()["completed"] == len(schedule.events)
+        assert loaded.releases_digest() == serial.releases_digest()
+        assert loaded.raw_digest() == serial.raw_digest()
+
+    def test_completed_records_carry_sound_timing(self):
+        report = self._run(_schedule(), max_concurrent=4)
+        for record in report.records:
+            assert record.outcome == "completed"
+            timing = record.timing
+            assert timing["queue_s"] >= 0.0
+            assert timing["first_row_s"] is not None
+            assert 0.0 <= timing["first_row_s"] <= timing["total_s"]
+        assert len(report.latency_samples("total_s")) == len(report.records)
+
+    def test_report_reconciles_with_service_counters(self):
+        report = self._run(_schedule(), max_concurrent=4)
+        payload = report.as_dict()
+        outcomes = payload["outcomes"]
+        assert sum(outcomes.values()) == len(report.schedule.events)
+        assert payload["service"]["queries"]["completed"] \
+            == outcomes["completed"]
+        # Zero ledger leakage: one admission per completed query, and the
+        # per-camera charge counts implied by the releases' source intervals
+        # appear in the report for reconciliation.
+        assert payload["ledger"]["admitted"] == outcomes["completed"]
+        assert payload["charges_by_camera"]["cam"] >= outcomes["completed"]
+        assert payload["workload"]["digest"] == report.schedule.digest()
+        assert payload["latency"]["total"]["count"] == outcomes["completed"]
+
+    def test_budget_denials_classify_as_denied(self):
+        # Serial pool: admissions happen one at a time, so the number of
+        # queries the 1.0-epsilon budget admits is deterministic.
+        report = self._run(_schedule(), max_concurrent=1, epsilon_budget=1.0)
+        outcomes = report.outcomes()
+        assert outcomes["denied"] >= 1
+        assert outcomes["completed"] >= 1
+        assert outcomes["completed"] + outcomes["denied"] \
+            == len(report.schedule.events)
+        for record in report.records:
+            if record.outcome == "denied":
+                assert record.charges == {} and record.timing is None
+
+    def test_deadline_misses_classify_as_deadline_missed(self):
+        report = self._run(_schedule(), max_concurrent=4,
+                           execute_kwargs={"timeout": 1e-6})
+        outcomes = report.outcomes()
+        assert outcomes["deadline_missed"] == len(report.schedule.events)
+        assert report.latency_samples("total_s") == []
+
+    def test_closed_loop_raw_values_replay(self):
+        schedule = _schedule(mode="closed")
+        first = self._run(schedule, max_concurrent=4)
+        second = self._run(schedule, max_concurrent=4)
+        assert first.outcomes()["completed"] == len(schedule.events)
+        assert first.raw_digest() == second.raw_digest()
+
+    def test_unknown_camera_in_factory_is_loud(self):
+        with pytest.raises(ValueError):
+            scenario_query_factory()(_schedule().events[0])

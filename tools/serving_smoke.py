@@ -1,0 +1,125 @@
+"""CI smoke test for the serving load harness: replay determinism + leakage.
+
+Stands up a small but real population — 12 tenants, zipf-skewed, open-loop
+Poisson arrivals — over a scenario camera on a 4-wide service and checks the
+two properties the load harness exists to guarantee:
+
+1. **Replay determinism.**  Two same-seed runs on fresh same-seed services
+   produce byte-identical workload schedules AND byte-identical per-query
+   releases — noisy values included, because submission order pins each
+   query's noise stream.
+2. **Zero ledger leakage.**  The per-camera charge counts implied by the
+   completed releases' ``source_intervals`` equal the ledger's own per-camera
+   charge counts exactly, every admission is accounted
+   (``admit_calls == admitted + denied``, ``admitted == completed``), and
+   every arrival lands in exactly one outcome.
+
+It then runs the full three-phase serving benchmark
+(``benchmarks/bench_serving_load.py``), which asserts determinism again at
+larger scale and writes ``BENCH_serving.json`` — the artifact the
+``serving-bench`` CI job uploads.
+
+Run with: ``python tools/serving_smoke.py``
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+sys.path.insert(0, str(_REPO))
+
+from repro.bench.serving import (  # noqa: E402
+    ServingLoadHarness,
+    WorkloadConfig,
+    generate_schedule,
+    scenario_query_factory,
+)
+from repro.evaluation.runner import (  # noqa: E402
+    register_scenario_camera,
+    scenario_policy_map,
+)
+from repro.scene.scenarios import build_scenario  # noqa: E402
+from repro.service import QueryService  # noqa: E402
+
+FAILURES: list[str] = []
+
+SMOKE_CONFIG = WorkloadConfig(seed=41, num_tenants=12, cameras=("campus",),
+                              mode="open", duration_s=6.0,
+                              arrival_rate_per_s=4.0)
+
+
+def check(ok: bool, label: str) -> None:
+    print(f"{'PASS' if ok else 'FAIL'}  {label}")
+    if not ok:
+        FAILURES.append(label)
+
+
+def run_once(scenario, policy_map):
+    service = QueryService(seed=3, engine="thread:4", cache="memory")
+    register_scenario_camera(service, scenario, policy_map=policy_map,
+                             epsilon_budget=500.0, sample_period=1.0)
+    with service:
+        harness = ServingLoadHarness(
+            service, scenario_query_factory(epsilon=0.05),
+            execute_kwargs={"default_epsilon": 0.05})
+        report = harness.run(generate_schedule(SMOKE_CONFIG))
+    return report
+
+
+def main() -> int:
+    scenario = build_scenario("campus", scale=0.2, duration_hours=0.2, seed=7)
+    policy_map = scenario_policy_map(scenario, k_segments=1)
+
+    first = run_once(scenario, policy_map)
+    second = run_once(scenario, policy_map)
+    events = len(first.schedule.events)
+    print(f"population: {SMOKE_CONFIG.num_tenants} tenants, {events} arrivals")
+
+    # ---- replay determinism.
+    check(first.schedule.digest() == second.schedule.digest(),
+          "same-seed workload schedules are byte-identical")
+    outcomes = first.outcomes()
+    check(outcomes["completed"] == events,
+          f"every arrival completed under ample budget ({outcomes})")
+    check(first.releases_digest() == second.releases_digest(),
+          "two same-seed runs released byte-identical values (noise included)")
+    check(first.raw_digest() == second.raw_digest(),
+          "raw (pre-noise) values replay byte-identically")
+
+    # ---- zero ledger leakage: releases' charged intervals == the ledger's
+    # own charge records, per camera, exactly.
+    budgets = first.stats["budgets"]
+    charged = first.charges_by_camera()
+    for camera, count in charged.items():
+        check(budgets[camera]["charges"] == count,
+              f"{camera}: ledger recorded {budgets[camera]['charges']} "
+              f"charges == {count} release source intervals")
+    ledger = first.ledger
+    check(ledger["admitted"] == outcomes["completed"],
+          f"one ledger admission per completed query "
+          f"({ledger['admitted']} == {outcomes['completed']})")
+    check(ledger["admit_calls"] == ledger["admitted"] + ledger["denied"],
+          "every admission call classified as admitted or denied")
+    check(sum(outcomes.values()) == events,
+          f"outcomes partition the arrivals exactly ({outcomes})")
+    check(first.stats["queries"]["active"] == 0,
+          "no query left active after the run drained")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} smoke check(s) failed")
+        return 1
+
+    # ---- the full three-phase benchmark: asserts determinism at 64-tenant
+    # scale and writes BENCH_serving.json (the CI artifact).
+    from benchmarks.bench_serving_load import test_serving_load_population
+    test_serving_load_population()
+
+    print("\nserving smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
